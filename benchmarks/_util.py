@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it prints
+the same rows/series the paper reports (so EXPERIMENTS.md can quote
+them) and asserts the qualitative *shape* claims — who wins, by roughly
+what factor, where crossovers fall.  Absolute timings are expected to
+differ from the authors' 2006 NTL/C++ testbed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["print_header", "print_table", "format_seconds"]
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def print_table(columns: list[str], rows: list[list], widths: list[int] | None = None):
+    """Minimal fixed-width table printer for benchmark reports."""
+    if widths is None:
+        widths = []
+        for c, name in enumerate(columns):
+            cell_width = max(
+                [len(str(name))] + [len(str(r[c])) for r in rows] if rows else [len(str(name))]
+            )
+            widths.append(cell_width)
+    header = "  ".join(str(n).rjust(w) for n, w in zip(columns, widths))
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(v).rjust(w) for v, w in zip(row, widths)))
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120:
+        return f"{seconds:.2f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f}min"
+    return f"{seconds / 3600:.1f}h"

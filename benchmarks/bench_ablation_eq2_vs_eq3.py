@@ -1,0 +1,73 @@
+"""Ablation — why Equation (2) instead of Equation (3).
+
+Section IV-B shows the global proportional rule (Eq. 3) has "a strong
+incentive for peer j to declare a high contribution mu_j".  We measure
+the payoff of lying by 2x/10x/100x under both rules, and check the
+analytical over-declaration gradient is positive for Eq. 3.
+"""
+
+import pytest
+
+from repro.core import eq6_lower_bound, overdeclaration_gradient
+from repro.sim import bernoulli_network
+
+from _util import print_header, print_table
+
+CAPACITIES = [300.0] * 6
+GAMMAS = [0.6] * 6
+SLOTS = 15_000
+FACTORS = (2.0, 10.0, 100.0)
+
+
+def liar_gain(baseline: str | None, factor: float) -> float:
+    truthful = bernoulli_network(CAPACITIES, GAMMAS, slots=SLOTS, seed=5, baseline=baseline)
+    lying = bernoulli_network(
+        CAPACITIES,
+        GAMMAS,
+        slots=SLOTS,
+        seed=5,
+        baseline=baseline,
+        declared={0: CAPACITIES[0] * factor},
+    )
+    return float(
+        lying.mean_download_bandwidth()[0] - truthful.mean_download_bandwidth()[0]
+    )
+
+
+def test_overdeclaration_pays_only_under_eq3(benchmark):
+    def run():
+        return {
+            (label, f): liar_gain(baseline, f)
+            for label, baseline in (("eq2", None), ("eq3", "global"))
+            for f in FACTORS
+        }
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Ablation: bandwidth gained by over-declaring capacity")
+    print_table(
+        ["declared x", "Eq. (2) gain", "Eq. (3) gain"],
+        [
+            [f"{f:g}x", f"{gains[('eq2', f)]:+.1f}", f"{gains[('eq3', f)]:+.1f}"]
+            for f in FACTORS
+        ],
+    )
+
+    for f in FACTORS:
+        # Equation (2) ignores declarations entirely.
+        assert abs(gains[("eq2", f)]) < 5.0, f
+        # Equation (3) rewards the lie, increasingly with the lie's size.
+        assert gains[("eq3", f)] > 20.0, f
+    assert gains[("eq3", 100.0)] > gains[("eq3", 2.0)]
+
+    # The analytical gradient of Section IV-B agrees.
+    grad = overdeclaration_gradient(CAPACITIES, GAMMAS, j=0)
+    print(f"\nanalytic d(payoff)/d(mu_declared) at truth: {grad:+.4f} (> 0)")
+    assert grad > 0
+
+    # Sanity: the Jensen bound (Eq. 6) is a true lower bound for Eq. 3.
+    result = bernoulli_network(CAPACITIES, GAMMAS, slots=SLOTS, seed=5, baseline="global")
+    bound = eq6_lower_bound(CAPACITIES, GAMMAS)
+    measured = result.mean_download_bandwidth()
+    for j in range(len(CAPACITIES)):
+        assert measured[j] >= bound[j] - 0.02 * CAPACITIES[j], j

@@ -1,0 +1,91 @@
+"""Churn study — fairness in a dynamic environment (Section VI).
+
+The paper's future work asks how the scheme behaves when peers come and
+go.  We run the churn scenario (half the peers alternating online and
+offline sessions) with and without ledger forgetting and report: the
+Theorem 1 slack of stable peers, how closely received bandwidth tracks
+actually-contributed capacity, and the forgetting factor's effect on
+that tracking — the fairness-vs-adaptation trade-off the paper names.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import check_theorem1
+from repro.sim import BernoulliDemand, PeerConfig, Simulation, StepCapacity
+
+from _util import print_header, print_table
+
+N = 8
+SLOTS = 25_000
+
+
+def run_with_forgetting(forgetting, seed=4):
+    """The churn_network scenario rebuilt with a ledger forgetting factor
+    (same seed -> identical capacity schedules across factors)."""
+    rng = np.random.default_rng(seed)
+    configs = []
+    kbps, gamma, mean_session = 512.0, 0.6, 1500
+    for i in range(N):
+        if i < N // 2:
+            steps = []
+            t, online = 0, bool(rng.integers(0, 2))
+            while t < SLOTS:
+                steps.append((t, kbps if online else 0.0))
+                t += int(rng.geometric(1.0 / mean_session))
+                online = not online
+            capacity = StepCapacity(steps)
+        else:
+            capacity = kbps
+        configs.append(
+            PeerConfig(
+                capacity=capacity,
+                demand=BernoulliDemand(gamma),
+                forgetting=forgetting,
+            )
+        )
+    return Simulation(configs, seed=seed).run(SLOTS)
+
+
+def tracking_error(result):
+    """Mean relative gap between received share and contributed share."""
+    rates = result.mean_download_bandwidth()
+    contributed = result.mean_capacity()
+    share_received = rates / rates.sum()
+    share_contributed = contributed / contributed.sum()
+    return float(np.abs(share_received - share_contributed).mean())
+
+
+def test_churn_fairness(benchmark):
+    results = benchmark.pedantic(
+        lambda: {f: run_with_forgetting(f) for f in (1.0, 0.999)},
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header("Churn: contribution-tracking with and without forgetting")
+    rows = []
+    for f, result in results.items():
+        report = check_theorem1(
+            result.mean_capacity(), result.empirical_gamma(), result.mean_alloc
+        )
+        stable_slack = report.slack[N // 2 :].min()
+        rows.append(
+            [
+                f"{f:g}",
+                f"{tracking_error(result):.4f}",
+                f"{stable_slack:+.1f}",
+            ]
+        )
+    print_table(["forgetting", "share tracking err", "min stable thm1 slack"], rows)
+
+    # Theorem 1 holds for the always-online peers in both regimes.
+    for f, result in results.items():
+        report = check_theorem1(
+            result.mean_capacity(), result.empirical_gamma(), result.mean_alloc
+        )
+        assert np.all(report.slack[N // 2 :] >= -0.03 * 512.0), f
+
+    # Forgetting tightens contribution tracking under churn (recent
+    # behaviour matters more when behaviour changes).
+    assert tracking_error(results[0.999]) <= tracking_error(results[1.0]) + 0.005

@@ -1,0 +1,59 @@
+"""Figure 1 — transmission time vs size over asymmetric links.
+
+Paper's headline data points: a 1-hour TV-resolution MPEG-2 home video
+(~1 GB) needs ~9 hours over a 256 kbps cable uplink but ~45 minutes over
+the 3 Mbps downlink; differences span an order of magnitude.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    CABLE_MODEM,
+    DIALUP_MODEM,
+    MEDIA_EXAMPLES,
+    figure1_series,
+    transmission_seconds,
+)
+
+from _util import format_seconds, print_header, print_table
+
+GB = 1 << 30
+MB = 1 << 20
+
+
+def run_figure1():
+    sizes = [MB * (10**e) for e in range(0, 5)]  # 1 MB .. 10 GB decades
+    return figure1_series(sizes), sizes
+
+
+def test_fig1_series(benchmark):
+    series, sizes = benchmark(run_figure1)
+
+    print_header("Figure 1: transmission time (s) vs size, four link directions")
+    columns = ["size"] + list(series)
+    rows = []
+    for idx, size in enumerate(sizes):
+        rows.append(
+            [f"{size >> 20} MB"] + [format_seconds(series[k][idx]) for k in series]
+        )
+    print_table(columns, rows)
+
+    # Headline claim: ~9 hours vs ~45 minutes for the 1 GB video.
+    up_hours = transmission_seconds(GB, CABLE_MODEM.upload_kbps) / 3600
+    down_minutes = transmission_seconds(GB, CABLE_MODEM.download_kbps) / 60
+    print(f"\n1 GB MPEG-2 video: upload {up_hours:.1f} h, download {down_minutes:.1f} min")
+    assert 8.5 <= up_hours <= 10.0
+    assert 40.0 <= down_minutes <= 50.0
+
+    # Ordering: for every size, downloads beat uploads on both technologies,
+    # and the cable/dialup gap spans an order of magnitude.
+    for tech in (DIALUP_MODEM, CABLE_MODEM):
+        up = np.array([tech.upload_seconds(s) for s in sizes])
+        down = np.array([tech.download_seconds(s) for s in sizes])
+        assert np.all(up > down)
+    ratio = CABLE_MODEM.download_kbps / CABLE_MODEM.upload_kbps
+    assert ratio > 10.0, "cable asymmetry should span an order of magnitude"
+
+    # Media annotations fall in the plotted 1 MB - 10 GB range.
+    for media in MEDIA_EXAMPLES:
+        assert MB <= media.size_bytes <= 10 * GB

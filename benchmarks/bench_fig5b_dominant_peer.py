@@ -1,0 +1,37 @@
+"""Figure 5(b) — fairness without the non-dominant condition.
+
+Three peers at 128/256/1024 kbps: the third contributes more than the
+other two combined (1024 > 128 + 256), violating the non-dominant
+condition required by Yang & de Veciana [16].  Because Equation (2)
+permits self-allocation, rates still converge to contributions.
+"""
+
+import numpy as np
+
+from repro.core import corollary1_gap
+from repro.sim import FIG5B_CAPACITIES, figure_5b
+
+from _util import print_header, print_table
+
+
+def test_fig5b(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_5b(slots=3500, seed=0), rounds=1, iterations=1
+    )
+    final = result.window_mean_rates(3000, 3500)
+
+    print_header("Figure 5(b): dominant peer, three-peer network")
+    rows = [
+        [f"peer {i}", f"{cap:.0f}", f"{final[i]:.1f}"]
+        for i, cap in enumerate(FIG5B_CAPACITIES)
+    ]
+    print_table(["peer", "U/L kbps", "final rate"], rows)
+
+    caps = np.asarray(FIG5B_CAPACITIES)
+    assert caps[2] > caps[0] + caps[1], "scenario must violate non-dominance"
+    assert np.allclose(final, caps, rtol=0.05)
+
+    # Saturated regime: pairwise fairness (Corollary 1) should be tight.
+    gap = corollary1_gap(result.mean_alloc)
+    print(f"max relative pairwise gap |mu_ij - mu_ji|: {gap:.4f}")
+    assert gap < 0.05

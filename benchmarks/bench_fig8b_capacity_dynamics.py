@@ -1,0 +1,51 @@
+"""Figure 8(b) — adaptation to a peer's changing upload bandwidth.
+
+Ten saturated 1024 kbps peers; peer 0's uplink drops to 512 kbps at
+t=1000 and recovers at t=3000.  The paper observes: the peer's download
+rate falls accordingly, the others quickly recover the lost service
+among themselves, the restored capacity restores the rate — and the
+dynamics are visibly *slow* (motivating the forgetting-factor ablation).
+"""
+
+import numpy as np
+
+from repro.sim import figure_8b
+
+from _util import print_header, print_table
+
+
+def test_fig8b(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_8b(slots=10000, n=10, seed=0), rounds=1, iterations=1
+    )
+
+    windows = {
+        "steady (500-1000)": (500, 1000),
+        "dropped (2000-3000)": (2000, 3000),
+        "recovering (4000-6000)": (4000, 6000),
+        "recovered (9000-10000)": (9000, 10000),
+    }
+    peer0 = {k: result.window_mean_rates(*w)[0] for k, w in windows.items()}
+    others = {k: result.window_mean_rates(*w)[1:].mean() for k, w in windows.items()}
+
+    print_header("Figure 8(b): capacity drop at t=1000, recovery at t=3000")
+    print_table(
+        ["window", "peer 0 rate", "others mean"],
+        [[k, f"{peer0[k]:.1f}", f"{others[k]:.1f}"] for k in windows],
+    )
+
+    # Before the drop, everyone sits near 1024.
+    assert abs(peer0["steady (500-1000)"] - 1024.0) < 1024 * 0.06
+    # The drop costs peer 0 service...
+    assert peer0["dropped (2000-3000)"] < 0.85 * 1024.0
+    # ...while the others recover the lost service among themselves.
+    assert others["dropped (2000-3000)"] > 0.97 * 1024.0
+    # Recovery trends back toward full rate...
+    assert (
+        peer0["recovered (9000-10000)"]
+        > peer0["recovering (4000-6000)"]
+        > peer0["dropped (2000-3000)"]
+    )
+    # ...but the paper notes "the system has slow dynamics": the rate is
+    # still measurably below 1024 even 7000 slots after restoration.
+    assert peer0["recovered (9000-10000)"] < 0.99 * 1024.0

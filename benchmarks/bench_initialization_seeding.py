@@ -1,0 +1,92 @@
+"""Initialization-phase study — how long until the system's benefit exists.
+
+Not a numbered figure in the paper, but a quantity its Section III-A
+discusses qualitatively: seeding runs opportunistically over the thin
+uplink and "can take a long time", while the file stays available from
+the owner meanwhile.  This bench measures, for the paper's 1 MB example
+point over a cable uplink: time to the first off-site decodable replica,
+time to full seeding, the effect of a 50%-busy uplink, and the
+sequential-vs-round-robin seeding order trade-off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rlnc import PAPER_EXAMPLE
+from repro.sim import BernoulliDemand, DisseminationSimulator, SeedingOrder
+
+from _util import format_seconds, print_header, print_table
+
+N_PEERS = 4
+UPLINK = 256.0
+MESSAGE_BYTES = 16 + PAPER_EXAMPLE.message_bytes
+
+
+def run_case(order, busy_gamma):
+    simulator = DisseminationSimulator(
+        owner_capacity=UPLINK,
+        peer_capacities=[UPLINK] * N_PEERS,
+        message_bytes=MESSAGE_BYTES,
+        k=PAPER_EXAMPLE.k,
+        owner_busy=BernoulliDemand(busy_gamma) if busy_gamma else None,
+        order=order,
+        seed=1,
+    )
+    return simulator.run()
+
+
+def test_seeding_study(benchmark):
+    cases = {
+        ("sequential", 0.0): None,
+        ("round-robin", 0.0): None,
+        ("sequential", 0.5): None,
+    }
+    def run_all():
+        return {
+            key: run_case(
+                SeedingOrder.SEQUENTIAL if key[0] == "sequential" else SeedingOrder.ROUND_ROBIN,
+                key[1],
+            )
+            for key in cases
+        }
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_header(
+        "Initialization: seeding 1 MB (k=8, GF(2^32)) to 4 peers over 256 kbps"
+    )
+    rows = []
+    for (order, busy), report in reports.items():
+        rows.append(
+            [
+                order,
+                f"{busy:.0%}",
+                format_seconds(report.first_replica_slot or 0),
+                format_seconds(report.all_seeded_slot or 0),
+                f"{report.ramp_up_factor():.1f}x",
+            ]
+        )
+    print_table(
+        ["order", "uplink busy", "first replica", "fully seeded", "rate ramp"], rows
+    )
+
+    seq = reports[("sequential", 0.0)]
+    rr = reports[("round-robin", 0.0)]
+    busy = reports[("sequential", 0.5)]
+
+    # All complete; total seeding time matches bytes / uplink.
+    for r in (seq, rr, busy):
+        assert r.complete
+    ideal = N_PEERS * PAPER_EXAMPLE.k * MESSAGE_BYTES * 8 / (UPLINK * 1000)
+    assert seq.all_seeded_slot == pytest.approx(ideal, rel=0.02)
+
+    # Sequential gets an off-site replica ~n times sooner than round-robin.
+    assert seq.first_replica_slot < rr.first_replica_slot / 2
+
+    # A 50%-busy uplink roughly doubles the wall-clock time.
+    assert 1.7 < busy.all_seeded_slot / seq.all_seeded_slot < 2.4
+
+    # During seeding the file is always retrievable at >= the owner rate,
+    # and the potential rate ramps to (1 + n) uplinks at the end.
+    assert np.all(seq.potential_rate_over_time >= UPLINK)
+    assert seq.potential_rate_over_time[-1] == UPLINK * (1 + N_PEERS)

@@ -1,0 +1,57 @@
+"""Validation — the mean-field model against the Fig. 5 simulations.
+
+The expected-value recursion of Equation (2) (see
+``repro.analysis.dynamics``) should (a) reproduce the saturated
+simulator exactly and (b) predict the transient length of Fig. 5(a)
+without running the simulator.  This bench quantifies both, giving the
+reproduction an analytical cross-check the paper itself lacks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import mean_field_trajectory, predicted_convergence_slot
+from repro.core import convergence_time
+from repro.sim import FIG5A_CAPACITIES, FIG5B_CAPACITIES, figure_5a, figure_5b
+
+from _util import print_header, print_table
+
+
+def run_all():
+    sim5a = figure_5a(slots=3500, seed=0)
+    sim5b = figure_5b(slots=3500, seed=0)
+    mf5a = mean_field_trajectory(FIG5A_CAPACITIES, [1.0] * 10, 3500)
+    mf5b = mean_field_trajectory(FIG5B_CAPACITIES, [1.0] * 3, 3500)
+    predicted = predicted_convergence_slot(FIG5A_CAPACITIES, [1.0] * 10, 0.10)
+    return sim5a, sim5b, mf5a, mf5b, predicted
+
+
+def test_mean_field_validates_fig5(benchmark):
+    sim5a, sim5b, mf5a, mf5b, predicted = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    # (a) Saturated demands make the engine deterministic; the model
+    # must agree slot-for-slot, both scenarios.
+    assert np.allclose(mf5a.rates, sim5a.rates, rtol=1e-9, atol=1e-9)
+    assert np.allclose(mf5b.rates, sim5b.rates, rtol=1e-9, atol=1e-9)
+
+    # (b) Transient prediction for Fig. 5(a).
+    simulated = max(
+        convergence_time(sim5a.rates[:, i], FIG5A_CAPACITIES[i],
+                         tolerance=0.10, hold=50)
+        for i in range(10)
+    )
+
+    print_header("Mean-field model vs Fig. 5 simulations")
+    print_table(
+        ["quantity", "simulated", "mean-field"],
+        [
+            ["Fig.5(a) final rates match", "yes", "slot-for-slot"],
+            ["Fig.5(b) final rates match", "yes", "slot-for-slot"],
+            ["Fig.5(a) 10% settling slot", simulated, predicted],
+        ],
+    )
+
+    assert predicted is not None
+    assert abs(predicted - simulated) <= 2

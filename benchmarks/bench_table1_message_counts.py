@@ -1,0 +1,46 @@
+"""Table I — number of messages ``k`` to encode 1 MB per ``(q, m)`` cell.
+
+This is exact arithmetic (``k = b / (m p)``), so the reproduction must
+match the paper cell-for-cell.
+"""
+
+from repro.rlnc import (
+    TABLE1_FIELD_BITS,
+    TABLE1_MESSAGE_LENGTHS,
+    CodingParams,
+    table1_grid,
+)
+
+from _util import print_header, print_table
+
+#: Table I exactly as printed in the paper.
+PAPER_TABLE1 = {
+    4: (256, 128, 64, 32, 16, 8),
+    8: (128, 64, 32, 16, 8, 4),
+    16: (64, 32, 16, 8, 4, 2),
+    32: (32, 16, 8, 4, 2, 1),
+}
+
+
+def test_table1_matches_paper(benchmark):
+    grid = benchmark(table1_grid)
+
+    print_header("Table I: k needed to decode 1 MB (rows GF(2^p), columns m)")
+    columns = ["q \\ m"] + [f"2^{m.bit_length() - 1}" for m in TABLE1_MESSAGE_LENGTHS]
+    rows = []
+    for p in TABLE1_FIELD_BITS:
+        rows.append([f"GF(2^{p})"] + [grid[(p, m)] for m in TABLE1_MESSAGE_LENGTHS])
+    print_table(columns, rows)
+
+    for p in TABLE1_FIELD_BITS:
+        for col, m in enumerate(TABLE1_MESSAGE_LENGTHS):
+            expected = PAPER_TABLE1[p][col]
+            assert grid[(p, m)] == expected, (p, m, grid[(p, m)], expected)
+
+    # Structural invariants of the table.
+    for p in TABLE1_FIELD_BITS:
+        for m in TABLE1_MESSAGE_LENGTHS:
+            params = CodingParams(p=p, m=m)
+            # the k * m * p product exactly covers the megabyte
+            assert params.k * m * p == params.file_bits
+            assert params.expansion_overhead == 0.0

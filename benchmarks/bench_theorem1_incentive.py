@@ -1,0 +1,114 @@
+"""Theorem 1 — incentive to join and cooperate, under any strategy mix.
+
+For heterogeneous Bernoulli networks (honest and adversarial) we verify
+that every honest user's measured average download bandwidth dominates
+the Theorem 1 lower bound — both the directly verifiable Equation (12)
+form and the headline alpha form — and in particular always dominates
+the isolation bandwidth ``gamma_i mu_i`` (the incentive to *join*).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ColluderAllocator,
+    FreeRiderAllocator,
+    RandomAllocator,
+    SelfHoarderAllocator,
+    check_theorem1,
+)
+from repro.sim import bernoulli_network
+
+from _util import print_header, print_table
+
+SLOTS = 30_000
+
+SCENARIOS = {
+    "all-honest": {},
+    "free-rider": {0: FreeRiderAllocator()},
+    "hoarder": {0: SelfHoarderAllocator()},
+    "coalition": {0: ColluderAllocator([0, 1]), 1: ColluderAllocator([0, 1])},
+    "chaotic": {0: RandomAllocator(seed=4)},
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_theorem1_holds_for_honest_users(benchmark, name):
+    capacities = [150.0, 300.0, 450.0, 600.0, 750.0, 900.0]
+    gammas = [0.3, 0.5, 0.7, 0.4, 0.6, 0.8]
+    adversaries = SCENARIOS[name]
+
+    result = benchmark.pedantic(
+        lambda: bernoulli_network(
+            capacities, gammas, slots=SLOTS, seed=17, allocators=adversaries
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    mu = np.asarray(capacities)
+    gamma = result.empirical_gamma()  # realised demand frequencies
+    report12 = check_theorem1(mu, gamma, result.mean_alloc, form="eq12")
+    report_a = check_theorem1(mu, gamma, result.mean_alloc, form="alpha")
+    isolation = gamma * mu
+
+    print_header(f"Theorem 1 check — scenario: {name}")
+    rows = []
+    for i in range(len(capacities)):
+        tag = "ADV" if i in adversaries else "honest"
+        rows.append(
+            [
+                i,
+                tag,
+                f"{report12.measured[i]:.1f}",
+                f"{isolation[i]:.1f}",
+                f"{report12.bound[i]:.1f}",
+                f"{report_a.bound[i]:.1f}",
+            ]
+        )
+    print_table(
+        ["peer", "role", "measured", "isolation", "eq12 bound", "alpha bound"], rows
+    )
+
+    honest = [i for i in range(len(capacities)) if i not in adversaries]
+    # Statistical tolerance: finite-sample noise of the Bernoulli demands.
+    tol = 0.02 * mu
+    for i in honest:
+        assert report12.measured[i] >= isolation[i] - tol[i], (name, i)
+        assert report12.slack[i] >= -tol[i], (name, i)
+        assert report_a.measured[i] >= report_a.bound[i] - tol[i], (name, i)
+
+
+def test_theorem1_large_random_network(benchmark):
+    """Stress form: 30 peers with random capacities/demands and a random
+    sprinkling of adversaries — the bound must hold for every honest
+    user with no tuning."""
+    import numpy as np
+
+    from repro.core import FreeRiderAllocator, RandomAllocator, SelfHoarderAllocator
+
+    rng = np.random.default_rng(99)
+    n = 30
+    capacities = rng.uniform(50.0, 1500.0, size=n).tolist()
+    gammas = rng.uniform(0.1, 0.95, size=n).tolist()
+    adversary_ids = rng.choice(n, size=6, replace=False)
+    pool = [FreeRiderAllocator, SelfHoarderAllocator, lambda: RandomAllocator(seed=1)]
+    adversaries = {int(i): pool[j % 3]() for j, i in enumerate(adversary_ids)}
+
+    result = benchmark.pedantic(
+        lambda: bernoulli_network(
+            capacities, gammas, slots=20_000, seed=41, allocators=adversaries
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = check_theorem1(
+        np.asarray(capacities), result.empirical_gamma(), result.mean_alloc
+    )
+    honest = [i for i in range(n) if i not in adversaries]
+    violations = [
+        i for i in honest if report.slack[i] < -0.03 * capacities[i]
+    ]
+    print_header("Theorem 1 stress: 30 random peers, 6 random adversaries")
+    print(f"honest users: {len(honest)}, bound violations: {violations}")
+    assert not violations

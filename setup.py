@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so editable
+installs must go through ``setup.py develop``; all real metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Fair and secure bandwidth sharing over asymmetric channels "
+        "(reproduction of Agarwal et al., ICDCS 2006)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

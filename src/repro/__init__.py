@@ -1,0 +1,25 @@
+"""repro — reproduction of *Fast data access over asymmetric channels
+using fair and secure bandwidth sharing* (Agarwal, Laifenfeld,
+Trachtenberg, Alanyali; ICDCS 2006).
+
+The package implements the complete system: random-linear-coded secure
+file dissemination (:mod:`repro.rlnc` on :mod:`repro.gf`), the
+contribution-proportional bandwidth allocation rule and its analysis
+(:mod:`repro.core`), the authenticated transfer protocol
+(:mod:`repro.transfer`, :mod:`repro.security`, :mod:`repro.storage`),
+the discrete-time evaluation simulator (:mod:`repro.sim`), and the
+channel/fixed-point models (:mod:`repro.analysis`).
+
+Quick taste (see ``examples/quickstart.py`` for the full tour)::
+
+    from repro.sim import FileSharingNetwork
+
+    net = FileSharingNetwork([256, 512, 1024, 1024])
+    net.publish(owner=0, name="video", data=my_bytes)
+    result = net.download(user=0, name="video")
+    assert result.data == my_bytes
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["gf", "rlnc", "security", "core", "sim", "storage", "transfer", "analysis"]

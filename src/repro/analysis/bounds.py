@@ -1,0 +1,80 @@
+"""Analytical fixed points and approximations for the allocation rules.
+
+These complement :mod:`repro.core.theory` (which *checks* the paper's
+bounds against measurements) with *predictive* tools: the saturated
+fixed point of Equation (2), and a Jensen-style fixed-point iteration
+for the expected allocation matrix under Bernoulli demands — useful for
+sizing experiments and for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "saturated_fixed_point",
+    "expected_alloc_fixed_point",
+    "expected_rate_from_alloc",
+]
+
+
+def saturated_fixed_point(capacities) -> np.ndarray:
+    """Long-run download rates when every user is saturated (Fig. 5).
+
+    With ``gamma_i = 1`` for all ``i``, pairwise fairness (Corollary 1)
+    forces ``mu_bar_ij = mu_bar_ji`` and every peer's capacity is fully
+    used, so the unique symmetric fixed point assigns each user exactly
+    its own contribution: ``rate_i = mu_i``.
+    """
+    return np.asarray(capacities, dtype=float).copy()
+
+
+def expected_alloc_fixed_point(
+    capacities,
+    gammas,
+    iterations: int = 500,
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """Fixed point of the expectation form of Equation (9).
+
+    Iterates::
+
+        A[i, j] <- mu_i * gamma_j * A[j, i] / (A[j, i] + sum_{l != j} gamma_l A[l, i])
+
+    which is the Jensen-approximated steady state of the allocation rule
+    (exact as the denominator concentrates, Section IV-B).  Returns the
+    ``(n, n)`` expected mean-allocation matrix ``A[i, j] ~ mu_bar_ij``.
+    """
+    mu = np.asarray(capacities, dtype=float)
+    g = np.asarray(gammas, dtype=float)
+    n = mu.shape[0]
+    if g.shape != (n,):
+        raise ValueError("capacities and gammas must have equal length")
+    # Start from proportional-to-capacity credits.
+    A = np.outer(mu, g) / n
+    for _ in range(iterations):
+        prev = A.copy()
+        # Credits C_i[j] are proportional to what user i receives from j,
+        # i.e. to A[j, i].
+        credits = prev.T  # credits[i, j] = A[j, i]
+        new = np.zeros_like(A)
+        for i in range(n):
+            # Expected share of peer i toward requesting user j.
+            weights = credits[i] * g  # gamma_j-weighted expected presence
+            total = weights.sum()
+            if total <= 0:
+                continue
+            # E[mu_ij] = mu_i gamma_j credits_ij / E[sum_l I_l credits_il]
+            for j in range(n):
+                denom = credits[i, j] + (weights.sum() - weights[j])
+                if denom > 0:
+                    new[i, j] = mu[i] * g[j] * credits[i, j] / denom
+        A = new
+        if np.max(np.abs(A - prev)) < tol:
+            break
+    return A
+
+
+def expected_rate_from_alloc(mean_alloc: np.ndarray) -> np.ndarray:
+    """Per-user expected download bandwidth from an allocation matrix."""
+    return np.asarray(mean_alloc, dtype=float).sum(axis=0)

@@ -1,0 +1,128 @@
+"""The asymmetric-channel timing model behind Fig. 1 and Section I.
+
+Fig. 1 plots transmission time against size for the upload and download
+directions of two access technologies, annotating typical media sizes.
+The headline motivation: a one-hour TV-resolution MPEG-2 home video
+(~1 GB) takes ~9 hours to serve over a 256 kbps cable-modem uplink but
+only ~45 minutes to *download* at 3 Mbps — the gap this system closes by
+aggregating idle uplinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LinkTechnology",
+    "DIALUP_MODEM",
+    "CABLE_MODEM",
+    "TECHNOLOGIES",
+    "MediaExample",
+    "MEDIA_EXAMPLES",
+    "transmission_seconds",
+    "figure1_series",
+    "asymmetry_ratio",
+    "peers_needed",
+    "aggregate_download_seconds",
+]
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class LinkTechnology:
+    """An access technology with asymmetric up/down capacities (kbps)."""
+
+    name: str
+    upload_kbps: float
+    download_kbps: float
+
+    def upload_seconds(self, size_bytes: float) -> float:
+        return transmission_seconds(size_bytes, self.upload_kbps)
+
+    def download_seconds(self, size_bytes: float) -> float:
+        return transmission_seconds(size_bytes, self.download_kbps)
+
+
+#: Fig. 1's technologies: "Dialup modem upload @ 28kbps / download @ 56
+#: kbps; Cable modem upload @ 256 kbps / download @ 3 Mbps".
+DIALUP_MODEM = LinkTechnology("dialup modem", upload_kbps=28.0, download_kbps=56.0)
+CABLE_MODEM = LinkTechnology("cable modem", upload_kbps=256.0, download_kbps=3000.0)
+
+TECHNOLOGIES = (DIALUP_MODEM, CABLE_MODEM)
+
+
+@dataclass(frozen=True)
+class MediaExample:
+    """A media annotation from Fig. 1 (sizes are the figure's order of
+    magnitude, not exact — they position the markers)."""
+
+    name: str
+    size_bytes: int
+
+
+MEDIA_EXAMPLES = (
+    MediaExample("MP3 song", 5 * MB),
+    MediaExample("low-resolution home video", 200 * MB),
+    MediaExample('"My Pictures" folder', 600 * MB),
+    MediaExample("TV-resolution MPEG-2 home video (1 hour)", 1 * GB),
+    MediaExample("ATSC HDTV video (1 hour)", 10 * GB),
+)
+
+
+def transmission_seconds(size_bytes: float, rate_kbps: float) -> float:
+    """Time to push ``size_bytes`` through a ``rate_kbps`` link.
+
+    Rates use 1 kb = 1000 bits (line-rate convention), sizes use binary
+    megabytes, matching the paper's figures.
+    """
+    if rate_kbps <= 0:
+        return float("inf")
+    if size_bytes < 0:
+        raise ValueError(f"size cannot be negative: {size_bytes}")
+    return size_bytes * 8.0 / (rate_kbps * 1000.0)
+
+
+def figure1_series(sizes_bytes) -> dict[str, list[float]]:
+    """The four lines of Fig. 1 evaluated at the given sizes.
+
+    Returns a mapping from line label to transmission times in seconds.
+    """
+    sizes = list(sizes_bytes)
+    out: dict[str, list[float]] = {}
+    for tech in TECHNOLOGIES:
+        out[f"{tech.name} upload @ {tech.upload_kbps:g} kbps"] = [
+            tech.upload_seconds(s) for s in sizes
+        ]
+        out[f"{tech.name} download @ {tech.download_kbps:g} kbps"] = [
+            tech.download_seconds(s) for s in sizes
+        ]
+    return out
+
+
+def asymmetry_ratio(tech: LinkTechnology) -> float:
+    """download/upload capacity ratio — the factor left on the table when
+    remote access is served by a single home uplink."""
+    return tech.download_kbps / tech.upload_kbps
+
+
+def peers_needed(tech: LinkTechnology) -> int:
+    """Minimum number of serving uplinks of this technology required to
+    saturate one downlink of the same technology."""
+    import math
+
+    return math.ceil(asymmetry_ratio(tech))
+
+
+def aggregate_download_seconds(
+    size_bytes: float, upload_kbps_list, download_cap_kbps: float
+) -> float:
+    """Idealised parallel download time from several serving uplinks.
+
+    The aggregate service rate is the sum of the uplinks, capped by the
+    user's download capacity ``lambda_d`` — the best case the system
+    approaches once allocation has converged.
+    """
+    rate = min(sum(upload_kbps_list), download_cap_kbps)
+    return transmission_seconds(size_bytes, rate)

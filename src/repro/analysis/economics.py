@@ -1,0 +1,82 @@
+"""The storage-for-bandwidth trade the introduction argues for.
+
+Section I: "With hard-disk storage costing under a dollar per gigabyte,
+the benefits enumerated above quickly surpass the cost of caching other
+users' data."  These helpers make the claim computable for any
+configuration: how much disk a peer donates to host others' bundles,
+what access-time reduction the cached data buys, and the implied
+dollars-per-hour-saved exchange rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .channel import transmission_seconds
+
+__all__ = ["CachingEconomics", "storage_donated_bytes"]
+
+#: The paper's 2006 figure; override for modern prices.
+DOLLARS_PER_GB_2006 = 1.0
+
+_GB = 1 << 30
+
+
+def storage_donated_bytes(
+    file_bytes: int, k: int, message_bytes: int, files_hosted: int
+) -> int:
+    """Disk a peer donates hosting one bundle for each of ``files_hosted``
+    files of the given coding shape (header bytes included)."""
+    per_file = k * (16 + message_bytes)
+    return per_file * files_hosted
+
+
+@dataclass(frozen=True)
+class CachingEconomics:
+    """Cost/benefit of participating, for one representative user.
+
+    Parameters mirror the motivating scenario: a user with
+    ``file_bytes`` of remote-access data, a home uplink of
+    ``upload_kbps``, a remote downlink of ``download_kbps``, and
+    ``n_peers`` cooperating neighbours (each donating one bundle of the
+    user's data and receiving one of theirs).
+    """
+
+    file_bytes: int
+    upload_kbps: float
+    download_kbps: float
+    n_peers: int
+    dollars_per_gb: float = DOLLARS_PER_GB_2006
+
+    def solo_access_seconds(self) -> float:
+        """Fetching from the home uplink alone."""
+        return transmission_seconds(self.file_bytes, self.upload_kbps)
+
+    def shared_access_seconds(self) -> float:
+        """Fetching from ``n_peers`` uplinks in parallel, downlink-capped."""
+        aggregate = min(self.n_peers * self.upload_kbps, self.download_kbps)
+        return transmission_seconds(self.file_bytes, aggregate)
+
+    def hours_saved_per_access(self) -> float:
+        return (self.solo_access_seconds() - self.shared_access_seconds()) / 3600.0
+
+    def storage_donated(self) -> int:
+        """Symmetric barter: hosting one coded copy of each neighbour's
+        equally sized data costs ``n_peers x file_bytes`` (coded size
+        equals source size; Section III's k-messages-per-file)."""
+        return self.n_peers * self.file_bytes
+
+    def storage_cost_dollars(self) -> float:
+        return self.storage_donated() / _GB * self.dollars_per_gb
+
+    def dollars_per_hour_saved(self) -> float:
+        """One-time storage cost amortised against a single access.
+
+        Every further access is free, so this is an upper bound on the
+        exchange rate — the paper's "quickly surpass" claim is the
+        observation that this number is small and shrinks with use.
+        """
+        saved = self.hours_saved_per_access()
+        if saved <= 0:
+            return float("inf")
+        return self.storage_cost_dollars() / saved

@@ -1,0 +1,113 @@
+"""Playback analysis for chunked streaming (Section III-D).
+
+The 1 MB chunking "allows large files (e.g., audio or visual data) to be
+'streamed' to a user in small chunks, rather than forcing the user to
+wait until the entire file contents have been downloaded."  Whether the
+stream actually plays smoothly depends on when each chunk becomes
+decodable versus when playback needs it; this module turns a chunk
+completion schedule (e.g. from :class:`~repro.rlnc.chunking.StreamingDecoder`
+driven by a simulated download) into startup/stall metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlaybackReport", "simulate_playback", "min_startup_for_smooth"]
+
+
+@dataclass(frozen=True)
+class PlaybackReport:
+    """What a viewer would experience."""
+
+    startup_seconds: float
+    stall_count: int
+    total_stall_seconds: float
+    completion_seconds: float
+    chunk_start_seconds: tuple[float, ...]
+
+    @property
+    def smooth(self) -> bool:
+        """True iff playback never stalled after starting."""
+        return self.stall_count == 0
+
+
+def _durations(chunk_lengths_bytes, playback_kbps: float) -> list[float]:
+    if playback_kbps <= 0:
+        raise ValueError(f"playback rate must be positive, got {playback_kbps}")
+    return [8.0 * length / (playback_kbps * 1000.0) for length in chunk_lengths_bytes]
+
+
+def simulate_playback(
+    chunk_ready_seconds,
+    chunk_lengths_bytes,
+    playback_kbps: float,
+    startup_buffer_chunks: int = 1,
+) -> PlaybackReport:
+    """Play chunks in order against their arrival times.
+
+    Parameters
+    ----------
+    chunk_ready_seconds:
+        When each chunk became decodable (file order).
+    chunk_lengths_bytes:
+        Decoded size of each chunk.
+    playback_kbps:
+        Media bit-rate; chunk ``i`` plays for ``8 * len_i / rate``.
+    startup_buffer_chunks:
+        Playback begins once this many leading chunks are ready
+        (client-side buffering policy).
+
+    Returns a :class:`PlaybackReport` with startup latency, stall count
+    and total stall time.
+    """
+    ready = [float(r) for r in chunk_ready_seconds]
+    durations = _durations(chunk_lengths_bytes, playback_kbps)
+    if len(ready) != len(durations):
+        raise ValueError("ready times and chunk lengths must align")
+    if not ready:
+        raise ValueError("need at least one chunk")
+    if any(b < a for a, b in zip(ready, ready[1:])):
+        raise ValueError("chunk ready times must be non-decreasing (file order)")
+    buffer_chunks = max(1, min(startup_buffer_chunks, len(ready)))
+
+    start = ready[buffer_chunks - 1]
+    clock = start
+    stalls = 0
+    stall_time = 0.0
+    chunk_starts = []
+    for arrival, duration in zip(ready, durations):
+        if arrival > clock:
+            stalls += 1
+            stall_time += arrival - clock
+            clock = arrival
+        chunk_starts.append(clock)
+        clock += duration
+    return PlaybackReport(
+        startup_seconds=start,
+        stall_count=stalls,
+        total_stall_seconds=stall_time,
+        completion_seconds=clock,
+        chunk_start_seconds=tuple(chunk_starts),
+    )
+
+
+def min_startup_for_smooth(
+    chunk_ready_seconds, chunk_lengths_bytes, playback_kbps: float
+) -> float:
+    """Smallest startup delay that yields stall-free playback.
+
+    Classic buffering bound: playback starting at ``T`` is smooth iff
+    every chunk ``i`` satisfies ``ready_i <= T + sum_{j<i} duration_j``,
+    so ``T = max_i (ready_i - cum_duration_before_i)``.
+    """
+    ready = [float(r) for r in chunk_ready_seconds]
+    durations = _durations(chunk_lengths_bytes, playback_kbps)
+    if len(ready) != len(durations):
+        raise ValueError("ready times and chunk lengths must align")
+    offset = 0.0
+    best = 0.0
+    for arrival, duration in zip(ready, durations):
+        best = max(best, arrival - offset)
+        offset += duration
+    return best

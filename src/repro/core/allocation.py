@@ -1,0 +1,121 @@
+"""Bandwidth allocators: the paper's Equation (2) and the allocator API.
+
+Every slot, each peer ``i`` decides how to divide its upload capacity
+``mu_i`` among the users currently requesting.  An
+:class:`Allocator` receives only information that is locally available
+to the peer — its own index and capacity, the request indicator vector
+``I(t)`` (a peer trivially observes who is asking it for data), its own
+contribution ledger, and the *declared* capacities vector (used only by
+the gameable Equation (3) baseline) — and returns the allocation row
+``mu_i*(t)``.
+
+The engine treats the returned row as a *proposal*: it is clipped to be
+non-negative, zeroed for non-requesters, and scaled down if it exceeds
+the peer's physical capacity.  Nothing stops a malicious allocator from
+giving less, or from skewing shares — that is precisely the adversary
+model of Section IV-C, and Theorem 1's guarantee for honest users is
+verified against such peers in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .ledger import ContributionLedger
+
+__all__ = ["Allocator", "PeerwiseProportionalAllocator", "enforce_feasibility"]
+
+
+class Allocator(ABC):
+    """Strategy interface for one peer's per-slot upload division."""
+
+    #: Human-readable tag used by metrics and experiment printouts.
+    name = "allocator"
+
+    @abstractmethod
+    def allocate(
+        self,
+        index: int,
+        capacity: float,
+        requesting: np.ndarray,
+        ledger: ContributionLedger,
+        declared: np.ndarray,
+        t: int,
+    ) -> np.ndarray:
+        """Return the proposed allocation row ``mu_i*(t)`` (length ``n``).
+
+        Parameters
+        ----------
+        index:
+            This peer's index ``i``.
+        capacity:
+            Physical upload capacity ``mu_i`` available this slot.
+        requesting:
+            Boolean vector ``I(t)``.
+        ledger:
+            This peer's local contribution ledger ``C_i``.
+        declared:
+            Capacities as *declared* by each peer (only the Equation (3)
+            baseline trusts these).
+        t:
+            Slot number (lets adversaries implement time-based strategies).
+        """
+
+    def on_slot_end(self, t: int) -> None:
+        """Hook for stateful strategies; default is stateless."""
+
+
+def enforce_feasibility(
+    proposal: np.ndarray, capacity: float, requesting: np.ndarray
+) -> np.ndarray:
+    """Clamp an allocation proposal to what the channel can actually carry.
+
+    Negative entries are clipped, non-requesters receive nothing (there
+    is no one to send to), and if the row sums beyond the physical
+    capacity it is scaled down proportionally.  Allocating *less* than
+    capacity is always allowed — that is simply a peer withholding
+    bandwidth.
+    """
+    out = np.asarray(proposal, dtype=float).copy()
+    out[out < 0] = 0.0
+    out[~np.asarray(requesting, dtype=bool)] = 0.0
+    total = out.sum()
+    if total > capacity > 0:
+        out *= capacity / total
+    elif capacity <= 0:
+        out[:] = 0.0
+    return out
+
+
+class PeerwiseProportionalAllocator(Allocator):
+    """The paper's proposed rule, Equation (2).
+
+    ``mu_ij(t) = mu_i * I_j(t) * C_i[j] / sum_l I_l(t) C_i[l]``
+
+    The peer shares its *entire* capacity among current requesters in
+    proportion to how much each of them has given this peer's user in
+    the past.  Self-allocation ``mu_ii`` is included (the crucial
+    departure from Yang & de Veciana that removes the non-dominant
+    condition, Section II-A); when nobody requests, nothing is sent and
+    the capacity is simply unused that slot.
+    """
+
+    name = "peerwise-proportional"
+
+    def allocate(
+        self,
+        index: int,
+        capacity: float,
+        requesting: np.ndarray,
+        ledger: ContributionLedger,
+        declared: np.ndarray,
+        t: int,
+    ) -> np.ndarray:
+        requesting = np.asarray(requesting, dtype=bool)
+        weights = np.where(requesting, ledger.credits, 0.0)
+        total = weights.sum()
+        if total <= 0.0:
+            return np.zeros(requesting.shape[0])
+        return capacity * weights / total

@@ -1,0 +1,103 @@
+"""Baseline allocation rules the paper compares against or motivates from.
+
+* :class:`GlobalProportionalAllocator` — Equation (3), the *global
+  proportional fairness* scheme after Yang & de Veciana [16], with the
+  paper's self-contribution extension.  It trusts the **declared**
+  capacity vector, which Section IV-B shows creates a strong incentive
+  to over-declare (``d/d mu_j`` of the allocated share is positive).
+* :class:`IsolationAllocator` — no sharing at all: each peer serves only
+  its own user.  This is the ``gamma_i mu_i`` single-user reference the
+  incentive results are measured against.
+* :class:`EqualSplitAllocator` — credit-blind uniform division among
+  requesters; a naive cooperative baseline useful in ablations to show
+  that fairness (proportionality to contribution) needs the ledger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .allocation import Allocator
+from .ledger import ContributionLedger
+
+__all__ = [
+    "GlobalProportionalAllocator",
+    "IsolationAllocator",
+    "EqualSplitAllocator",
+]
+
+
+class GlobalProportionalAllocator(Allocator):
+    """Equation (3): share proportionally to *declared* upload capacities.
+
+    ``mu_ij(t) = mu_i * I_j(t) * mu_j^decl / sum_l I_l(t) mu_l^decl``
+
+    The rule needs each peer's overall contribution, which is not
+    locally measurable — so implementations must trust declarations,
+    and a liar gains (the drawback that motivates Equation (2)).
+    """
+
+    name = "global-proportional"
+
+    def allocate(
+        self,
+        index: int,
+        capacity: float,
+        requesting: np.ndarray,
+        ledger: ContributionLedger,
+        declared: np.ndarray,
+        t: int,
+    ) -> np.ndarray:
+        requesting = np.asarray(requesting, dtype=bool)
+        weights = np.where(requesting, np.asarray(declared, dtype=float), 0.0)
+        total = weights.sum()
+        if total <= 0.0:
+            return np.zeros(requesting.shape[0])
+        return capacity * weights / total
+
+
+class IsolationAllocator(Allocator):
+    """No cooperation: upload only to the peer's own user.
+
+    Reproduces the paper's "operates in isolation" reference point with
+    download speed ``mu_i`` per request and long-term utilisation
+    ``gamma_i mu_i``.
+    """
+
+    name = "isolation"
+
+    def allocate(
+        self,
+        index: int,
+        capacity: float,
+        requesting: np.ndarray,
+        ledger: ContributionLedger,
+        declared: np.ndarray,
+        t: int,
+    ) -> np.ndarray:
+        out = np.zeros(np.asarray(requesting).shape[0])
+        if requesting[index]:
+            out[index] = capacity
+        return out
+
+
+class EqualSplitAllocator(Allocator):
+    """Uniform division among current requesters, ignoring history."""
+
+    name = "equal-split"
+
+    def allocate(
+        self,
+        index: int,
+        capacity: float,
+        requesting: np.ndarray,
+        ledger: ContributionLedger,
+        declared: np.ndarray,
+        t: int,
+    ) -> np.ndarray:
+        requesting = np.asarray(requesting, dtype=bool)
+        count = int(requesting.sum())
+        out = np.zeros(requesting.shape[0])
+        if count:
+            out[requesting] = capacity / count
+        return out

@@ -1,0 +1,156 @@
+"""Fairness and cooperation metrics used throughout the evaluation.
+
+These are the quantities the paper reasons about informally (shaded
+"gain" regions of Figs. 6-7, the convergence of Fig. 5, pairwise
+fairness of Corollary 1) turned into explicit, testable functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "jain_index",
+    "pairwise_asymmetry",
+    "max_pairwise_gap",
+    "normalized_exchange_ratio",
+    "convergence_time",
+    "cooperation_gain",
+    "running_average",
+]
+
+
+def jain_index(values: np.ndarray) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n sum x^2)``; 1.0 is perfectly even.
+
+    Applied to *normalised* download rates (rate divided by contribution)
+    it measures the paper's notion of proportional fairness.
+    """
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        raise ValueError("jain_index of an empty vector is undefined")
+    denom = x.size * float((x**2).sum())
+    if denom == 0.0:
+        return 1.0  # all zeros: trivially even
+    return float(x.sum()) ** 2 / denom
+
+
+def pairwise_asymmetry(mean_alloc: np.ndarray) -> np.ndarray:
+    """Matrix of ``|mu_ij - mu_ji|`` from a mean allocation matrix.
+
+    ``mean_alloc[i, j]`` is the time-average bandwidth user ``j``
+    received from peer ``i``.  Corollary 1 says this matrix tends to 0
+    off the diagonal in the saturated regime.
+    """
+    A = np.asarray(mean_alloc, dtype=float)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {A.shape}")
+    return np.abs(A - A.T)
+
+
+def max_pairwise_gap(mean_alloc: np.ndarray, relative: bool = True) -> float:
+    """Worst pairwise fairness violation ``max_ij |mu_ij - mu_ji|``.
+
+    With ``relative=True`` the gap is normalised by the pair's mean
+    exchanged bandwidth, so the result is a dimensionless violation
+    fraction (0 = perfectly pairwise fair).
+    """
+    A = np.asarray(mean_alloc, dtype=float)
+    gap = pairwise_asymmetry(A)
+    if not relative:
+        return float(gap.max(initial=0.0))
+    scale = (A + A.T) / 2.0
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rel = np.where(scale > 0, gap / scale, 0.0)
+    np.fill_diagonal(rel, 0.0)
+    return float(rel.max(initial=0.0))
+
+
+def normalized_exchange_ratio(
+    mean_alloc: np.ndarray, gamma: np.ndarray
+) -> np.ndarray:
+    """The Equation (7) check: ``mu_ij * gamma_i`` vs ``mu_ji * gamma_j``.
+
+    Returns the matrix of ratios (1.0 = the asymptotic fairness relation
+    holds exactly); entries where either side is zero are reported as
+    ``nan`` so callers can mask them.
+    """
+    A = np.asarray(mean_alloc, dtype=float)
+    g = np.asarray(gamma, dtype=float)
+    lhs = A * g[:, None]  # entry [i, j] = mu_ij * gamma_i
+    rhs = A.T * g[None, :]  # entry [i, j] = mu_ji * gamma_j
+    with np.errstate(invalid="ignore", divide="ignore"):
+        ratio = np.where((lhs > 0) & (rhs > 0), lhs / rhs, np.nan)
+    return ratio
+
+
+def convergence_time(
+    series: np.ndarray, target: float, tolerance: float = 0.1, hold: int = 50
+) -> int | None:
+    """First slot from which ``series`` stays within ``tolerance`` of ``target``.
+
+    The value must remain inside the band for at least ``hold``
+    consecutive slots (and through the end of the series); returns
+    ``None`` if it never settles.  This quantifies the "quickly
+    converges" claim of Fig. 5(a).
+    """
+    s = np.asarray(series, dtype=float)
+    if target == 0:
+        inside = np.abs(s) <= tolerance
+    else:
+        inside = np.abs(s - target) <= tolerance * abs(target)
+    if not inside[-1]:
+        return None
+    # Last index where the series was outside the band.
+    outside = np.nonzero(~inside)[0]
+    start = int(outside[-1]) + 1 if outside.size else 0
+    if len(s) - start < hold:
+        return None
+    return start
+
+
+def cooperation_gain(
+    rates: np.ndarray, capacity: np.ndarray, requesting: np.ndarray
+) -> np.ndarray:
+    """Per-user average download gain over isolation while requesting.
+
+    ``rates`` is ``(T, n)`` user download rates, ``capacity`` is the
+    ``(T, n)`` (or ``(n,)``) upload capacity of each user's own peer,
+    and ``requesting`` the boolean ``(T, n)`` demand matrix.  In
+    isolation a requesting user would get exactly its own peer's
+    capacity, so the gain is ``rate - capacity`` averaged over
+    requesting slots — the shaded regions of Figs. 6 and 7.
+    """
+    rates = np.asarray(rates, dtype=float)
+    requesting = np.asarray(requesting, dtype=bool)
+    capacity = np.asarray(capacity, dtype=float)
+    if capacity.ndim == 1:
+        capacity = np.broadcast_to(capacity, rates.shape)
+    gains = np.zeros(rates.shape[1])
+    for j in range(rates.shape[1]):
+        mask = requesting[:, j]
+        if mask.any():
+            gains[j] = float((rates[mask, j] - capacity[mask, j]).mean())
+    return gains
+
+
+def running_average(series: np.ndarray, window: int = 10) -> np.ndarray:
+    """Trailing running average, the paper's smoothing for every graph
+    ("our graphs were smoothed with a running average of 10 seconds").
+
+    The first ``window - 1`` entries average what is available so the
+    output has the same length as the input.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    s = np.asarray(series, dtype=float)
+    if window == 1 or s.shape[0] <= 1:
+        return s.copy()
+    cumsum = np.cumsum(s, axis=0)
+    out = np.empty_like(s, dtype=float)
+    out[:window] = cumsum[:window] / np.arange(1, min(window, s.shape[0]) + 1).reshape(
+        -1, *([1] * (s.ndim - 1))
+    )
+    if s.shape[0] > window:
+        out[window:] = (cumsum[window:] - cumsum[:-window]) / window
+    return out

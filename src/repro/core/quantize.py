@@ -1,0 +1,66 @@
+"""Quantized bandwidth division — the §III-D fairness-dilution effect.
+
+The paper limits message size ``m`` because large messages "dilute our
+notion of fairness ... by introducing quantization errors when nodes
+divide up their upload bandwidth amongst requesting users": a peer that
+serves whole messages can only split its uplink in multiples of one
+message per reallocation period.  :class:`QuantizedAllocator` wraps any
+allocation rule and floors each share to a quantum, handing the
+left-over to the largest fractional remainders (largest-remainder
+apportionment, which keeps the total as close to capacity as quanta
+allow).  The ablation benchmark sweeps the quantum and measures the
+fairness cost, reproducing the design argument for the 1 MB / moderate
+``m`` operating point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .allocation import Allocator
+
+__all__ = ["QuantizedAllocator", "quantize_shares"]
+
+
+def quantize_shares(shares: np.ndarray, quantum: float) -> np.ndarray:
+    """Round non-negative shares down to quanta, re-assigning the
+    remainder one quantum at a time to the largest fractional parts.
+
+    The result sums to ``floor(sum(shares)/quantum) * quantum`` — no
+    share is invented, at most one quantum per recipient is moved.
+    """
+    if quantum <= 0:
+        raise ValueError(f"quantum must be positive, got {quantum}")
+    shares = np.asarray(shares, dtype=float)
+    if np.any(shares < 0):
+        raise ValueError("shares must be non-negative")
+    units = np.floor(shares / quantum).astype(int)
+    remainders = shares / quantum - units
+    spare = int(np.floor(shares.sum() / quantum)) - int(units.sum())
+    if spare > 0:
+        for idx in np.argsort(-remainders)[:spare]:
+            units[idx] += 1
+    return units.astype(float) * quantum
+
+
+class QuantizedAllocator(Allocator):
+    """Wrap an allocator so its output respects a message-size quantum.
+
+    ``quantum_kbps`` is the smallest bandwidth unit a peer can assign —
+    one message per reallocation period: ``message_wire_bits / slot``.
+    """
+
+    def __init__(self, inner: Allocator, quantum_kbps: float):
+        if quantum_kbps <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum_kbps}")
+        self.inner = inner
+        self.quantum_kbps = float(quantum_kbps)
+        self.name = f"quantized({inner.name}, {quantum_kbps:g} kbps)"
+
+    def allocate(self, index, capacity, requesting, ledger, declared, t):
+        raw = self.inner.allocate(index, capacity, requesting, ledger, declared, t)
+        raw = np.maximum(np.asarray(raw, dtype=float), 0.0)
+        return quantize_shares(raw, self.quantum_kbps)
+
+    def on_slot_end(self, t: int) -> None:
+        self.inner.on_slot_end(t)

@@ -1,0 +1,198 @@
+"""Numeric forms of the paper's analytical results (Section IV).
+
+Everything here takes *measured* simulation outputs (mean allocation
+matrices, capacities, demand probabilities) and evaluates the paper's
+bounds so experiments can assert them directly:
+
+* Theorem 1 (incentive to join/cooperate), in both its final form and
+  the intermediate Equation (12) form;
+* Corollary 1 (saturated-regime pairwise fairness);
+* the Equation (6) Jensen lower bound for the Equation (3) baseline;
+* the over-declaration gradient of Section IV-B (why Equation (3) is
+  gameable); and
+* the large-``n`` Gaussian approximation of the Equation (4) denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "theorem1_alpha",
+    "theorem1_bound",
+    "theorem1_bound_eq12",
+    "Theorem1Report",
+    "check_theorem1",
+    "corollary1_gap",
+    "eq6_lower_bound",
+    "overdeclaration_gradient",
+    "denominator_gaussian_stats",
+]
+
+
+def theorem1_alpha(mean_alloc: np.ndarray, gamma: np.ndarray) -> np.ndarray:
+    """The fractional portions ``alpha_il`` of Theorem 1.
+
+    ``alpha_il = mu_il / (mu_il + sum_{j != i} gamma_j mu_jl)`` where
+    ``mean_alloc[i, l]`` is the average bandwidth user ``l`` receives
+    from peer ``i``.  Row ``i`` gives user ``i``'s share of each other
+    user ``l``'s free bandwidth.
+    """
+    A = np.asarray(mean_alloc, dtype=float)
+    g = np.asarray(gamma, dtype=float)
+    n = A.shape[0]
+    alpha = np.zeros((n, n))
+    for i in range(n):
+        for l in range(n):
+            others = sum(g[j] * A[j, l] for j in range(n) if j != i)
+            denom = A[i, l] + others
+            alpha[i, l] = A[i, l] / denom if denom > 0 else 0.0
+    return alpha
+
+
+def theorem1_bound(
+    capacity: np.ndarray, gamma: np.ndarray, mean_alloc: np.ndarray
+) -> np.ndarray:
+    """Theorem 1's lower bound on each user's average download bandwidth.
+
+    ``bound_i = gamma_i mu_i + gamma_i sum_{l != i} alpha_il (1 - gamma_l) mu_l``
+
+    Note the ``mean_alloc`` convention: ``mean_alloc[i, l]`` is what user
+    ``l`` receives from peer ``i``; the ``alpha`` here describes how much
+    of user ``i``'s *contributions into* other peers comes back as
+    entitlement — see :func:`theorem1_alpha` with transposed roles.
+    """
+    mu = np.asarray(capacity, dtype=float)
+    g = np.asarray(gamma, dtype=float)
+    A = np.asarray(mean_alloc, dtype=float)
+    n = mu.shape[0]
+    # alpha_il in the theorem statement weighs user i's contribution to
+    # peer l against all users' (demand-weighted) contributions to peer l:
+    # alpha_il = mu_il / (mu_il + sum_{j != i} gamma_j mu_jl).
+    alpha = theorem1_alpha(A, g)
+    bound = np.empty(n)
+    for i in range(n):
+        extra = sum(
+            alpha[i, l] * (1.0 - g[l]) * mu[l] for l in range(n) if l != i
+        )
+        bound[i] = g[i] * mu[i] + g[i] * extra
+    return bound
+
+
+def theorem1_bound_eq12(
+    capacity: np.ndarray, gamma: np.ndarray, mean_alloc: np.ndarray
+) -> np.ndarray:
+    """The intermediate Equation (12) bound, checkable without ``alpha``.
+
+    ``mu_bar_i >= gamma_i mu_i + sum_{l != i} (1 - gamma_l) mu_bar_li``
+
+    where ``mu_bar_li = mean_alloc[l, i]`` is what user ``i`` receives
+    from peer ``l`` on average.  This uses only measured quantities, so
+    it is the tightest *directly verifiable* form.
+    """
+    mu = np.asarray(capacity, dtype=float)
+    g = np.asarray(gamma, dtype=float)
+    A = np.asarray(mean_alloc, dtype=float)
+    n = mu.shape[0]
+    bound = np.empty(n)
+    for i in range(n):
+        extra = sum((1.0 - g[l]) * A[l, i] for l in range(n) if l != i)
+        bound[i] = g[i] * mu[i] + extra
+    return bound
+
+
+@dataclass(frozen=True)
+class Theorem1Report:
+    """Measured vs bound for every user, plus satisfaction flags."""
+
+    measured: np.ndarray  # mu_bar_i, total average download bandwidth
+    bound: np.ndarray
+    slack: np.ndarray  # measured - bound (>= -tolerance means satisfied)
+
+    def satisfied(self, tolerance: float = 1e-9) -> bool:
+        return bool(np.all(self.slack >= -tolerance))
+
+
+def check_theorem1(
+    capacity: np.ndarray,
+    gamma: np.ndarray,
+    mean_alloc: np.ndarray,
+    form: str = "eq12",
+) -> Theorem1Report:
+    """Evaluate Theorem 1 against a measured mean allocation matrix.
+
+    ``form`` selects ``"eq12"`` (exactly verifiable) or ``"alpha"``
+    (the theorem's headline statement with measured ``alpha``).
+    """
+    A = np.asarray(mean_alloc, dtype=float)
+    measured = A.sum(axis=0)  # user i receives from all peers (column sums
+    # with the [from, to] convention: receives = sum over 'from' axis)
+    if form == "eq12":
+        bound = theorem1_bound_eq12(capacity, gamma, A)
+    elif form == "alpha":
+        bound = theorem1_bound(capacity, gamma, A)
+    else:
+        raise ValueError(f"unknown Theorem 1 form {form!r}")
+    return Theorem1Report(measured=measured, bound=bound, slack=measured - bound)
+
+
+def corollary1_gap(mean_alloc: np.ndarray) -> float:
+    """Corollary 1's pairwise fairness violation in the saturated regime.
+
+    Returns the largest relative gap ``|mu_ij - mu_ji| / mean`` over
+    pairs; asymptotically this tends to zero as ``gamma -> 1``.
+    """
+    from .fairness import max_pairwise_gap
+
+    return max_pairwise_gap(mean_alloc, relative=True)
+
+
+def eq6_lower_bound(capacity: np.ndarray, gamma: np.ndarray) -> np.ndarray:
+    """Equation (6): Jensen lower bound for the Equation (3) scheme.
+
+    ``E[sum_i mu_ij] >= gamma_j mu_j sum_i mu_i / (mu_j + sum_{l != j} gamma_l mu_l)``
+    """
+    mu = np.asarray(capacity, dtype=float)
+    g = np.asarray(gamma, dtype=float)
+    n = mu.shape[0]
+    total = mu.sum()
+    bound = np.empty(n)
+    for j in range(n):
+        others = sum(g[l] * mu[l] for l in range(n) if l != j)
+        bound[j] = g[j] * mu[j] * total / (mu[j] + others)
+    return bound
+
+
+def overdeclaration_gradient(
+    capacity: np.ndarray, gamma: np.ndarray, j: int, epsilon: float = 1e-6
+) -> float:
+    """Numerical ``d/d mu_j`` of user ``j``'s Equation (6) payoff.
+
+    Section IV-B observes this derivative is strictly positive — a
+    *declared* capacity buys bandwidth under Equation (3), so peers are
+    incentivised to lie.  Returns the (positive) gradient.
+    """
+    mu = np.asarray(capacity, dtype=float).copy()
+    base = eq6_lower_bound(mu, gamma)[j]
+    mu[j] += epsilon
+    bumped = eq6_lower_bound(mu, gamma)[j]
+    return (bumped - base) / epsilon
+
+
+def denominator_gaussian_stats(
+    capacity: np.ndarray, gamma: np.ndarray, j: int
+) -> tuple[float, float]:
+    """Mean and variance of ``sum_{l != j} mu_l I_l`` (Section IV-B).
+
+    For many small peers the sum is approximately Gaussian with mean
+    ``sum mu_l gamma_l`` and variance ``sum mu_l^2 gamma_l (1-gamma_l)``,
+    which is why the Jensen bound becomes asymptotically exact.
+    """
+    mu = np.asarray(capacity, dtype=float)
+    g = np.asarray(gamma, dtype=float)
+    mask = np.arange(mu.shape[0]) != j
+    mean = float((mu[mask] * g[mask]).sum())
+    var = float((mu[mask] ** 2 * g[mask] * (1.0 - g[mask])).sum())
+    return mean, var

@@ -1,0 +1,11 @@
+"""Content-location substrate: a Chord-style DHT and peer directory."""
+
+from .chord import ChordRing, DirectoryEntry, LookupResult, PeerDirectory, chord_id
+
+__all__ = [
+    "ChordRing",
+    "PeerDirectory",
+    "DirectoryEntry",
+    "LookupResult",
+    "chord_id",
+]

@@ -1,0 +1,269 @@
+"""A Chord-style distributed hash table for content location.
+
+The paper assumes an out-of-band way for a user to learn *which peers
+hold messages of a file* (Section II surveys the options: published
+lists a la BitTorrent, or DHTs — "various distributed hash table (DHT)
+based mechanisms such as Chord [25] ... provide the important
+functionality of locating shared content on P2P networks"; PAST uses
+exactly this pattern).  This module implements that substrate: a
+consistent-hashing ring with finger tables, O(log n) hop lookups,
+configurable successor-replication, and join/leave handling — simulated
+in process, with hop counts reported so experiments can check the
+routing bound.
+
+It deliberately models the *steady-state* protocol: finger tables are
+recomputed eagerly on membership change rather than via background
+stabilization rounds, which is the standard simplification for
+simulation studies (the lookup path lengths are identical).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["chord_id", "LookupResult", "ChordRing", "DirectoryEntry", "PeerDirectory"]
+
+
+def chord_id(key, bits: int = 32) -> int:
+    """Hash an arbitrary key onto the ``2**bits`` identifier circle."""
+    if isinstance(key, int):
+        material = key.to_bytes(16, "big", signed=False)
+    elif isinstance(key, str):
+        material = key.encode("utf-8")
+    else:
+        material = bytes(key)
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest, "big") % (1 << bits)
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of routing a key through the ring."""
+
+    key_id: int
+    owner: int  # node id responsible for the key
+    hops: int
+    path: tuple[int, ...]  # node ids visited, starting node first
+
+
+class ChordRing:
+    """An in-process Chord ring over abstract node ids.
+
+    ``bits`` sets the identifier-space size; nodes are placed either at
+    explicit ids or at ``chord_id(label)``.  Keys are owned by their
+    *successor*: the first node clockwise at-or-after the key id.
+    """
+
+    def __init__(self, bits: int = 32, replication: int = 1):
+        if bits < 3:
+            raise ValueError(f"identifier space too small: {bits} bits")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.bits = bits
+        self.space = 1 << bits
+        self.replication = replication
+        self._nodes: list[int] = []  # sorted node ids
+        self._labels: dict[int, object] = {}  # node id -> caller's label
+        self._fingers: dict[int, list[int]] = {}
+        #: per-node key/value storage (replicated to successors)
+        self._storage: dict[int, dict[int, object]] = {}
+
+    # -- membership -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_ids(self) -> list[int]:
+        return list(self._nodes)
+
+    def label_of(self, node_id: int):
+        return self._labels[node_id]
+
+    def join(self, label, node_id: int | None = None) -> int:
+        """Add a node; returns its ring id.
+
+        The id is derived from the label unless given explicitly; an
+        occupied id raises (caller should pick another label).
+        """
+        nid = chord_id(label, self.bits) if node_id is None else int(node_id)
+        if not 0 <= nid < self.space:
+            raise ValueError(f"node id {nid} outside the identifier space")
+        if nid in self._labels:
+            raise ValueError(f"node id {nid} already on the ring")
+        bisect.insort(self._nodes, nid)
+        self._labels[nid] = label
+        self._storage[nid] = {}
+        self._rebuild_fingers()
+        self._rebalance_keys()
+        return nid
+
+    def leave(self, node_id: int) -> None:
+        """Graceful departure: keys hand over to the successor."""
+        if node_id not in self._labels:
+            raise KeyError(f"node {node_id} not on the ring")
+        departing = self._storage.pop(node_id)
+        self._nodes.remove(node_id)
+        del self._labels[node_id]
+        del self._fingers[node_id]
+        if self._nodes:
+            self._rebuild_fingers()
+            # Hand the departed node's keys to their new owners.
+            for key_id, value in departing.items():
+                for owner in self._replica_owners(key_id):
+                    self._storage[owner][key_id] = value
+        self._rebalance_keys()
+
+    def fail(self, node_id: int) -> None:
+        """Abrupt failure: the node's storage is lost (replicas survive)."""
+        if node_id not in self._labels:
+            raise KeyError(f"node {node_id} not on the ring")
+        self._storage.pop(node_id)
+        self._nodes.remove(node_id)
+        del self._labels[node_id]
+        del self._fingers[node_id]
+        if self._nodes:
+            self._rebuild_fingers()
+
+    # -- routing ------------------------------------------------------------
+
+    def successor(self, key_id: int) -> int:
+        """The node responsible for ``key_id``."""
+        if not self._nodes:
+            raise RuntimeError("ring is empty")
+        idx = bisect.bisect_left(self._nodes, key_id % self.space)
+        return self._nodes[idx % len(self._nodes)]
+
+    def _replica_owners(self, key_id: int) -> list[int]:
+        """The ``replication`` successive nodes holding a key."""
+        if not self._nodes:
+            return []
+        idx = bisect.bisect_left(self._nodes, key_id % self.space)
+        count = min(self.replication, len(self._nodes))
+        return [self._nodes[(idx + r) % len(self._nodes)] for r in range(count)]
+
+    def _rebuild_fingers(self) -> None:
+        for nid in self._nodes:
+            self._fingers[nid] = [
+                self.successor((nid + (1 << i)) % self.space)
+                for i in range(self.bits)
+            ]
+
+    def _rebalance_keys(self) -> None:
+        """Re-home every stored key after membership changed."""
+        if not self._nodes:
+            return
+        everything: dict[int, object] = {}
+        for table in self._storage.values():
+            everything.update(table)
+        for table in self._storage.values():
+            table.clear()
+        for key_id, value in everything.items():
+            for owner in self._replica_owners(key_id):
+                self._storage[owner][key_id] = value
+
+    @staticmethod
+    def _in_open_interval(x: int, a: int, b: int, space: int) -> bool:
+        """Whether ``x`` lies in the circular open interval ``(a, b)``."""
+        x, a, b = x % space, a % space, b % space
+        if a == b:
+            return x != a  # full circle minus the endpoint
+        if a < b:
+            return a < x < b
+        return x > a or x < b
+
+    def lookup(self, key, start: int | None = None) -> LookupResult:
+        """Route ``key`` from ``start`` using finger tables.
+
+        Implements the classic ``closest_preceding_finger`` walk; the
+        hop count is what the Chord theorem bounds by ``O(log n)`` w.h.p.
+        """
+        if not self._nodes:
+            raise RuntimeError("ring is empty")
+        key_id = key if isinstance(key, int) and 0 <= key < self.space else chord_id(
+            key, self.bits
+        )
+        current = start if start is not None else self._nodes[0]
+        if current not in self._labels:
+            raise KeyError(f"start node {current} not on the ring")
+        owner = self.successor(key_id)
+        path = [current]
+        hops = 0
+        # Walk until the key lies between current and its successor.
+        while current != owner:
+            fingers = self._fingers[current]
+            # closest finger preceding key_id
+            nxt = None
+            for f in reversed(fingers):
+                if f != current and self._in_open_interval(
+                    f, current, key_id, self.space
+                ):
+                    nxt = f
+                    break
+            if nxt is None or nxt == current:
+                nxt = self.successor((current + 1) % self.space)
+            current = nxt
+            path.append(current)
+            hops += 1
+            if hops > 4 * self.bits:  # safety net; must never trigger
+                raise RuntimeError("lookup failed to converge")
+        return LookupResult(key_id=key_id, owner=owner, hops=hops, path=tuple(path))
+
+    # -- storage --------------------------------------------------------------
+
+    def store(self, key, value, start: int | None = None) -> LookupResult:
+        """Route to the owner and store (with successor replication)."""
+        result = self.lookup(key, start=start)
+        for owner in self._replica_owners(result.key_id):
+            self._storage[owner][result.key_id] = value
+        return result
+
+    def get(self, key, start: int | None = None):
+        """Route to the owner and fetch; returns ``(value, LookupResult)``.
+
+        Falls back to replicas if the primary lost the key (post-failure,
+        before re-replication).
+        """
+        result = self.lookup(key, start=start)
+        for owner in self._replica_owners(result.key_id):
+            if result.key_id in self._storage[owner]:
+                return self._storage[owner][result.key_id], result
+        return None, result
+
+
+@dataclass(frozen=True)
+class DirectoryEntry:
+    """Which peers hold coded messages of one (chunk) file id."""
+
+    file_id: int
+    holders: tuple[int, ...]
+
+
+class PeerDirectory:
+    """Content-location service on a Chord ring (the PAST pattern).
+
+    Owners publish ``file_id -> holder peers`` records into the DHT at
+    initialization time; downloaders resolve a file id to the peer set
+    before opening sessions.  Returns hop counts so experiments can
+    account location cost.
+    """
+
+    def __init__(self, ring: ChordRing):
+        self.ring = ring
+
+    @staticmethod
+    def _key(file_id: int) -> str:
+        return f"file:{file_id:x}"
+
+    def publish(self, file_id: int, holders, start: int | None = None) -> LookupResult:
+        entry = DirectoryEntry(file_id=file_id, holders=tuple(holders))
+        return self.ring.store(self._key(file_id), entry, start=start)
+
+    def locate(self, file_id: int, start: int | None = None):
+        """Returns ``(holders tuple or None, LookupResult)``."""
+        value, result = self.ring.get(self._key(file_id), start=start)
+        if value is None:
+            return None, result
+        return value.holders, result

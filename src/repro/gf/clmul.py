@@ -1,0 +1,58 @@
+"""Generic ``GF(2^p)`` via carry-less multiplication, for any ``p <= 32``.
+
+This backend trades speed for generality: products are computed by the
+schoolbook shift-and-XOR method over ``uint64`` lanes followed by modular
+reduction, all vectorised across numpy arrays.  It serves two purposes:
+
+* fields outside the table (``p <= 16``) and tower (``p = 32``) fast
+  paths, and
+* an independent reference implementation used by the test suite to
+  cross-check the table fields element-by-element (both use an explicit
+  polynomial modulus, so results must agree exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .field import BinaryField, FieldError
+from .polynomials import DEFAULT_MODULI, find_irreducible
+
+__all__ = ["ClmulField"]
+
+
+class ClmulField(BinaryField):
+    """Shift-and-XOR ``GF(2^p)`` over numpy arrays (``1 <= p <= 32``)."""
+
+    MAX_P = 32
+
+    def __init__(self, p: int, modulus: int | None = None):
+        if not 1 <= p <= self.MAX_P:
+            raise FieldError(f"ClmulField supports 1 <= p <= {self.MAX_P}, got {p}")
+        if modulus is None:
+            modulus = DEFAULT_MODULI.get(p) or find_irreducible(p, primitive=True)
+        super().__init__(p, modulus)
+
+    def mul(self, a, b) -> np.ndarray:
+        a64 = self.asarray(a).astype(np.uint64)
+        b64 = self.asarray(b).astype(np.uint64)
+        a64, b64 = np.broadcast_arrays(a64, b64)
+        acc = np.zeros(a64.shape, dtype=np.uint64)
+        one = np.uint64(1)
+        # Carry-less (polynomial) product: up to 2p-1 bits wide.
+        for i in range(self.p):
+            bit = (b64 >> np.uint64(i)) & one
+            acc ^= (a64 << np.uint64(i)) * bit
+        # Reduce modulo the field polynomial, highest bit first.
+        mod = np.uint64(self.modulus)
+        for i in range(2 * self.p - 2, self.p - 1, -1):
+            bit = (acc >> np.uint64(i)) & one
+            acc ^= (mod << np.uint64(i - self.p)) * bit
+        return acc.astype(self.dtype)
+
+    def inv(self, a) -> np.ndarray:
+        a = self.asarray(a)
+        if np.any(a == 0):
+            raise FieldError("zero has no multiplicative inverse")
+        # a^(q-2) = a^-1 in the multiplicative group of order q-1.
+        return self.pow(a, self.q - 2)

@@ -1,0 +1,253 @@
+"""Binary extension fields ``GF(2^p)`` with vectorised numpy arithmetic.
+
+The paper's coding layer (Section III) works over ``F_q`` with
+``q = 2^p`` for ``p`` in ``{4, 8, 16, 32}`` (Tables I and II).  This
+module provides a common :class:`BinaryField` interface and the
+table-based implementation used for ``p <= 16``; the companion modules
+:mod:`repro.gf.tower` and :mod:`repro.gf.clmul` cover ``p = 32`` and the
+generic case.  Use the :func:`GF` factory to obtain a field.
+
+All element arrays are canonically ``numpy.uint32`` (every supported
+field fits), and addition is always XOR.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .polynomials import DEFAULT_MODULI, find_irreducible, poly_degree
+
+__all__ = ["BinaryField", "TableField", "GF", "FieldError"]
+
+DTYPE = np.uint32
+
+
+class FieldError(ValueError):
+    """Raised for invalid field constructions or operations (e.g. 1/0)."""
+
+
+class BinaryField:
+    """Interface for ``GF(2^p)`` arithmetic over numpy arrays.
+
+    Concrete subclasses implement :meth:`mul`, :meth:`inv` and
+    :meth:`pow`; everything else (addition, subtraction, division,
+    random elements, validation) is shared.  Methods broadcast like
+    numpy ufuncs and accept scalars or arrays.
+    """
+
+    def __init__(self, p: int, modulus: int):
+        if p < 1:
+            raise FieldError(f"field degree must be >= 1, got {p}")
+        if poly_degree(modulus) != p:
+            raise FieldError(
+                f"modulus degree {poly_degree(modulus)} does not match p={p}"
+            )
+        self.p = p
+        self.q = 1 << p
+        self.order = self.q  # number of field elements
+        self.modulus = modulus
+        self.dtype = DTYPE
+
+    # -- subclass responsibilities ------------------------------------
+
+    def mul(self, a, b) -> np.ndarray:
+        """Element-wise field product (broadcasts)."""
+        raise NotImplementedError
+
+    def inv(self, a) -> np.ndarray:
+        """Element-wise multiplicative inverse; raises on zero input."""
+        raise NotImplementedError
+
+    def pow(self, a, e: int) -> np.ndarray:
+        """Element-wise ``a**e`` for a non-negative integer exponent."""
+        base = self.asarray(a)
+        result = np.full_like(base, 1)
+        e = int(e)
+        if e < 0:
+            raise FieldError("negative exponents are not supported; use inv()")
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    # -- shared operations ---------------------------------------------
+
+    def asarray(self, a) -> np.ndarray:
+        """Coerce ``a`` to the canonical dtype, validating the range."""
+        arr = np.asarray(a, dtype=np.uint64)
+        if arr.size and int(arr.max()) >= self.q:
+            raise FieldError(
+                f"element {int(arr.max())} out of range for GF(2^{self.p})"
+            )
+        return arr.astype(self.dtype)
+
+    def add(self, a, b) -> np.ndarray:
+        """Field addition, which in characteristic 2 is XOR."""
+        return np.bitwise_xor(self.asarray(a), self.asarray(b))
+
+    # subtraction equals addition in characteristic 2
+    sub = add
+
+    def div(self, a, b) -> np.ndarray:
+        """Element-wise ``a / b``; raises :class:`FieldError` if ``b`` has zeros."""
+        return self.mul(a, self.inv(b))
+
+    def zeros(self, shape) -> np.ndarray:
+        return np.zeros(shape, dtype=self.dtype)
+
+    def ones(self, shape) -> np.ndarray:
+        return np.ones(shape, dtype=self.dtype)
+
+    def random(self, shape, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Uniform random field elements (for tests and simulations)."""
+        rng = rng if rng is not None else np.random.default_rng()
+        return rng.integers(0, self.q, size=shape, dtype=np.uint64).astype(self.dtype)
+
+    def random_nonzero(self, shape, rng: np.random.Generator | None = None) -> np.ndarray:
+        rng = rng if rng is not None else np.random.default_rng()
+        return rng.integers(1, self.q, size=shape, dtype=np.uint64).astype(self.dtype)
+
+    def dot(self, coeffs: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        """Linear combination ``sum_j coeffs[j] * vectors[j]`` over the field.
+
+        ``coeffs`` has shape ``(k,)`` and ``vectors`` shape ``(k, m)``;
+        the result has shape ``(m,)``.  This is the per-message encoding
+        operation of the paper's Equation (1).
+        """
+        coeffs = self.asarray(coeffs)
+        vectors = self.asarray(vectors)
+        if coeffs.ndim != 1 or vectors.ndim != 2 or coeffs.shape[0] != vectors.shape[0]:
+            raise FieldError(
+                f"shape mismatch for dot: {coeffs.shape} vs {vectors.shape}"
+            )
+        acc = self.zeros(vectors.shape[1])
+        for j in range(coeffs.shape[0]):
+            if coeffs[j]:
+                acc ^= self.mul(coeffs[j], vectors[j])
+        return acc
+
+    def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Matrix product over the field; ``A`` is ``(r, k)``, ``B`` is ``(k, m)``."""
+        A = self.asarray(A)
+        B = self.asarray(B)
+        if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+            raise FieldError(f"shape mismatch for matmul: {A.shape} x {B.shape}")
+        out = self.zeros((A.shape[0], B.shape[1]))
+        for j in range(A.shape[1]):
+            col = A[:, j]
+            nz = col != 0
+            if nz.any():
+                out[nz] ^= self.mul(col[nz, None], B[j][None, :])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(GF(2^{self.p}), modulus={self.modulus:#x})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, BinaryField)
+            and self.p == other.p
+            and self.modulus == other.modulus
+            and type(self) is type(other)
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.p, self.modulus))
+
+
+class TableField(BinaryField):
+    """``GF(2^p)`` for ``p <= 16`` using discrete log/antilog tables.
+
+    Construction verifies that the modulus is primitive by checking that
+    the exponentiation table enumerates all ``2^p - 1`` nonzero elements;
+    a non-primitive modulus fails loudly rather than producing a broken
+    multiplication.
+    """
+
+    MAX_P = 16
+
+    def __init__(self, p: int, modulus: int | None = None):
+        if p > self.MAX_P:
+            raise FieldError(
+                f"TableField supports p <= {self.MAX_P}; use GF({p}) for larger fields"
+            )
+        if modulus is None:
+            modulus = DEFAULT_MODULI.get(p) or find_irreducible(p, primitive=True)
+        super().__init__(p, modulus)
+        self._exp, self._log = self._build_tables()
+
+    def _build_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        q = self.q
+        exp = np.zeros(2 * (q - 1), dtype=self.dtype)
+        log = np.zeros(q, dtype=self.dtype)
+        x = 1
+        for i in range(q - 1):
+            if x == 0 or (i > 0 and x == 1):
+                raise FieldError(
+                    f"modulus {self.modulus:#x} is not primitive for GF(2^{self.p})"
+                )
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & q:
+                x ^= self.modulus
+        if x != 1:  # after q-1 steps the generator must cycle back to 1
+            raise FieldError(f"modulus {self.modulus:#x} is not primitive")
+        exp[q - 1 :] = exp[: q - 1]  # doubled table avoids a modulo reduction
+        return exp, log
+
+    def mul(self, a, b) -> np.ndarray:
+        a = self.asarray(a)
+        b = self.asarray(b)
+        prod = self._exp[self._log[a].astype(np.int64) + self._log[b].astype(np.int64)]
+        return np.where((a == 0) | (b == 0), self.zeros(()), prod)
+
+    def inv(self, a) -> np.ndarray:
+        a = self.asarray(a)
+        if np.any(a == 0):
+            raise FieldError("zero has no multiplicative inverse")
+        return self._exp[(self.q - 1) - self._log[a].astype(np.int64)]
+
+    def pow(self, a, e: int) -> np.ndarray:
+        # Faster than square-and-multiply: work in the exponent domain.
+        a = self.asarray(a)
+        e = int(e)
+        if e < 0:
+            raise FieldError("negative exponents are not supported; use inv()")
+        if e == 0:
+            return np.full_like(a, 1)
+        le = (self._log[a].astype(np.int64) * e) % (self.q - 1)
+        out = self._exp[le]
+        return np.where(a == 0, self.zeros(()), out)
+
+
+@lru_cache(maxsize=None)
+def GF(p: int, impl: str = "auto") -> BinaryField:
+    """Return the canonical ``GF(2^p)`` instance (cached).
+
+    ``impl`` selects the backend: ``"table"`` (``p <= 16``), ``"tower"``
+    (``p = 32``), ``"clmul"`` (any ``p <= 32``), or ``"auto"`` to pick
+    the fastest available.
+    """
+    from .clmul import ClmulField
+    from .tower import TowerField
+
+    if impl == "auto":
+        if p <= TableField.MAX_P:
+            return TableField(p)
+        if p == 32:
+            return TowerField()
+        return ClmulField(p)
+    if impl == "table":
+        return TableField(p)
+    if impl == "tower":
+        if p != 32:
+            raise FieldError("the tower implementation only supports p=32")
+        return TowerField()
+    if impl == "clmul":
+        return ClmulField(p)
+    raise FieldError(f"unknown field implementation {impl!r}")

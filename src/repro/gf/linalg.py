@@ -1,0 +1,176 @@
+"""Linear algebra over ``GF(2^p)``: elimination, rank, inverse, solve.
+
+The decoder of Section III-B multiplies received messages by the inverse
+of a ``k x k`` sub-matrix of the coefficient matrix ``beta``; the encoder
+"tests generated rows for linear independence" (Section III-A).  Both
+reduce to Gauss-Jordan elimination, implemented here with whole-matrix
+row updates so the inner loops stay in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .field import BinaryField, FieldError
+
+__all__ = [
+    "SingularMatrixError",
+    "row_reduce",
+    "rank",
+    "is_invertible",
+    "inv_matrix",
+    "solve",
+    "random_invertible",
+    "IncrementalRank",
+]
+
+
+class SingularMatrixError(FieldError):
+    """Raised when an inverse or solve is requested for a singular matrix."""
+
+
+def row_reduce(field: BinaryField, matrix: np.ndarray) -> tuple[np.ndarray, int]:
+    """Return the reduced row-echelon form of ``matrix`` and its rank.
+
+    The input is not modified.  Works for any rectangular shape.
+    """
+    A = field.asarray(matrix).copy()
+    if A.ndim != 2:
+        raise FieldError(f"expected a 2-D matrix, got shape {A.shape}")
+    rows, cols = A.shape
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        nonzero = np.nonzero(A[pivot_row:, col])[0]
+        if nonzero.size == 0:
+            continue
+        src = pivot_row + int(nonzero[0])
+        if src != pivot_row:
+            A[[pivot_row, src]] = A[[src, pivot_row]]
+        pivot = A[pivot_row, col]
+        if pivot != 1:
+            A[pivot_row] = field.mul(field.inv(pivot), A[pivot_row])
+        factors = A[:, col].copy()
+        factors[pivot_row] = 0
+        elim = factors != 0
+        if elim.any():
+            A[elim] ^= field.mul(factors[elim, None], A[pivot_row][None, :])
+        pivot_row += 1
+    return A, pivot_row
+
+
+def rank(field: BinaryField, matrix: np.ndarray) -> int:
+    """Rank of ``matrix`` over the field."""
+    _, r = row_reduce(field, matrix)
+    return r
+
+
+def is_invertible(field: BinaryField, matrix: np.ndarray) -> bool:
+    """Whether a square matrix has full rank over the field."""
+    A = field.asarray(matrix)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        return False
+    return rank(field, A) == A.shape[0]
+
+
+def inv_matrix(field: BinaryField, matrix: np.ndarray) -> np.ndarray:
+    """Inverse of a square matrix via Gauss-Jordan on ``[A | I]``.
+
+    Raises :class:`SingularMatrixError` when ``A`` is not invertible.
+    """
+    A = field.asarray(matrix)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise FieldError(f"matrix must be square, got shape {A.shape}")
+    n = A.shape[0]
+    identity = np.zeros((n, n), dtype=field.dtype)
+    identity[np.arange(n), np.arange(n)] = 1
+    augmented = np.concatenate([A, identity], axis=1)
+    reduced, r = row_reduce(field, augmented)
+    if r < n or np.any(reduced[:, :n] != identity):
+        raise SingularMatrixError(f"matrix of shape {A.shape} is singular")
+    return reduced[:, n:].copy()
+
+
+def solve(field: BinaryField, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve ``A @ X = B`` over the field for square invertible ``A``.
+
+    ``B`` may be a vector (``(n,)``) or a matrix (``(n, m)``); the result
+    matches its shape.  This is exactly the decoding step of the paper:
+    ``A`` is the coefficient sub-matrix, ``B`` the stacked payloads.
+    """
+    A = field.asarray(A)
+    B = field.asarray(B)
+    vector_rhs = B.ndim == 1
+    if vector_rhs:
+        B = B[:, None]
+    if A.ndim != 2 or A.shape[0] != A.shape[1] or A.shape[0] != B.shape[0]:
+        raise FieldError(f"shape mismatch for solve: {A.shape} vs {B.shape}")
+    n = A.shape[0]
+    augmented = np.concatenate([A, B], axis=1)
+    reduced, r = row_reduce(field, augmented)
+    identity = np.zeros((n, n), dtype=field.dtype)
+    identity[np.arange(n), np.arange(n)] = 1
+    if r < n or np.any(reduced[:, :n] != identity):
+        raise SingularMatrixError("coefficient matrix is singular")
+    X = reduced[:, n:]
+    return X[:, 0].copy() if vector_rhs else X.copy()
+
+
+def random_invertible(
+    field: BinaryField, n: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Sample a uniformly random matrix, retrying until invertible.
+
+    Over ``GF(q)`` a random square matrix is invertible with probability
+    ``prod_i (1 - q^-i) > 1 - 2/q``, so the expected retry count is tiny
+    for every field the paper considers.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    while True:
+        candidate = field.random((n, n), rng)
+        if is_invertible(field, candidate):
+            return candidate
+
+
+class IncrementalRank:
+    """Online Gaussian elimination for streaming decode.
+
+    Rows arrive one at a time (one per received message); each is reduced
+    against the rows already kept.  Dependent rows are rejected so the
+    consumer knows to fetch another message — this is how the downloader
+    detects that it has ``k`` *useful* messages (Section III-B) without
+    waiting for the transfer to end.
+    """
+
+    def __init__(self, field: BinaryField, width: int):
+        self.field = field
+        self.width = width
+        self._rows: list[np.ndarray] = []
+        self._pivots: list[int] = []
+
+    @property
+    def rank(self) -> int:
+        return len(self._rows)
+
+    def offer(self, row: np.ndarray) -> bool:
+        """Try to add ``row``; return ``True`` iff it increased the rank."""
+        field = self.field
+        r = field.asarray(row).copy()
+        if r.shape != (self.width,):
+            raise FieldError(f"expected a row of width {self.width}, got {r.shape}")
+        for kept, pivot in zip(self._rows, self._pivots):
+            if r[pivot]:
+                r ^= field.mul(r[pivot], kept)
+        nonzero = np.nonzero(r)[0]
+        if nonzero.size == 0:
+            return False
+        pivot = int(nonzero[0])
+        r = field.mul(field.inv(r[pivot]), r)
+        # Back-substitute into previously kept rows to keep them reduced.
+        for idx, kept in enumerate(self._rows):
+            if kept[pivot]:
+                self._rows[idx] = kept ^ field.mul(kept[pivot], r)
+        self._rows.append(r)
+        self._pivots.append(pivot)
+        return True

@@ -1,0 +1,171 @@
+"""Arithmetic for polynomials over GF(2), represented as Python integers.
+
+A polynomial ``a_d x^d + ... + a_1 x + a_0`` with coefficients in GF(2) is
+stored as the integer whose bit ``i`` is ``a_i``.  For example ``0x13`` is
+``x^4 + x + 1``.  These routines back the construction and *verification*
+of the field moduli used by :mod:`repro.gf`: rather than trusting hard
+coded constants, every modulus is checked for irreducibility (Rabin's
+test) and — where a multiplicative generator is required — primitivity.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = [
+    "poly_degree",
+    "poly_mul",
+    "poly_mod",
+    "poly_mulmod",
+    "poly_powmod_x",
+    "poly_gcd",
+    "is_irreducible",
+    "is_primitive",
+    "find_irreducible",
+    "prime_factors",
+    "DEFAULT_MODULI",
+]
+
+
+def poly_degree(a: int) -> int:
+    """Degree of ``a``; the zero polynomial has degree ``-1`` by convention."""
+    return a.bit_length() - 1
+
+
+def poly_mul(a: int, b: int) -> int:
+    """Carry-less product of two GF(2) polynomials."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly_mod(a: int, modulus: int) -> int:
+    """Remainder of ``a`` divided by ``modulus`` (``modulus`` must be nonzero)."""
+    if modulus == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    deg_m = poly_degree(modulus)
+    deg_a = poly_degree(a)
+    while deg_a >= deg_m:
+        a ^= modulus << (deg_a - deg_m)
+        deg_a = poly_degree(a)
+    return a
+
+
+def poly_mulmod(a: int, b: int, modulus: int) -> int:
+    """``a * b mod modulus`` over GF(2)."""
+    return poly_mod(poly_mul(a, b), modulus)
+
+
+def poly_powmod_x(exponent: int, modulus: int) -> int:
+    """Compute ``x**exponent mod modulus`` by square and multiply."""
+    result = 1
+    base = 2  # the polynomial ``x``
+    e = exponent
+    while e:
+        if e & 1:
+            result = poly_mulmod(result, base, modulus)
+        base = poly_mulmod(base, base, modulus)
+        e >>= 1
+    return result
+
+
+def poly_gcd(a: int, b: int) -> int:
+    """Greatest common divisor of two GF(2) polynomials."""
+    while b:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def prime_factors(n: int) -> list[int]:
+    """Distinct prime factors of ``n`` by trial division.
+
+    Sufficient for every ``2**p - 1`` with ``p <= 64`` that this library
+    uses (the search space is tiny compared to cryptographic factoring).
+    """
+    if n < 2:
+        return []
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def is_irreducible(f: int) -> bool:
+    """Rabin irreducibility test for a GF(2) polynomial ``f``.
+
+    ``f`` of degree ``n`` is irreducible iff ``x**(2**n) == x (mod f)``
+    and, for every prime divisor ``d`` of ``n``,
+    ``gcd(f, x**(2**(n/d)) - x)`` is constant.
+    """
+    n = poly_degree(f)
+    if n <= 0:
+        return False
+    if n == 1:
+        return True
+    if f & 1 == 0:  # divisible by x
+        return False
+    for d in prime_factors(n):
+        h = poly_powmod_x(1 << (n // d), f) ^ 2  # x^(2^(n/d)) + x
+        if poly_degree(poly_gcd(f, h)) > 0:
+            return False
+    return poly_powmod_x(1 << n, f) == 2  # x^(2^n) == x
+
+
+def is_primitive(f: int) -> bool:
+    """Whether ``x`` generates the multiplicative group of ``GF(2)[x]/(f)``.
+
+    Requires ``f`` irreducible of degree ``n``; checks that the order of
+    ``x`` is exactly ``2**n - 1``.
+    """
+    if not is_irreducible(f):
+        return False
+    n = poly_degree(f)
+    order = (1 << n) - 1
+    for r in prime_factors(order):
+        if poly_powmod_x(order // r, f) == 1:
+            return False
+    return True
+
+
+@lru_cache(maxsize=None)
+def find_irreducible(n: int, primitive: bool = False) -> int:
+    """Smallest irreducible (optionally primitive) degree-``n`` polynomial.
+
+    The search enumerates candidates with the top and bottom bits set in
+    increasing numeric order, so the result is deterministic.
+    """
+    if n < 1:
+        raise ValueError(f"degree must be positive, got {n}")
+    top = 1 << n
+    for low in range(1, top, 2):
+        f = top | low
+        if primitive:
+            if is_primitive(f):
+                return f
+        elif is_irreducible(f):
+            return f
+    raise AssertionError(f"no irreducible polynomial of degree {n} found")
+
+
+#: Conventional primitive moduli for the field sizes the paper uses.
+#: 0x13   = x^4 + x + 1                       (GF(2^4))
+#: 0x11D  = x^8 + x^4 + x^3 + x^2 + 1         (GF(2^8), Reed-Solomon field)
+#: 0x1100B = x^16 + x^12 + x^3 + x + 1        (GF(2^16))
+#: Each is verified primitive by the test suite; table construction also
+#: re-verifies by checking the exp table visits every nonzero element.
+DEFAULT_MODULI: dict[int, int] = {
+    4: 0x13,
+    8: 0x11D,
+    16: 0x1100B,
+}

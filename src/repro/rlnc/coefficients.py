@@ -1,0 +1,66 @@
+"""Keyed generation of the secret coefficient rows ``beta_i``.
+
+Section III-A: each ``beta_ij`` is drawn from a cryptographically strong
+generator "seeded with a cryptographic hash of i, and a secret key known
+only to the encoding peer".  The row for message ``i`` is therefore a
+pure function of ``(secret, file id, i)`` — the owner can regenerate it
+at decode time from the plaintext message-id, while peers storing the
+message cannot (Section III-C ties system security to this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gf import BinaryField
+from ..security.prng import KeyedStream, derive_key
+
+__all__ = ["CoefficientGenerator"]
+
+
+class CoefficientGenerator:
+    """Deterministic map ``message_id -> beta`` row over a field.
+
+    Parameters
+    ----------
+    field:
+        The ``GF(2^p)`` instance coefficients live in.
+    k:
+        Row width (number of source chunks).
+    secret:
+        The owner's secret key.
+    file_id:
+        Domain separator so different files of one owner get independent
+        coefficient streams.
+    """
+
+    def __init__(self, field: BinaryField, k: int, secret: bytes, file_id: int):
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        self.field = field
+        self.k = k
+        self.file_id = file_id
+        self._stream = KeyedStream(derive_key(secret, "rlnc-coefficients", file_id))
+        self._cache: dict[int, np.ndarray] = {}
+
+    def row(self, message_id: int) -> np.ndarray:
+        """The ``k``-wide coefficient row for ``message_id`` (cached).
+
+        The returned array is read-only; rows are the decryption key and
+        must never be mutated.
+        """
+        cached = self._cache.get(message_id)
+        if cached is None:
+            symbols = self._stream.symbols(message_id, self.k, self.field.p)
+            cached = self.field.asarray(symbols)
+            cached.flags.writeable = False
+            self._cache[message_id] = cached
+        return cached
+
+    def matrix(self, message_ids) -> np.ndarray:
+        """Stack rows for a sequence of ids into a ``len(ids) x k`` matrix."""
+        ids = list(message_ids)
+        out = np.empty((len(ids), self.k), dtype=self.field.dtype)
+        for r, mid in enumerate(ids):
+            out[r] = self.row(mid)
+        return out

@@ -1,0 +1,195 @@
+"""Decoding coded messages back into file bytes (Section III-B).
+
+Two decoders are provided:
+
+* :class:`BlockDecoder` — the paper's description taken literally:
+  collect ``k`` messages, regenerate the coefficient sub-matrix from the
+  plaintext message-ids, invert, multiply.
+* :class:`ProgressiveDecoder` — an online Gauss-Jordan variant that
+  consumes messages as they arrive from multiple peers in parallel,
+  detects useless (linearly dependent) messages immediately, rejects
+  messages failing digest authentication, and reports the instant the
+  file is decodable — which is when the user sends the stop-transmission
+  of Fig. 4(b).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from ..gf import GF, BinaryField, SingularMatrixError, solve
+from ..security.integrity import DigestStore
+from .coefficients import CoefficientGenerator
+from .message import EncodedMessage
+from .params import CodingParams
+from .symbols import symbols_to_bytes
+
+__all__ = ["BlockDecoder", "ProgressiveDecoder", "Offer", "DecodeError"]
+
+
+class DecodeError(Exception):
+    """Raised when decoding is impossible with the supplied messages."""
+
+
+class Offer(Enum):
+    """Outcome of offering one message to a :class:`ProgressiveDecoder`."""
+
+    ACCEPTED = "accepted"  # increased rank; progress was made
+    DEPENDENT = "dependent"  # authentic but linearly dependent; fetch another
+    REJECTED = "rejected"  # failed authentication or wrong file/shape
+    COMPLETE = "complete"  # rank was already k; message ignored
+
+
+class BlockDecoder:
+    """One-shot decode from a complete set of messages."""
+
+    def __init__(
+        self,
+        params: CodingParams,
+        coefficients: CoefficientGenerator,
+        field: BinaryField | None = None,
+    ):
+        self.params = params
+        self.field = field if field is not None else GF(params.p)
+        self.coefficients = coefficients
+
+    def decode(self, messages, length: int | None = None) -> bytes:
+        """Recover the file from at least ``k`` messages.
+
+        Uses the first ``k`` messages with distinct ids; raises
+        :class:`DecodeError` if fewer are supplied or the coefficient
+        sub-matrix is singular (caller should add another message).
+        """
+        k = self.params.k
+        unique: dict[int, EncodedMessage] = {}
+        for msg in messages:
+            if msg.file_id != self.coefficients.file_id:
+                raise DecodeError(
+                    f"message for file {msg.file_id:#x} offered to decoder for "
+                    f"file {self.coefficients.file_id:#x}"
+                )
+            unique.setdefault(msg.message_id, msg)
+            if len(unique) == k:
+                break
+        if len(unique) < k:
+            raise DecodeError(
+                f"need {k} distinct messages to decode, got {len(unique)}"
+            )
+        chosen = list(unique.values())
+        beta = self.coefficients.matrix(m.message_id for m in chosen)
+        payloads = np.stack([m.payload for m in chosen])
+        try:
+            source = solve(self.field, beta, payloads)
+        except SingularMatrixError as exc:
+            raise DecodeError(
+                "coefficient sub-matrix is singular; supply a different message"
+            ) from exc
+        data = symbols_to_bytes(source.reshape(-1), self.params.p)
+        return data[: length if length is not None else self.params.file_bytes]
+
+
+class ProgressiveDecoder:
+    """Streaming decoder with authentication and dependence detection.
+
+    Internally maintains reduced augmented rows ``[beta_row | payload]``
+    of width ``k + m``.  A row whose coefficient part reduces to zero is
+    *dependent* if its payload part also vanishes, and *corrupt* (it
+    contradicts the span of authentic rows) otherwise — the latter can
+    only happen when authentication is disabled or defeated, and is
+    still caught and rejected here.
+    """
+
+    def __init__(
+        self,
+        params: CodingParams,
+        coefficients: CoefficientGenerator,
+        digest_store: DigestStore | None = None,
+        field: BinaryField | None = None,
+    ):
+        self.params = params
+        self.field = field if field is not None else GF(params.p)
+        self.coefficients = coefficients
+        self.digest_store = digest_store
+        self._rows: list[np.ndarray] = []
+        self._pivots: list[int] = []
+        self._seen_ids: set[int] = set()
+        self.accepted = 0
+        self.dependent = 0
+        self.rejected = 0
+
+    @property
+    def rank(self) -> int:
+        return len(self._rows)
+
+    @property
+    def needed(self) -> int:
+        """How many more useful messages are required."""
+        return self.params.k - self.rank
+
+    @property
+    def is_complete(self) -> bool:
+        return self.rank >= self.params.k
+
+    def offer(self, message: EncodedMessage) -> Offer:
+        """Feed one received message; returns what happened to it."""
+        if self.is_complete:
+            return Offer.COMPLETE
+        if message.file_id != self.coefficients.file_id:
+            self.rejected += 1
+            return Offer.REJECTED
+        if message.m != self.params.m or message.p != self.params.p:
+            self.rejected += 1
+            return Offer.REJECTED
+        if message.message_id in self._seen_ids:
+            self.dependent += 1
+            return Offer.DEPENDENT
+        if self.digest_store is not None and not self.digest_store.verify(
+            message.file_id, message.message_id, message.payload_bytes()
+        ):
+            self.rejected += 1
+            return Offer.REJECTED
+
+        field = self.field
+        k = self.params.k
+        row = np.concatenate(
+            [self.coefficients.row(message.message_id), message.payload]
+        ).astype(field.dtype)
+        for kept, pivot in zip(self._rows, self._pivots):
+            if row[pivot]:
+                row ^= field.mul(row[pivot], kept)
+        coeff_part = row[:k]
+        nonzero = np.nonzero(coeff_part)[0]
+        if nonzero.size == 0:
+            self._seen_ids.add(message.message_id)
+            if np.any(row[k:]):
+                # Authentic rows can never contradict the span; this
+                # message was forged in a way the digests did not catch.
+                self.rejected += 1
+                return Offer.REJECTED
+            self.dependent += 1
+            return Offer.DEPENDENT
+        pivot = int(nonzero[0])
+        row = field.mul(field.inv(row[pivot]), row)
+        for idx, kept in enumerate(self._rows):
+            if kept[pivot]:
+                self._rows[idx] = kept ^ field.mul(kept[pivot], row)
+        self._rows.append(row)
+        self._pivots.append(pivot)
+        self._seen_ids.add(message.message_id)
+        self.accepted += 1
+        return Offer.COMPLETE if self.is_complete else Offer.ACCEPTED
+
+    def result(self, length: int | None = None) -> bytes:
+        """The decoded file bytes; valid once :attr:`is_complete`."""
+        if not self.is_complete:
+            raise DecodeError(
+                f"decode incomplete: rank {self.rank} of {self.params.k}"
+            )
+        k = self.params.k
+        source = np.empty((k, self.params.m), dtype=self.field.dtype)
+        for row, pivot in zip(self._rows, self._pivots):
+            source[pivot] = row[k:]
+        data = symbols_to_bytes(source.reshape(-1), self.params.p)
+        return data[: length if length is not None else self.params.file_bytes]

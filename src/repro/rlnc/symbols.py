@@ -1,0 +1,73 @@
+"""Packing between byte strings and ``F_q`` symbol arrays.
+
+The file representation step of Fig. 2 ("``F_q`` representation") and
+its inverse.  Symbols are big-endian within bytes so the mapping is
+endian-independent and round-trips exactly; the trailing partial symbol
+of a non-aligned file is zero-padded, with the true byte length carried
+out-of-band (in the manifest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bytes_to_symbols", "symbols_to_bytes", "reshape_file_matrix"]
+
+_WIDTH_DTYPE = {8: ">u1", 16: ">u2", 32: ">u4"}
+
+
+def bytes_to_symbols(data: bytes, p: int, count: int | None = None) -> np.ndarray:
+    """Interpret ``data`` as ``p``-bit symbols (zero-padded at the end).
+
+    ``count``, when given, fixes the output length (must be at least the
+    number of symbols ``data`` fills).
+    """
+    if p == 4:
+        raw = np.frombuffer(data, dtype=np.uint8)
+        out = np.empty(raw.size * 2, dtype=np.uint32)
+        out[0::2] = raw >> 4
+        out[1::2] = raw & 0x0F
+        symbols = out
+    elif p in _WIDTH_DTYPE:
+        width = p // 8
+        pad = (-len(data)) % width
+        if pad:
+            data = data + b"\x00" * pad
+        symbols = np.frombuffer(data, dtype=_WIDTH_DTYPE[p]).astype(np.uint32)
+    else:
+        raise ValueError(f"unsupported symbol width p={p}")
+    if count is None:
+        return symbols.copy()
+    if count < symbols.size:
+        raise ValueError(
+            f"data fills {symbols.size} symbols but only {count} requested"
+        )
+    out = np.zeros(count, dtype=np.uint32)
+    out[: symbols.size] = symbols
+    return out
+
+
+def symbols_to_bytes(symbols: np.ndarray, p: int, length: int | None = None) -> bytes:
+    """Inverse of :func:`bytes_to_symbols`; ``length`` trims padding."""
+    symbols = np.asarray(symbols, dtype=np.uint32)
+    if p == 4:
+        if symbols.size % 2:
+            symbols = np.concatenate([symbols, np.zeros(1, dtype=np.uint32)])
+        raw = ((symbols[0::2] << 4) | (symbols[1::2] & 0x0F)).astype(np.uint8)
+        data = raw.tobytes()
+    elif p in _WIDTH_DTYPE:
+        data = symbols.astype(_WIDTH_DTYPE[p]).tobytes()
+    else:
+        raise ValueError(f"unsupported symbol width p={p}")
+    return data[:length] if length is not None else data
+
+
+def reshape_file_matrix(data: bytes, p: int, k: int, m: int) -> np.ndarray:
+    """Build the ``k x m`` source matrix ``X`` of Equation (1).
+
+    Row ``j`` is chunk ``X_j``; the file is laid out row-major and the
+    tail padded with zero symbols.
+    """
+    total = k * m
+    flat = bytes_to_symbols(data, p, count=total)
+    return flat.reshape(k, m)

@@ -1,0 +1,140 @@
+"""Pure-Python RSA key material for the challenge-response handshake.
+
+Section III-B authenticates a downloading user to a serving peer "using
+a classic public-key challenge response system".  The paper does not fix
+a primitive, so we implement textbook RSA signatures over hashed
+challenges — enough to exercise the exact protocol code path.  Key sizes
+are configurable; tests use small keys for speed, and nothing in the
+protocol depends on the size.
+
+This module is a *substrate for the reproduction*, not a hardened
+cryptographic library: it implements the textbook algorithms faithfully
+(Miller-Rabin generation, hashed-message signatures) but skips padding
+schemes (OAEP/PSS) that a production deployment would add.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+__all__ = [
+    "PublicKey",
+    "PrivateKey",
+    "KeyPair",
+    "generate_keypair",
+    "is_probable_prime",
+]
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97,
+)
+
+
+def is_probable_prime(n: int, rounds: int = 40, rand=None) -> bool:
+    """Miller-Rabin primality test with ``rounds`` random witnesses."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rand = rand if rand is not None else secrets.SystemRandom()
+    for _ in range(rounds):
+        a = rand.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rand) -> int:
+    while True:
+        candidate = rand.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rand=rand):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public key ``(n, e)``; verifies signatures and encrypts."""
+
+    n: int
+    e: int
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        """Check a signature over ``SHA256(message)``."""
+        if not 0 < signature < self.n:
+            return False
+        digest = int.from_bytes(hashlib.sha256(message).digest(), "big") % self.n
+        return pow(signature, self.e, self.n) == digest
+
+    def encrypt(self, value: int) -> int:
+        if not 0 <= value < self.n:
+            raise ValueError("plaintext out of range for this modulus")
+        return pow(value, self.e, self.n)
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for logging and peer directories."""
+        material = self.n.to_bytes((self.n.bit_length() + 7) // 8, "big")
+        return hashlib.sha256(material).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """RSA private key ``(n, d)``; signs and decrypts."""
+
+    n: int
+    d: int
+
+    def sign(self, message: bytes) -> int:
+        digest = int.from_bytes(hashlib.sha256(message).digest(), "big") % self.n
+        return pow(digest, self.d, self.n)
+
+    def decrypt(self, value: int) -> int:
+        if not 0 <= value < self.n:
+            raise ValueError("ciphertext out of range for this modulus")
+        return pow(value, self.d, self.n)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    public: PublicKey
+    private: PrivateKey
+
+
+def generate_keypair(bits: int = 1024, seed: int | None = None) -> KeyPair:
+    """Generate an RSA key pair with modulus of roughly ``bits`` bits.
+
+    ``seed`` makes generation deterministic (tests and reproducible
+    simulations); production use leaves it ``None`` for OS entropy.
+    """
+    import random
+
+    if bits < 64:
+        raise ValueError(f"modulus too small to be meaningful: {bits} bits")
+    rand = random.Random(seed) if seed is not None else secrets.SystemRandom()
+    e = 65537
+    while True:
+        p = _random_prime(bits // 2, rand)
+        q = _random_prime(bits - bits // 2, rand)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        n = p * q
+        d = pow(e, -1, phi)
+        return KeyPair(PublicKey(n, e), PrivateKey(n, d))

@@ -1,0 +1,83 @@
+"""Discrete time-slotted P2P simulator (the Section V evaluation vehicle).
+
+Build a list of :class:`~repro.sim.peer.PeerConfig`, run a
+:class:`~repro.sim.engine.Simulation`, inspect the
+:class:`~repro.sim.metrics.SimulationResult`; or call one of the
+pre-built paper scenarios in :mod:`repro.sim.scenarios`.
+"""
+
+from .capacity import CapacityProfile, ConstantCapacity, StepCapacity, as_capacity
+from .demand import (
+    HOURS_PER_DAY,
+    SECONDS_PER_HOUR,
+    AlwaysOn,
+    BernoulliDemand,
+    DemandProcess,
+    DutyCycleDemand,
+    ManualDemand,
+    NeverRequests,
+    RandomHoursDemand,
+    ScheduleDemand,
+    as_demand,
+)
+from .dissemination import DisseminationReport, DisseminationSimulator, SeedingOrder
+from .engine import Simulation
+from .metrics import SimulationResult
+from .network import FileHandle, FileSharingNetwork, NetworkDownload
+from .peer import PeerConfig, PeerState
+from .traces import DiurnalDemand, FlashCrowdDemand, TraceDemand
+from .scenarios import (
+    FIG5A_CAPACITIES,
+    FIG5B_CAPACITIES,
+    FIG6_CAPACITIES,
+    bernoulli_network,
+    churn_network,
+    figure_5a,
+    figure_5b,
+    figure_6,
+    figure_7,
+    figure_8a,
+    figure_8b,
+)
+
+__all__ = [
+    "Simulation",
+    "SimulationResult",
+    "FileSharingNetwork",
+    "FileHandle",
+    "NetworkDownload",
+    "DisseminationSimulator",
+    "DisseminationReport",
+    "SeedingOrder",
+    "PeerConfig",
+    "PeerState",
+    "CapacityProfile",
+    "ConstantCapacity",
+    "StepCapacity",
+    "as_capacity",
+    "DemandProcess",
+    "BernoulliDemand",
+    "AlwaysOn",
+    "NeverRequests",
+    "ScheduleDemand",
+    "DutyCycleDemand",
+    "RandomHoursDemand",
+    "ManualDemand",
+    "TraceDemand",
+    "DiurnalDemand",
+    "FlashCrowdDemand",
+    "as_demand",
+    "SECONDS_PER_HOUR",
+    "HOURS_PER_DAY",
+    "figure_5a",
+    "figure_5b",
+    "figure_6",
+    "figure_7",
+    "figure_8a",
+    "figure_8b",
+    "bernoulli_network",
+    "churn_network",
+    "FIG5A_CAPACITIES",
+    "FIG5B_CAPACITIES",
+    "FIG6_CAPACITIES",
+]

@@ -1,0 +1,83 @@
+"""Upload capacity profiles ``mu_i(t)``, possibly time varying.
+
+The evaluation varies contribution over time: peer 1 of Fig. 7 "starts
+contributing after the first 3 hours", Fig. 8(a)'s peer 1 contributes
+from ``t = 1000``, and Fig. 8(b)'s peer drops from 1024 to 512 kbps and
+recovers.  :class:`StepCapacity` expresses all of these; a plain number
+is promoted to :class:`ConstantCapacity`.
+
+Units are kbps throughout the reproduction, matching the paper's plots.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from collections.abc import Iterable
+
+__all__ = ["CapacityProfile", "ConstantCapacity", "StepCapacity", "as_capacity"]
+
+
+class CapacityProfile(ABC):
+    """Upload capacity available to a peer at slot ``t``."""
+
+    @abstractmethod
+    def value(self, t: int) -> float:
+        """Capacity (kbps) during slot ``t``; must be non-negative."""
+
+    def mean(self, slots: int) -> float:
+        """Average capacity over the first ``slots`` slots."""
+        if slots < 1:
+            raise ValueError(f"slots must be positive, got {slots}")
+        return sum(self.value(t) for t in range(slots)) / slots
+
+
+class ConstantCapacity(CapacityProfile):
+    """Fixed capacity for all time."""
+
+    def __init__(self, kbps: float):
+        if kbps < 0:
+            raise ValueError(f"capacity cannot be negative, got {kbps}")
+        self.kbps = float(kbps)
+
+    def value(self, t: int) -> float:
+        return self.kbps
+
+    def mean(self, slots: int) -> float:
+        if slots < 1:
+            raise ValueError(f"slots must be positive, got {slots}")
+        return self.kbps
+
+
+class StepCapacity(CapacityProfile):
+    """Piecewise-constant capacity given as ``(start_slot, kbps)`` steps.
+
+    The value at ``t`` is the ``kbps`` of the last step whose start is
+    ``<= t``; slots before the first step have zero capacity (a peer
+    that has not yet joined contributes nothing).
+    """
+
+    def __init__(self, steps: Iterable[tuple[int, float]]):
+        ordered = sorted((int(s), float(v)) for s, v in steps)
+        if not ordered:
+            raise ValueError("need at least one step")
+        if any(v < 0 for _, v in ordered):
+            raise ValueError("capacity cannot be negative")
+        starts = [s for s, _ in ordered]
+        if len(set(starts)) != len(starts):
+            raise ValueError("step start slots must be distinct")
+        self._starts = starts
+        self._values = [v for _, v in ordered]
+
+    def value(self, t: int) -> float:
+        idx = bisect_right(self._starts, t) - 1
+        return self._values[idx] if idx >= 0 else 0.0
+
+
+def as_capacity(spec) -> CapacityProfile:
+    """Coerce a number or profile into a :class:`CapacityProfile`."""
+    if isinstance(spec, CapacityProfile):
+        return spec
+    if isinstance(spec, (int, float)):
+        return ConstantCapacity(float(spec))
+    raise TypeError(f"cannot interpret {spec!r} as a capacity profile")

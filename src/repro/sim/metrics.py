@@ -1,0 +1,109 @@
+"""Simulation outputs and derived measurements.
+
+:class:`SimulationResult` carries everything the figures and theory
+checks need: the ``(T, n)`` user download-rate matrix, the request
+indicators, realised capacities, and the time-average allocation matrix
+``mean_alloc[i, j] = (1/T) sum_t mu_ij(t)`` (the ``mu_bar_ij`` of
+Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.fairness import cooperation_gain, running_average
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Immutable record of one simulation run.
+
+    Attributes
+    ----------
+    rates:
+        ``(T, n)`` — download rate (kbps) each user enjoyed per slot.
+    requesting:
+        ``(T, n)`` boolean — the request indicators ``I(t)``.
+    capacities:
+        ``(T, n)`` — realised upload capacities ``mu_i(t)``.
+    mean_alloc:
+        ``(n, n)`` — time-average of ``mu_ij(t)`` with ``[from, to]``
+        indexing (peer ``i`` to user ``j``).
+    slot_seconds:
+        Wall-clock duration one slot represents.
+    alloc_history:
+        Optional ``(T, n, n)`` full allocation tensor (memory permitting).
+    labels:
+        Display names per peer.
+    """
+
+    rates: np.ndarray
+    requesting: np.ndarray
+    capacities: np.ndarray
+    mean_alloc: np.ndarray
+    slot_seconds: float = 1.0
+    alloc_history: np.ndarray | None = None
+    labels: tuple[str, ...] = ()
+
+    @property
+    def slots(self) -> int:
+        return int(self.rates.shape[0])
+
+    @property
+    def n(self) -> int:
+        return int(self.rates.shape[1])
+
+    def smoothed_rates(self, window: int = 10) -> np.ndarray:
+        """The paper's presentation: a 10-slot running average."""
+        return running_average(self.rates, window=window)
+
+    def empirical_gamma(self) -> np.ndarray:
+        """Measured request frequency per user."""
+        return self.requesting.mean(axis=0)
+
+    def mean_capacity(self) -> np.ndarray:
+        """Time-average upload capacity per peer."""
+        return self.capacities.mean(axis=0)
+
+    def mean_rate_while_requesting(self) -> np.ndarray:
+        """Average download rate per user over its requesting slots only."""
+        out = np.zeros(self.n)
+        for j in range(self.n):
+            mask = self.requesting[:, j]
+            if mask.any():
+                out[j] = float(self.rates[mask, j].mean())
+        return out
+
+    def mean_download_bandwidth(self) -> np.ndarray:
+        """The ``mu_bar_j`` of Theorem 1: time-average over *all* slots."""
+        return self.rates.mean(axis=0)
+
+    def isolation_baseline(self) -> np.ndarray:
+        """Average bandwidth each user would get operating alone.
+
+        In isolation a requesting user downloads at its own peer's
+        capacity, so the average is ``mean_t I_j(t) mu_j(t)`` — the
+        ``gamma_j mu_j`` of Section IV-A, using realised indicators and
+        capacities.
+        """
+        return (self.requesting * self.capacities).mean(axis=0)
+
+    def gains_over_isolation(self) -> np.ndarray:
+        """Per-user average rate gain over isolation while requesting
+        (the shaded regions of Figs. 6-7)."""
+        return cooperation_gain(self.rates, self.capacities, self.requesting)
+
+    def window_mean_rates(self, start: int, end: int) -> np.ndarray:
+        """Mean rates over a slot window (figure annotations)."""
+        if not 0 <= start < end <= self.slots:
+            raise ValueError(f"bad window [{start}, {end}) for {self.slots} slots")
+        return self.rates[start:end].mean(axis=0)
+
+    def label_of(self, index: int) -> str:
+        if self.labels and index < len(self.labels):
+            return self.labels[index]
+        return f"peer {index}"

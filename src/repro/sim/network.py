@@ -1,0 +1,609 @@
+"""Full-stack file-sharing network: coding + security + storage +
+allocation + transfer, wired together.
+
+This is the system of Fig. 4(a) end to end.  ``publish`` runs the
+initialization phase of Section III-A (encode, screen bundles, record
+digests, upload one bundle to every peer); ``download`` runs the access
+phase of Section III-B (authenticate to every peer, stream coded
+messages in parallel at Equation (2)-allocated rates, progressively
+decode, stop everyone when done).  Contention from other users is
+modelled with per-peer Bernoulli background demand so the allocation
+dynamics are genuinely exercised during a transfer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.allocation import Allocator
+from ..discovery.chord import ChordRing, PeerDirectory
+from ..rlnc.chunking import FileManifest, StreamingDecoder, split_chunks
+from ..rlnc.params import CodingParams
+from ..rlnc.update import UpdateResult, VersionedEncoder, VersionedManifest
+from ..security.integrity import DigestStore
+from ..security.keys import KeyPair, generate_keypair
+from ..security.prng import derive_key
+from ..storage.store import MessageStore
+from ..transfer.scheduler import DownloadReport, ParallelDownloader
+from ..transfer.session import DownloadSession, ServingSession
+from .demand import BernoulliDemand, DemandProcess, ManualDemand
+from .engine import Simulation
+from .peer import PeerConfig
+
+__all__ = ["FileSharingNetwork", "FileHandle", "NetworkDownload"]
+
+#: Small RSA keys keep scenario setup fast; the protocol is size-agnostic.
+_DEFAULT_KEY_BITS = 512
+
+#: A compact default coding configuration for simulations: the paper's
+#: field/``k`` recommendation scaled down so tests run in milliseconds
+#: (same ``k = 8`` as the running example, smaller messages).
+DEFAULT_SIM_PARAMS = CodingParams(p=16, m=512, file_bytes=8192)
+
+
+class _BoundEncoder:
+    """Adapter giving a :class:`StreamingDecoder` per-chunk coefficient
+    generators for a specific manifest version."""
+
+    def __init__(self, encoder: VersionedEncoder, vmanifest: VersionedManifest):
+        self._encoder = encoder
+        self._vmanifest = vmanifest
+
+    def coefficient_generator(self, index: int):
+        return self._encoder.coefficient_generator_for(self._vmanifest, index)
+
+
+@dataclass
+class FileHandle:
+    """Everything the network remembers about one published file.
+
+    Mutable on purpose: :meth:`FileSharingNetwork.publish_update`
+    advances ``vmanifest`` in place as the owner pushes new versions.
+    """
+
+    name: str
+    owner: int
+    vmanifest: VersionedManifest
+    params: CodingParams
+    wire_bytes: int
+    encoder: VersionedEncoder  # owner-side; holds the secret material
+    #: The plaintext stays on the owner's disk; kept here so the owner
+    #: can re-seed repaired peers (never exposed to other peers).
+    data: bytes = b""
+    #: Monotone counter giving repair bundles disjoint id ranges.
+    reseed_rounds: int = 0
+
+    @property
+    def manifest(self) -> FileManifest:
+        """Plain manifest view of the current version."""
+        return self.vmanifest.manifest()
+
+    @property
+    def version(self) -> int:
+        return self.vmanifest.version
+
+    @property
+    def n_chunks(self) -> int:
+        return self.vmanifest.n_chunks
+
+    def bound_encoder(self) -> _BoundEncoder:
+        return _BoundEncoder(self.encoder, self.vmanifest)
+
+
+@dataclass(frozen=True)
+class NetworkDownload:
+    """Result of a full-stack download."""
+
+    data: bytes
+    reports: tuple[DownloadReport, ...]  # one per chunk
+    slots: int
+
+    @property
+    def complete(self) -> bool:
+        return all(r.complete for r in self.reports)
+
+    @property
+    def bytes_received(self) -> float:
+        return sum(r.bytes_received for r in self.reports)
+
+    def mean_rate_kbps(self, slot_seconds: float = 1.0) -> float:
+        if self.slots == 0:
+            return 0.0
+        return self.bytes_received * 8.0 / 1000.0 / (self.slots * slot_seconds)
+
+
+class FileSharingNetwork:
+    """An ``n``-peer network with the complete protocol stack.
+
+    Parameters
+    ----------
+    capacities_kbps:
+        Upload capacity per peer (the asymmetric-link bottleneck).
+    params:
+        Coding configuration for published files.
+    seed:
+        Master seed for keys, secrets and background demand.
+    allocators:
+        Optional per-peer strategy overrides (adversaries plug in here).
+    background_gamma:
+        Request probability of every *other* user while a download runs,
+        creating allocation contention; 0 disables contention.
+    """
+
+    def __init__(
+        self,
+        capacities_kbps,
+        params: CodingParams = DEFAULT_SIM_PARAMS,
+        seed: int = 0,
+        allocators: dict[int, Allocator] | None = None,
+        background_gamma: float = 0.0,
+        key_bits: int = _DEFAULT_KEY_BITS,
+        use_discovery: bool = False,
+    ):
+        self.capacities = [float(c) for c in capacities_kbps]
+        self.n = len(self.capacities)
+        if self.n < 1:
+            raise ValueError("a network needs at least one peer")
+        self.params = params
+        self.seed = seed
+        master = hashlib.sha256(f"network-{seed}".encode()).digest()
+        self.secrets = [derive_key(master, "peer-secret", i) for i in range(self.n)]
+        self.keypairs: list[KeyPair] = [
+            generate_keypair(bits=key_bits, seed=seed * 1009 + i)
+            for i in range(self.n)
+        ]
+        self.stores = [MessageStore() for _ in range(self.n)]
+        self.digest_stores = [DigestStore() for _ in range(self.n)]
+        self.registry: dict[str, FileHandle] = {}
+        # The embedded allocation simulation: every user idles (manual
+        # demand off) except while downloading; background users request
+        # with the configured probability.
+        self._manual = [ManualDemand(False) for _ in range(self.n)]
+        configs = []
+        for i in range(self.n):
+            demand = self._manual[i]
+            if background_gamma > 0:
+                demand = _EitherDemand(
+                    self._manual[i], BernoulliDemand(background_gamma)
+                )
+            cfg = PeerConfig(capacity=self.capacities[i], demand=demand)
+            if allocators and i in allocators:
+                cfg.allocator = allocators[i]
+            configs.append(cfg)
+        self._sim = Simulation(configs, seed=seed)
+        # Optional DHT-based content location (the Section II pattern):
+        # peers form a Chord ring; publish registers chunk holders and
+        # download resolves them instead of consulting the registry.
+        self.directory: PeerDirectory | None = None
+        if use_discovery:
+            ring = ChordRing(bits=32, replication=min(3, self.n))
+            for i in range(self.n):
+                ring.join(f"peer:{seed}:{i}")
+            self.directory = PeerDirectory(ring)
+        self.lookup_hops = 0  # cumulative DHT routing hops observed
+
+    # -- initialization phase (Section III-A) ---------------------------
+
+    def publish(
+        self, owner: int, name: str, data: bytes, message_limit: int | None = None
+    ) -> FileHandle:
+        """Encode ``data`` and distribute one bundle to every peer.
+
+        ``message_limit`` stores only ``k' < k`` messages per chunk at
+        each peer (the space-saving mode of Section III-D).
+        """
+        self._check_peer(owner)
+        if name in self.registry:
+            raise ValueError(f"file name {name!r} already published")
+        base_file_id = int.from_bytes(
+            hashlib.sha256(f"{owner}:{name}".encode()).digest()[:8], "big"
+        )
+        encoder = VersionedEncoder(self.params, self.secrets[owner], base_file_id)
+        vmanifest, encoded_chunks = encoder.publish(
+            data, n_peers=self.n, digest_store=self.digest_stores[owner]
+        )
+        wire = 0
+        for chunk in encoded_chunks:
+            for peer_index, bundle in enumerate(chunk.bundles):
+                self.stores[peer_index].add_messages(bundle, limit=message_limit)
+                wire += sum(m.wire_size() for m in bundle)
+        handle = FileHandle(
+            name=name,
+            owner=owner,
+            vmanifest=vmanifest,
+            params=self.params,
+            wire_bytes=wire,
+            encoder=encoder,
+            data=data,
+        )
+        self.registry[name] = handle
+        self._register_holders(vmanifest.chunk_ids)
+        return handle
+
+    def _register_holders(self, chunk_ids) -> None:
+        """Announce chunk holders in the DHT directory, if enabled."""
+        if self.directory is None:
+            return
+        for chunk_id in chunk_ids:
+            result = self.directory.publish(chunk_id, holders=range(self.n))
+            self.lookup_hops += result.hops
+
+    def publish_update(
+        self,
+        owner: int,
+        name: str,
+        new_data: bytes,
+        message_limit: int | None = None,
+    ) -> UpdateResult:
+        """Push a new version of a published file, re-seeding only the
+        chunks whose content changed (Section VI future work).
+
+        Peers drop their stale messages for replaced chunks and store
+        the replacement bundles; readers downloading afterwards get the
+        new version.
+        """
+        handle = self.registry.get(name)
+        if handle is None:
+            raise KeyError(f"no published file named {name!r}")
+        if handle.owner != owner:
+            raise PermissionError(
+                f"peer {owner} does not own {name!r} (owner is {handle.owner})"
+            )
+        result = handle.encoder.update(
+            handle.vmanifest,
+            new_data,
+            n_peers=self.n,
+            digest_store=self.digest_stores[owner],
+        )
+        for stale_id in result.stale_chunk_ids:
+            for store in self.stores:
+                store.drop_file(stale_id)
+        for encoded in result.reencoded.values():
+            for peer_index, bundle in enumerate(encoded.bundles):
+                self.stores[peer_index].add_messages(bundle, limit=message_limit)
+        handle.vmanifest = result.manifest
+        handle.wire_bytes += result.upload_bytes
+        handle.data = new_data
+        self._register_holders(
+            result.manifest.chunk_ids[i] for i in result.changed_chunks
+        )
+        return result
+
+    def drop_peer_data(self, peer: int, name: str | None = None) -> None:
+        """Simulate a peer losing its cache (disk failure / churn exit).
+
+        With ``name`` only that file's chunks are dropped; otherwise the
+        peer's entire store is wiped.
+        """
+        self._check_peer(peer)
+        if name is None:
+            for file_id in self.stores[peer].files():
+                self.stores[peer].drop_file(file_id)
+            return
+        handle = self.registry.get(name)
+        if handle is None:
+            raise KeyError(f"no published file named {name!r}")
+        for chunk_id in handle.manifest.chunk_ids:
+            self.stores[peer].drop_file(chunk_id)
+
+    def repair(
+        self, name: str, peer: int, message_limit: int | None = None
+    ) -> int:
+        """Re-seed ``peer`` with fresh bundles for every chunk it lost.
+
+        Coded messages are interchangeable, so the owner just generates
+        *new* independent bundles under unused ids (Section III's
+        geographic-robustness story made operational).  Returns the
+        number of messages stored.
+        """
+        handle = self.registry.get(name)
+        if handle is None:
+            raise KeyError(f"no published file named {name!r}")
+        self._check_peer(peer)
+        manifest = handle.vmanifest
+        handle.reseed_rounds += 1
+        start_id = 1_000_000 * handle.reseed_rounds
+        target = message_limit if message_limit is not None else self.params.k
+        stored = 0
+        chunks = split_chunks(handle.data, self.params.file_bytes)
+        for index, chunk_id in enumerate(manifest.chunk_ids):
+            if self.stores[peer].count(chunk_id) >= target:
+                continue
+            bundle = handle.encoder.reseed_bundle(
+                manifest,
+                chunks[index],
+                index,
+                start_id=start_id,
+                digest_store=self.digest_stores[handle.owner],
+            )
+            stored += self.stores[peer].add_messages(bundle, limit=message_limit)
+        return stored
+
+    def initialization_seconds(self, handle: FileHandle) -> float:
+        """How long the owner's upload link needs to seed the network.
+
+        The paper notes this phase runs opportunistically while idle and
+        can take long on a thin link (the file stays available directly
+        from the owner meanwhile).
+        """
+        kbps = self.capacities[handle.owner]
+        if kbps <= 0:
+            return float("inf")
+        return handle.wire_bytes * 8.0 / 1000.0 / kbps
+
+    # -- access phase (Section III-B) ------------------------------------
+
+    def download(
+        self,
+        user: int,
+        name: str,
+        max_slots: int = 1_000_000,
+        download_cap_kbps: float = float("inf"),
+        peers: list[int] | None = None,
+    ) -> NetworkDownload:
+        """Fetch a published file from the peer network for ``user``.
+
+        Chunks are downloaded in order (streaming); each chunk runs a
+        parallel download across ``peers`` (default: all peers holding
+        data, including the user's own home peer) at rates produced by
+        the live allocation simulation.
+        """
+        self._check_peer(user)
+        handle = self.registry.get(name)
+        if handle is None:
+            raise KeyError(f"no published file named {name!r}")
+        serving_peers = peers if peers is not None else list(range(self.n))
+        # Snapshot the current version's manifest for the whole download.
+        manifest = handle.manifest
+        # The downloader carries the digest slice for authentication.
+        user_digests = DigestStore()
+        for index, chunk_id in enumerate(manifest.chunk_ids):
+            user_digests.merge(
+                chunk_id, self.digest_stores[handle.owner].slice_for_file(chunk_id)
+            )
+        streaming = StreamingDecoder(manifest, handle.bound_encoder(), user_digests)
+
+        self._manual[user].requesting = True
+        reports: list[DownloadReport] = []
+        total_slots = 0
+        try:
+            for index, chunk_id in enumerate(manifest.chunk_ids):
+                chunk_peers = serving_peers
+                if peers is None and self.directory is not None:
+                    # Resolve holders through the DHT instead of assuming
+                    # global knowledge.
+                    holders, lookup = self.directory.locate(chunk_id)
+                    self.lookup_hops += lookup.hops
+                    if holders is not None:
+                        chunk_peers = [h for h in holders if 0 <= h < self.n]
+                sessions = []
+                for j in chunk_peers:
+                    serving = ServingSession(
+                        self.stores[j], self.keypairs[user].public
+                    )
+                    DownloadSession(self.keypairs[user]).handshake(serving, chunk_id)
+                    sessions.append(serving)
+                chunk_decoder = _ChunkView(streaming, chunk_id)
+                rate_fn = self._make_rate_fn(user, chunk_peers)
+                downloader = ParallelDownloader(
+                    sessions,
+                    chunk_decoder,
+                    rate_fn,
+                    download_cap_kbps=download_cap_kbps,
+                )
+                report = downloader.run(max_slots - total_slots, file_id=chunk_id)
+                reports.append(report)
+                total_slots += report.slots
+                if not report.complete:
+                    break
+        finally:
+            self._manual[user].requesting = False
+        data = streaming.result() if streaming.is_complete else b""
+        return NetworkDownload(data=data, reports=tuple(reports), slots=total_slots)
+
+    def _make_rate_fn(self, user: int, serving_peers: list[int]):
+        """Per-slot rates from the live allocation simulation.
+
+        The embedded :class:`~repro.sim.engine.Simulation` is stepped
+        exactly once per downloader slot (the downloader queries every
+        peer at the same ``t``); the allocation row toward ``user`` is
+        cached for the duration of the slot.
+        """
+        cache: dict[int, np.ndarray] = {}
+
+        def rate_fn(session_index: int, t: int) -> float:
+            if t not in cache:
+                cache.clear()
+                alloc, _, _ = self._sim.step()
+                cache[t] = alloc[:, user]
+            return float(cache[t][serving_peers[session_index]])
+
+        return rate_fn
+
+    def download_concurrently(
+        self,
+        requests,
+        max_slots: int = 1_000_000,
+        download_cap_kbps: float = float("inf"),
+    ) -> list[NetworkDownload]:
+        """Run several users' downloads simultaneously over one timeline.
+
+        ``requests`` is a sequence of distinct ``(user, file name)``
+        pairs.  All transfers share the same allocation slots, so each
+        peer genuinely splits its uplink among the concurrent
+        requesters by Equation (2) — this is the configuration in which
+        the pairwise-fairness results are visible in *actual transfers*
+        rather than only in the abstract simulator.  Returns one
+        :class:`NetworkDownload` per request, in order.
+        """
+        requests = list(requests)
+        users = [u for u, _ in requests]
+        if len(set(users)) != len(users):
+            raise ValueError("each user may run one concurrent download")
+
+        class _State:
+            pass
+
+        states: list[_State] = []
+        for user, name in requests:
+            self._check_peer(user)
+            handle = self.registry.get(name)
+            if handle is None:
+                raise KeyError(f"no published file named {name!r}")
+            manifest = handle.manifest
+            digests = DigestStore()
+            for chunk_id in manifest.chunk_ids:
+                digests.merge(
+                    chunk_id,
+                    self.digest_stores[handle.owner].slice_for_file(chunk_id),
+                )
+            st = _State()
+            st.user = user
+            st.manifest = manifest
+            st.streaming = StreamingDecoder(
+                manifest, handle.bound_encoder(), digests
+            )
+            st.chunk_index = 0
+            st.sessions = None
+            st.reports = []
+            st.chunk_slots = 0
+            st.chunk_bytes = [0.0] * self.n
+            st.delivered = st.rejected = st.dependent = 0
+            st.slots = 0
+            st.done = manifest.n_chunks == 0
+            states.append(st)
+            self._manual[user].requesting = True
+
+        try:
+            for _ in range(max_slots):
+                if all(st.done for st in states):
+                    break
+                alloc, _, _ = self._sim.step()
+                for st in states:
+                    if st.done:
+                        continue
+                    st.slots += 1
+                    st.chunk_slots += 1
+                    chunk_id = st.manifest.chunk_ids[st.chunk_index]
+                    if st.sessions is None:
+                        st.sessions = []
+                        for j in range(self.n):
+                            serving = ServingSession(
+                                self.stores[j], self.keypairs[st.user].public
+                            )
+                            DownloadSession(self.keypairs[st.user]).handshake(
+                                serving, chunk_id
+                            )
+                            st.sessions.append(serving)
+                    rates = alloc[:, st.user].copy()
+                    total = rates.sum()
+                    if total > download_cap_kbps > 0:
+                        rates *= download_cap_kbps / total
+                    chunk_view = _ChunkView(st.streaming, chunk_id)
+                    for j, session in enumerate(st.sessions):
+                        if not session.active or rates[j] <= 0:
+                            continue
+                        budget = rates[j] * 1000.0 / 8.0
+                        st.chunk_bytes[j] += budget
+                        for data in session.serve(budget):
+                            if chunk_view.is_complete:
+                                break
+                            outcome = st.streaming.offer(data.message)
+                            if outcome.name in ("ACCEPTED", "COMPLETE"):
+                                st.delivered += 1
+                            elif outcome.name == "DEPENDENT":
+                                st.dependent += 1
+                            else:
+                                st.rejected += 1
+                    if chunk_view.is_complete:
+                        from ..transfer.protocol import StopTransmission
+
+                        for session in st.sessions:
+                            session.stop(StopTransmission(file_id=chunk_id))
+                        st.reports.append(
+                            DownloadReport(
+                                complete=True,
+                                slots=st.chunk_slots,
+                                bytes_received=sum(st.chunk_bytes),
+                                messages_delivered=st.delivered,
+                                messages_rejected=st.rejected,
+                                messages_dependent=st.dependent,
+                                per_peer_bytes=tuple(st.chunk_bytes),
+                            )
+                        )
+                        st.chunk_slots = 0
+                        st.chunk_bytes = [0.0] * self.n
+                        st.delivered = st.rejected = st.dependent = 0
+                        st.sessions = None
+                        st.chunk_index += 1
+                        if st.chunk_index >= st.manifest.n_chunks:
+                            st.done = True
+                            self._manual[st.user].requesting = False
+        finally:
+            for st in states:
+                self._manual[st.user].requesting = False
+
+        results = []
+        for st in states:
+            if not st.done:
+                # Sentinel for the unfinished chunk so the aggregate
+                # NetworkDownload reads incomplete even when earlier
+                # chunks finished.
+                st.reports.append(
+                    DownloadReport(
+                        complete=False,
+                        slots=st.chunk_slots,
+                        bytes_received=sum(st.chunk_bytes),
+                        messages_delivered=st.delivered,
+                        messages_rejected=st.rejected,
+                        messages_dependent=st.dependent,
+                        per_peer_bytes=tuple(st.chunk_bytes),
+                    )
+                )
+            data = st.streaming.result() if st.streaming.is_complete else b""
+            results.append(
+                NetworkDownload(data=data, reports=tuple(st.reports), slots=st.slots)
+            )
+        return results
+
+    def ledger_of(self, peer: int):
+        """The live contribution ledger of ``peer`` (read-mostly)."""
+        self._check_peer(peer)
+        return self._sim.peers[peer].ledger
+
+    def _check_peer(self, index: int) -> None:
+        if not 0 <= index < self.n:
+            raise IndexError(f"peer index {index} out of range 0..{self.n - 1}")
+
+
+class _ChunkView:
+    """Adapter exposing one chunk of a streaming decoder as a decoder."""
+
+    def __init__(self, streaming: StreamingDecoder, chunk_id: int):
+        self._streaming = streaming
+        self._chunk_id = chunk_id
+
+    @property
+    def is_complete(self) -> bool:
+        index = self._streaming.manifest.chunk_ids.index(self._chunk_id)
+        return self._streaming.needed_for_chunk(index) == 0
+
+    def offer(self, message):
+        return self._streaming.offer(message)
+
+
+class _EitherDemand(DemandProcess):
+    """Requests when either the manual flag or the background process does."""
+
+    def __init__(self, manual: ManualDemand, background: BernoulliDemand):
+        self.manual = manual
+        self.background = background
+
+    def sample(self, t, rng) -> bool:
+        # Evaluate both so the background stream stays in sync regardless
+        # of the manual flag.
+        background = self.background.sample(t, rng)
+        return self.manual.sample(t, rng) or background

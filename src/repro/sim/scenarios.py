@@ -1,0 +1,261 @@
+"""The exact simulation scenarios of the paper's evaluation (Section V).
+
+Each function builds and runs one figure's experiment with the paper's
+parameters and returns the :class:`~repro.sim.metrics.SimulationResult`.
+The benchmark harness prints the same series the figures plot and
+asserts the qualitative claims; see ``benchmarks/`` and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.allocation import PeerwiseProportionalAllocator
+from ..core.baselines import GlobalProportionalAllocator, IsolationAllocator
+from .capacity import StepCapacity
+from .demand import (
+    SECONDS_PER_HOUR,
+    AlwaysOn,
+    BernoulliDemand,
+    RandomHoursDemand,
+    ScheduleDemand,
+)
+from .engine import Simulation
+from .metrics import SimulationResult
+from .peer import PeerConfig
+
+__all__ = [
+    "figure_5a",
+    "figure_5b",
+    "figure_6",
+    "figure_7",
+    "figure_8a",
+    "figure_8b",
+    "bernoulli_network",
+    "churn_network",
+    "FIG5A_CAPACITIES",
+    "FIG5B_CAPACITIES",
+    "FIG6_CAPACITIES",
+]
+
+#: Fig. 5(a): "ten users ... upload capacities ranging from 100kbps to 1000kbps".
+FIG5A_CAPACITIES = tuple(float(c) for c in range(100, 1001, 100))
+
+#: Fig. 5(b): "three peer network ... one peer's upload bandwidth dominates".
+FIG5B_CAPACITIES = (128.0, 256.0, 1024.0)
+
+#: Figs. 6-7: "mu0 = 256kbps, mu1 = 512kbps, mu2 = 1024kbps".
+FIG6_CAPACITIES = (256.0, 512.0, 1024.0)
+
+
+def figure_5a(slots: int = 3500, seed: int = 0) -> SimulationResult:
+    """Ten saturated users; rates converge to own upload capacities."""
+    configs = [
+        PeerConfig(capacity=c, demand=AlwaysOn(), label=f"U/L {int(c)} kbps")
+        for c in FIG5A_CAPACITIES
+    ]
+    return Simulation(configs, seed=seed).run(slots)
+
+
+def figure_5b(slots: int = 3500, seed: int = 0) -> SimulationResult:
+    """Three peers with one dominating contributor (128/256/1024 kbps).
+
+    Demonstrates fairness *without* the non-dominant condition of [16]:
+    1024 > 128 + 256, yet rates still converge to contributions.
+    """
+    configs = [
+        PeerConfig(capacity=c, demand=AlwaysOn(), label=f"U/L {int(c)} kbps")
+        for c in FIG5B_CAPACITIES
+    ]
+    return Simulation(configs, seed=seed).run(slots)
+
+
+def _day_scenario(
+    capacities,
+    seed: int,
+    slot_seconds: float,
+    capacity_overrides: dict[int, StepCapacity] | None = None,
+) -> Simulation:
+    """Common 3-peer, 24-hour home-video-streaming setup of Figs. 6-7."""
+    configs = []
+    for i, c in enumerate(capacities):
+        capacity = (capacity_overrides or {}).get(i, c)
+        configs.append(
+            PeerConfig(
+                capacity=capacity,
+                demand=RandomHoursDemand(
+                    hours_per_day=12, seed=seed * 101 + i, slot_seconds=slot_seconds
+                ),
+                label=f"Peer {i}",
+            )
+        )
+    return Simulation(configs, seed=seed, slot_seconds=slot_seconds)
+
+
+def figure_6(
+    seed: int = 0, slot_seconds: float = 10.0
+) -> SimulationResult:
+    """3 peers (256/512/1024 kbps) each streaming 12 random hours/day.
+
+    Every peer contributes around the clock; the result's
+    :meth:`~repro.sim.metrics.SimulationResult.gains_over_isolation`
+    quantifies the shaded gain regions of the figure.  ``slot_seconds``
+    coarsens the slotting (the paper uses 1 s; 10 s keeps the identical
+    fixed point at a tenth of the compute — see engine docs).
+    """
+    slots = int(24 * SECONDS_PER_HOUR / slot_seconds)
+    sim = _day_scenario(FIG6_CAPACITIES, seed, slot_seconds)
+    return sim.run(slots)
+
+
+def figure_7(
+    seed: int = 0, slot_seconds: float = 10.0
+) -> SimulationResult:
+    """Fig. 6's scenario, but peer 1 contributes only after hour 3.
+
+    Reproduces the freeride-window / penalty / penalty-decay sequence
+    discussed in Section V-A.
+    """
+    slots = int(24 * SECONDS_PER_HOUR / slot_seconds)
+    join_slot = int(3 * SECONDS_PER_HOUR / slot_seconds)
+    overrides = {
+        1: StepCapacity([(0, 0.0), (join_slot, FIG6_CAPACITIES[1])])
+    }
+    sim = _day_scenario(FIG6_CAPACITIES, seed, slot_seconds, overrides)
+    return sim.run(slots)
+
+
+def figure_8a(slots: int = 3500, n: int = 10, seed: int = 0) -> SimulationResult:
+    """Incentive to contribute while idle (Fig. 8(a)).
+
+    * peers 2..n-1: contribute from t=0, download from t=0;
+    * peer 0: contributes from t=0 but downloads only from t=1000;
+    * peer 1: contributes *and* downloads from t=1000.
+
+    Peer 0's banked credit buys it better service than peer 1 after
+    t=1000.
+    """
+    kbps = 1024.0
+    configs = [
+        PeerConfig(
+            capacity=kbps,
+            demand=ScheduleDemand([(1000, slots)]),
+            label="Peer 0 (early contributor)",
+        ),
+        PeerConfig(
+            capacity=StepCapacity([(0, 0.0), (1000, kbps)]),
+            demand=ScheduleDemand([(1000, slots)]),
+            label="Peer 1 (late joiner)",
+        ),
+    ]
+    configs += [
+        PeerConfig(capacity=kbps, demand=AlwaysOn(), label=f"Peer {i}")
+        for i in range(2, n)
+    ]
+    return Simulation(configs, seed=seed).run(slots)
+
+
+def figure_8b(slots: int = 10000, n: int = 10, seed: int = 0) -> SimulationResult:
+    """Adaptation to capacity dynamics (Fig. 8(b)).
+
+    Ten saturated peers at 1024 kbps; peer 0's upload drops to 512 kbps
+    at t=1000 and recovers at t=3000.
+    """
+    kbps = 1024.0
+    configs = [
+        PeerConfig(
+            capacity=StepCapacity([(0, kbps), (1000, kbps / 2), (3000, kbps)]),
+            demand=AlwaysOn(),
+            label="Peer 0 (drops)",
+        )
+    ]
+    configs += [
+        PeerConfig(capacity=kbps, demand=AlwaysOn(), label=f"Peer {i}")
+        for i in range(1, n)
+    ]
+    return Simulation(configs, seed=seed).run(slots)
+
+
+def churn_network(
+    n: int = 8,
+    kbps: float = 512.0,
+    gamma: float = 0.6,
+    churners: int | None = None,
+    slots: int = 20_000,
+    mean_session: int = 1500,
+    seed: int = 0,
+) -> SimulationResult:
+    """A dynamic network where some peers repeatedly leave and rejoin.
+
+    The paper's future work asks about "a dynamic real-time environment
+    ... tradeoffs between fairness and quick adaptation".  Here the
+    first ``churners`` peers alternate between online (full capacity)
+    and offline (zero capacity) sessions of geometric length around
+    ``mean_session`` slots; the rest are stable.  Departure while owing
+    credit and rejoining with stale ledgers are exactly the dynamics the
+    cumulative rule handles slowly — measured by the churn benchmarks.
+    """
+    if churners is None:
+        churners = n // 2
+    if not 0 <= churners <= n:
+        raise ValueError(f"churners must be within [0, {n}], got {churners}")
+    rng = np.random.default_rng(seed)
+    configs = []
+    for i in range(n):
+        if i < churners:
+            steps = []
+            t, online = 0, bool(rng.integers(0, 2))
+            while t < slots:
+                steps.append((t, kbps if online else 0.0))
+                t += int(rng.geometric(1.0 / mean_session))
+                online = not online
+            capacity: StepCapacity | float = StepCapacity(steps)
+            label = f"Peer {i} (churning)"
+        else:
+            capacity = kbps
+            label = f"Peer {i} (stable)"
+        configs.append(
+            PeerConfig(capacity=capacity, demand=BernoulliDemand(gamma), label=label)
+        )
+    return Simulation(configs, seed=seed).run(slots)
+
+
+def bernoulli_network(
+    capacities,
+    gammas,
+    slots: int = 5000,
+    seed: int = 0,
+    allocators=None,
+    declared=None,
+    forgetting: float = 1.0,
+    baseline: str | None = None,
+) -> SimulationResult:
+    """General Section IV-style network: Bernoulli demands, any strategies.
+
+    ``allocators`` maps peer index to an :class:`~repro.core.Allocator`
+    (default honest Equation (2) everywhere); ``baseline="global"`` or
+    ``"isolation"`` switches *all* unspecified peers to that rule;
+    ``declared`` maps peer index to a lied-about capacity.
+    """
+    capacities = [float(c) for c in capacities]
+    gammas = [float(g) for g in gammas]
+    if len(capacities) != len(gammas):
+        raise ValueError("capacities and gammas must align")
+    default_cls = {
+        None: PeerwiseProportionalAllocator,
+        "global": GlobalProportionalAllocator,
+        "isolation": IsolationAllocator,
+    }[baseline]
+    configs = []
+    for i, (c, g) in enumerate(zip(capacities, gammas)):
+        allocator = (allocators or {}).get(i) or default_cls()
+        configs.append(
+            PeerConfig(
+                capacity=c,
+                demand=BernoulliDemand(g),
+                allocator=allocator,
+                declared_capacity=(declared or {}).get(i),
+                forgetting=forgetting,
+            )
+        )
+    return Simulation(configs, seed=seed).run(slots)

@@ -1,0 +1,113 @@
+"""Trace-driven and time-varying demand processes.
+
+The Bernoulli and duty-cycle models of Section IV-A/V-A are stationary;
+real access patterns aren't.  These processes model the non-stationary
+workloads a deployed system would face — a diurnal cycle (evening-heavy
+home usage, exactly the population this system targets), a flash crowd,
+and exact replay of a recorded indicator trace — so experiments can
+check that the allocation dynamics track demand that actually moves.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .demand import HOURS_PER_DAY, SECONDS_PER_HOUR, DemandProcess
+
+__all__ = ["TraceDemand", "DiurnalDemand", "FlashCrowdDemand"]
+
+
+class TraceDemand(DemandProcess):
+    """Replay a recorded indicator sequence.
+
+    ``wrap`` controls behaviour past the end of the trace: repeat from
+    the start (default) or stay idle.
+    """
+
+    def __init__(self, indicators, wrap: bool = True):
+        self.indicators = np.asarray(indicators, dtype=bool)
+        if self.indicators.ndim != 1 or self.indicators.size == 0:
+            raise ValueError("trace must be a non-empty 1-D indicator sequence")
+        self.wrap = wrap
+
+    def sample(self, t: int, rng: np.random.Generator) -> bool:
+        if t >= self.indicators.size and not self.wrap:
+            return False
+        return bool(self.indicators[t % self.indicators.size])
+
+    @property
+    def gamma(self) -> float:
+        return float(self.indicators.mean())
+
+
+class DiurnalDemand(DemandProcess):
+    """Sinusoidal day/night demand.
+
+    The request probability oscillates between ``trough_gamma`` and
+    ``peak_gamma`` over a 24-hour period, peaking at ``peak_hour`` —
+    the classic residential evening peak.
+    """
+
+    def __init__(
+        self,
+        peak_gamma: float = 0.8,
+        trough_gamma: float = 0.1,
+        peak_hour: float = 20.0,
+        slot_seconds: float = 1.0,
+    ):
+        if not 0.0 <= trough_gamma <= peak_gamma <= 1.0:
+            raise ValueError(
+                f"need 0 <= trough <= peak <= 1, got {trough_gamma}, {peak_gamma}"
+            )
+        if slot_seconds <= 0:
+            raise ValueError(f"slot_seconds must be positive, got {slot_seconds}")
+        self.peak_gamma = float(peak_gamma)
+        self.trough_gamma = float(trough_gamma)
+        self.peak_hour = float(peak_hour) % HOURS_PER_DAY
+        self.slot_seconds = float(slot_seconds)
+
+    def gamma_at(self, t: int) -> float:
+        """Instantaneous request probability at slot ``t``."""
+        hour = (t * self.slot_seconds / SECONDS_PER_HOUR) % HOURS_PER_DAY
+        phase = 2.0 * math.pi * (hour - self.peak_hour) / HOURS_PER_DAY
+        mid = (self.peak_gamma + self.trough_gamma) / 2.0
+        amplitude = (self.peak_gamma - self.trough_gamma) / 2.0
+        return mid + amplitude * math.cos(phase)
+
+    def sample(self, t: int, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.gamma_at(t))
+
+    @property
+    def gamma(self) -> float:
+        return (self.peak_gamma + self.trough_gamma) / 2.0
+
+
+class FlashCrowdDemand(DemandProcess):
+    """Baseline demand with a surge window (a file suddenly popular)."""
+
+    def __init__(
+        self,
+        base_gamma: float = 0.1,
+        surge_gamma: float = 0.95,
+        surge_start: int = 0,
+        surge_end: int = 0,
+    ):
+        for name, g in (("base_gamma", base_gamma), ("surge_gamma", surge_gamma)):
+            if not 0.0 <= g <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {g}")
+        if surge_end < surge_start:
+            raise ValueError("surge window has negative length")
+        self.base_gamma = float(base_gamma)
+        self.surge_gamma = float(surge_gamma)
+        self.surge_start = int(surge_start)
+        self.surge_end = int(surge_end)
+
+    def gamma_at(self, t: int) -> float:
+        if self.surge_start <= t < self.surge_end:
+            return self.surge_gamma
+        return self.base_gamma
+
+    def sample(self, t: int, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.gamma_at(t))

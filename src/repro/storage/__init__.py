@@ -1,0 +1,5 @@
+"""Peer-side storage of pre-fabricated encoded messages (Fig. 3)."""
+
+from .store import MessageStore, ServingCursor, StorageError
+
+__all__ = ["MessageStore", "ServingCursor", "StorageError"]

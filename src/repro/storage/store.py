@@ -1,0 +1,151 @@
+"""Per-peer message storage with ``File-id.dat`` semantics (Fig. 3).
+
+A peer stores, for each file id, an ordered list of "pre-fabricated"
+encoded messages "that are transmitted from the peer serially to the
+downloading user".  Peers may conserve space by keeping only
+``k' < k`` messages (Section III-D); the serving cursor simply runs out
+earlier and the downloader makes up the deficit elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Sequence
+
+from ..rlnc.message import EncodedMessage
+
+__all__ = ["MessageStore", "ServingCursor", "StorageError"]
+
+
+class StorageError(Exception):
+    """Raised on storage misuse (unknown file, malformed .dat, ...)."""
+
+
+class ServingCursor:
+    """Serial reader over one peer's stored messages for one file.
+
+    A new cursor is created per download session; it yields each stored
+    message once, in storage order, exactly like a peer streaming its
+    ``File-id.dat`` from the start.
+    """
+
+    def __init__(self, messages: Sequence[EncodedMessage]):
+        self._messages = messages
+        self._next = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._messages) - self._next
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self._messages)
+
+    def peek(self) -> EncodedMessage | None:
+        if self.exhausted:
+            return None
+        return self._messages[self._next]
+
+    def advance(self) -> EncodedMessage:
+        if self.exhausted:
+            raise StorageError("cursor exhausted: peer has no more messages")
+        msg = self._messages[self._next]
+        self._next += 1
+        return msg
+
+
+class MessageStore:
+    """All encoded messages cached by one peer, grouped by file id."""
+
+    def __init__(self):
+        self._files: dict[int, list[EncodedMessage]] = {}
+
+    def add_messages(
+        self, messages: Iterable[EncodedMessage], limit: int | None = None
+    ) -> int:
+        """Store messages (appending per file); returns how many were kept.
+
+        ``limit`` caps the number of messages kept *per file in this
+        call* — the ``k' < k`` space-saving mode.
+        """
+        kept = 0
+        per_file: dict[int, int] = {}
+        for msg in messages:
+            taken = per_file.get(msg.file_id, 0)
+            if limit is not None and taken >= limit:
+                continue
+            self._files.setdefault(msg.file_id, []).append(msg)
+            per_file[msg.file_id] = taken + 1
+            kept += 1
+        return kept
+
+    def files(self) -> list[int]:
+        return sorted(self._files)
+
+    def has_file(self, file_id: int) -> bool:
+        return file_id in self._files
+
+    def count(self, file_id: int) -> int:
+        return len(self._files.get(file_id, ()))
+
+    def messages(self, file_id: int) -> list[EncodedMessage]:
+        if file_id not in self._files:
+            raise StorageError(f"no messages stored for file {file_id:#x}")
+        return list(self._files[file_id])
+
+    def open_cursor(self, file_id: int) -> ServingCursor:
+        """Start serial service of a file (one cursor per session)."""
+        if file_id not in self._files:
+            raise StorageError(f"no messages stored for file {file_id:#x}")
+        return ServingCursor(self._files[file_id])
+
+    def total_bytes(self) -> int:
+        """Disk footprint: sum of wire sizes of everything stored."""
+        return sum(
+            msg.wire_size() for msgs in self._files.values() for msg in msgs
+        )
+
+    def drop_file(self, file_id: int) -> None:
+        self._files.pop(file_id, None)
+
+    # -- File-id.dat persistence (Fig. 3) ------------------------------
+
+    def save_dat(self, directory: str) -> list[str]:
+        """Write one ``<file-id-hex>.dat`` per stored file; returns paths.
+
+        The .dat layout is the concatenation of wire messages, each a
+        16-byte header plus the fixed-size packed payload — exactly the
+        storage format of Fig. 3.
+        """
+        os.makedirs(directory, exist_ok=True)
+        paths = []
+        for file_id, msgs in sorted(self._files.items()):
+            path = os.path.join(directory, f"{file_id:016x}.dat")
+            with open(path, "wb") as fh:
+                for msg in msgs:
+                    fh.write(msg.to_bytes())
+            paths.append(path)
+        return paths
+
+    def load_dat(self, path: str, p: int, m: int) -> int:
+        """Load a ``.dat`` written by :meth:`save_dat`.
+
+        ``p`` and ``m`` fix the per-message payload size (they come from
+        the file's manifest); returns the number of messages loaded.
+        """
+        from ..rlnc.message import HEADER_BYTES
+
+        payload_bytes = (m * p + 7) // 8
+        record = HEADER_BYTES + payload_bytes
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        if len(blob) % record:
+            raise StorageError(
+                f"{path}: size {len(blob)} is not a multiple of record size {record}"
+            )
+        loaded = 0
+        for off in range(0, len(blob), record):
+            msg = EncodedMessage.from_bytes(blob[off : off + record], p=p)
+            self._files.setdefault(msg.file_id, []).append(msg)
+            loaded += 1
+        return loaded

@@ -1,0 +1,37 @@
+"""Transfer protocol: authenticated sessions and parallel downloads
+(the Fig. 4(b) time-line)."""
+
+from .protocol import (
+    AuthChallenge,
+    AuthResponse,
+    DataMessage,
+    FeedbackUpdate,
+    FileAccept,
+    FileRequest,
+    ProtocolError,
+    StopTransmission,
+)
+from .latency import LatencyModel
+from .scheduler import DownloadReport, ParallelDownloader, kbps_to_bytes
+from .session import DownloadSession, ServingSession
+from .wire import WireFormatError, decode_frame, encode_frame
+
+__all__ = [
+    "AuthChallenge",
+    "AuthResponse",
+    "FileRequest",
+    "FileAccept",
+    "DataMessage",
+    "StopTransmission",
+    "FeedbackUpdate",
+    "ProtocolError",
+    "ServingSession",
+    "DownloadSession",
+    "ParallelDownloader",
+    "DownloadReport",
+    "kbps_to_bytes",
+    "LatencyModel",
+    "encode_frame",
+    "decode_frame",
+    "WireFormatError",
+]

@@ -1,0 +1,57 @@
+"""Per-peer link latency for the transfer protocol.
+
+The paper's protocol (Fig. 4(b)) has latency-sensitive phases the
+slot-level model otherwise idealises away:
+
+* the challenge-response handshake plus file request costs two round
+  trips before the first data byte;
+* each data message rides half an RTT before the decoder sees it;
+* the stop transmission (step 5) takes half an RTT to reach each peer,
+  during which the peer keeps transmitting — bytes the paper's
+  "excessive fragmentation" discussion would count as overhead.
+
+:class:`LatencyModel` holds per-peer RTTs and converts the three phases
+into slot delays for :class:`~repro.transfer.scheduler.ParallelDownloader`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["LatencyModel"]
+
+#: Round trips spent before data flows: auth exchange + request/accept.
+HANDSHAKE_ROUND_TRIPS = 2
+
+
+class LatencyModel:
+    """Fixed per-peer round-trip times (seconds)."""
+
+    def __init__(self, rtts_seconds: Sequence[float], slot_seconds: float = 1.0):
+        if not rtts_seconds:
+            raise ValueError("need at least one peer RTT")
+        if any(r < 0 for r in rtts_seconds):
+            raise ValueError("RTTs cannot be negative")
+        if slot_seconds <= 0:
+            raise ValueError(f"slot_seconds must be positive, got {slot_seconds}")
+        self.rtts = [float(r) for r in rtts_seconds]
+        self.slot_seconds = float(slot_seconds)
+
+    def __len__(self) -> int:
+        return len(self.rtts)
+
+    def _slots(self, seconds: float) -> int:
+        return math.ceil(seconds / self.slot_seconds) if seconds > 0 else 0
+
+    def handshake_slots(self, peer: int) -> int:
+        """Slots before peer ``peer`` starts sending data."""
+        return self._slots(HANDSHAKE_ROUND_TRIPS * self.rtts[peer])
+
+    def delivery_slots(self, peer: int) -> int:
+        """Extra slots a completed message spends in flight."""
+        return self._slots(self.rtts[peer] / 2.0)
+
+    def stop_slots(self, peer: int) -> int:
+        """Slots the stop-transmission needs to reach peer ``peer``."""
+        return self._slots(self.rtts[peer] / 2.0)

@@ -1,0 +1,97 @@
+"""Wire-level protocol events of the download time-line (Fig. 4(b)).
+
+The numbered transmissions of the figure map to these event types:
+
+1. challenge-response authentication (``AuthChallenge``/``AuthResponse``)
+2-3. file request and acceptance (``FileRequest``/``FileAccept``)
+4. serial data messages (``DataMessage``)
+5. stop transmission when the user has decoded (``StopTransmission``)
+
+plus the out-of-band ``FeedbackUpdate`` the user periodically sends to
+its *own* peer "to let peer u make informed decisions on dividing its
+upload capacity among other users".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rlnc.message import EncodedMessage
+from ..security.auth import Challenge, ChallengeResponse
+
+__all__ = [
+    "AuthChallenge",
+    "AuthResponse",
+    "FileRequest",
+    "FileAccept",
+    "DataMessage",
+    "StopTransmission",
+    "FeedbackUpdate",
+    "ProtocolError",
+]
+
+
+class ProtocolError(Exception):
+    """Protocol violation: wrong state, unauthenticated request, etc."""
+
+
+@dataclass(frozen=True)
+class AuthChallenge:
+    """Step 1a: the serving peer challenges the user."""
+
+    challenge: Challenge
+
+
+@dataclass(frozen=True)
+class AuthResponse:
+    """Step 1b: the user's signed response."""
+
+    challenge: Challenge
+    response: ChallengeResponse
+
+
+@dataclass(frozen=True)
+class FileRequest:
+    """Steps 2-3: ask the peer to start streaming a file's messages."""
+
+    file_id: int
+
+
+@dataclass(frozen=True)
+class FileAccept:
+    """The peer's acknowledgement with how many messages it holds."""
+
+    file_id: int
+    available_messages: int
+
+
+@dataclass(frozen=True)
+class DataMessage:
+    """Step 4: one stored encoded message, forwarded verbatim."""
+
+    message: EncodedMessage
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.message.wire_size()
+
+
+@dataclass(frozen=True)
+class StopTransmission:
+    """Step 5: the user has decoded; stop sending."""
+
+    file_id: int
+
+
+@dataclass(frozen=True)
+class FeedbackUpdate:
+    """Periodic informational update from user ``u`` to its own peer.
+
+    Carries the bandwidth amounts the user received from each peer since
+    the previous update, so the home peer can credit its ledger even
+    though the user downloads at a remote location.  ``received[j]`` is
+    bandwidth-time (kbps x seconds) obtained from peer ``j``.
+    """
+
+    user: int
+    received: tuple[float, ...]

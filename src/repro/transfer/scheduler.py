@@ -1,0 +1,271 @@
+"""Parallel download orchestration: fill the download pipe from many peers.
+
+The user "would typically contact multiple peers and request encoded
+messages comprising the desired (encoded) file" and stop everyone once
+``k`` useful messages arrived.  :class:`ParallelDownloader` drives a set
+of authenticated serving sessions slot by slot: each slot a rate
+function says how many kbps every peer granted this user (in the full
+stack this is the Equation (2) allocation), bytes flow, completed
+messages feed the progressive decoder, and a stop transmission is
+issued the moment decoding completes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from ..rlnc.decoder import ProgressiveDecoder
+from .protocol import StopTransmission
+from .session import ServingSession
+
+__all__ = ["ParallelDownloader", "DownloadReport", "kbps_to_bytes"]
+
+
+def kbps_to_bytes(kbps: float, seconds: float = 1.0) -> float:
+    """Bytes carried by a ``kbps`` stream over ``seconds`` (1 kb = 1000 b)."""
+    return kbps * 1000.0 / 8.0 * seconds
+
+
+@dataclass(frozen=True)
+class DownloadReport:
+    """Outcome of one parallel download.
+
+    ``wasted_bytes`` counts bytes peers transmitted after decoding
+    completed but before the stop transmission reached them (nonzero
+    only under a latency model); ``first_data_slot`` is when the first
+    payload byte arrived (after handshakes).
+    """
+
+    complete: bool
+    slots: int
+    bytes_received: float
+    messages_delivered: int
+    messages_rejected: int
+    messages_dependent: int
+    per_peer_bytes: tuple[float, ...]
+    wasted_bytes: float = 0.0
+    first_data_slot: int | None = None
+
+    @property
+    def seconds(self) -> float:
+        return float(self.slots)
+
+    def effective_rate_kbps(self, slot_seconds: float = 1.0) -> float:
+        """Average goodput over the whole download."""
+        if self.slots == 0:
+            return 0.0
+        return self.bytes_received * 8.0 / 1000.0 / (self.slots * slot_seconds)
+
+
+class ParallelDownloader:
+    """Slot-stepped parallel download into a progressive decoder.
+
+    Parameters
+    ----------
+    sessions:
+        Authenticated, request-accepted serving sessions, one per peer.
+    decoder:
+        The user's :class:`~repro.rlnc.decoder.ProgressiveDecoder` (or a
+        :class:`~repro.rlnc.chunking.StreamingDecoder`-compatible object
+        exposing ``offer`` and ``is_complete``).
+    rate_fn:
+        ``rate_fn(peer_index, t) -> kbps`` granted to this user at slot
+        ``t`` — the hook where the allocation engine plugs in.
+    download_cap_kbps:
+        The user's download-link capacity ``lambda_d``; the paper assumes
+        it is not the bottleneck but the cap is enforced anyway (shares
+        are scaled down proportionally when the sum exceeds it).
+    slot_seconds:
+        Wall-clock length of one slot.
+    """
+
+    def __init__(
+        self,
+        sessions: Sequence[ServingSession],
+        decoder: ProgressiveDecoder,
+        rate_fn: Callable[[int, int], float],
+        download_cap_kbps: float = float("inf"),
+        slot_seconds: float = 1.0,
+        latency=None,
+    ):
+        if not sessions:
+            raise ValueError("need at least one serving session")
+        if slot_seconds <= 0:
+            raise ValueError(f"slot_seconds must be positive, got {slot_seconds}")
+        if latency is not None and len(latency) != len(sessions):
+            raise ValueError(
+                f"latency model covers {len(latency)} peers but there are "
+                f"{len(sessions)} sessions"
+            )
+        self.sessions = list(sessions)
+        self.decoder = decoder
+        self.rate_fn = rate_fn
+        self.download_cap_kbps = download_cap_kbps
+        self.slot_seconds = float(slot_seconds)
+        self.latency = latency
+
+    def run(self, max_slots: int, file_id: int | None = None) -> DownloadReport:
+        """Step until decode completes or ``max_slots`` elapse.
+
+        With a latency model, the run additionally models handshake
+        delay, in-flight message delay, and the stop-transmission lag
+        (bytes sent meanwhile are reported as ``wasted_bytes``).
+        """
+        if self.latency is not None:
+            return self._run_with_latency(max_slots, file_id)
+        per_peer = [0.0] * len(self.sessions)
+        delivered = rejected = dependent = 0
+        total_bytes = 0.0
+        slots = 0
+        for t in range(max_slots):
+            if self.decoder.is_complete:
+                break
+            rates = [self.rate_fn(i, t) for i in range(len(self.sessions))]
+            total = sum(rates)
+            if total > self.download_cap_kbps > 0:
+                scale = self.download_cap_kbps / total
+                rates = [r * scale for r in rates]
+            slots += 1
+            # All peers transmit concurrently within the slot, so every
+            # active session's budget flows even if an earlier session's
+            # messages already completed the decode; surplus messages
+            # are simply not offered (they were in flight regardless).
+            for i, (session, rate) in enumerate(zip(self.sessions, rates)):
+                if not session.active or rate <= 0:
+                    continue
+                budget = kbps_to_bytes(rate, self.slot_seconds)
+                per_peer[i] += budget
+                total_bytes += budget
+                for data in session.serve(budget):
+                    if self.decoder.is_complete:
+                        break  # already decodable; surplus is ignored
+                    outcome = self.decoder.offer(data.message)
+                    name = getattr(outcome, "name", str(outcome))
+                    if name in ("ACCEPTED", "COMPLETE"):
+                        delivered += 1
+                    elif name == "DEPENDENT":
+                        dependent += 1
+                    else:
+                        rejected += 1
+            if self.decoder.is_complete:
+                # Step 5: tell every peer to stop transmitting.
+                stop = StopTransmission(file_id=file_id if file_id is not None else -1)
+                for session in self.sessions:
+                    session.stop(stop)
+                break
+        return DownloadReport(
+            complete=self.decoder.is_complete,
+            slots=slots,
+            bytes_received=total_bytes,
+            messages_delivered=delivered,
+            messages_rejected=rejected,
+            messages_dependent=dependent,
+            per_peer_bytes=tuple(per_peer),
+        )
+
+    def _run_with_latency(
+        self, max_slots: int, file_id: int | None
+    ) -> DownloadReport:
+        """Latency-aware variant of :meth:`run`.
+
+        Sessions start serving only after their handshake round trips;
+        completed messages spend half an RTT in flight before reaching
+        the decoder; and after decoding completes, each peer keeps
+        transmitting until the stop message arrives — those bytes are
+        accounted separately as waste.
+        """
+        n = len(self.sessions)
+        per_peer = [0.0] * n
+        delivered = rejected = dependent = 0
+        total_bytes = 0.0
+        wasted = 0.0
+        first_data_slot = None
+        inflight: list[tuple[int, object]] = []  # (arrival slot, message)
+        complete_slot: int | None = None
+        stop_deadline = [None] * n  # slot at which peer i hears the stop
+        slots = 0
+
+        for t in range(max_slots):
+            slots += 1
+            # Deliver in-flight messages that have arrived.
+            still_flying = []
+            for arrival, message in inflight:
+                if arrival > t or self.decoder.is_complete:
+                    still_flying.append((arrival, message))
+                    continue
+                outcome = self.decoder.offer(message)
+                name = getattr(outcome, "name", str(outcome))
+                if name in ("ACCEPTED", "COMPLETE"):
+                    delivered += 1
+                elif name == "DEPENDENT":
+                    dependent += 1
+                else:
+                    rejected += 1
+            inflight = still_flying
+
+            if self.decoder.is_complete and complete_slot is None:
+                complete_slot = t
+                stop = StopTransmission(
+                    file_id=file_id if file_id is not None else -1
+                )
+                for i, session in enumerate(self.sessions):
+                    stop_deadline[i] = t + self.latency.stop_slots(i)
+
+            rates = [self.rate_fn(i, t) for i in range(n)]
+            total = sum(rates)
+            if total > self.download_cap_kbps > 0:
+                scale = self.download_cap_kbps / total
+                rates = [r * scale for r in rates]
+
+            everyone_stopped = complete_slot is not None
+            for i, (session, rate) in enumerate(zip(self.sessions, rates)):
+                if t < self.latency.handshake_slots(i):
+                    everyone_stopped = False
+                    continue
+                if complete_slot is not None:
+                    # Peer keeps sending until the stop arrives.
+                    if stop_deadline[i] is not None and t >= stop_deadline[i]:
+                        if session.active:
+                            session.stop(
+                                StopTransmission(
+                                    file_id=file_id if file_id is not None else -1
+                                )
+                            )
+                        continue
+                    if session.active and rate > 0:
+                        budget = kbps_to_bytes(rate, self.slot_seconds)
+                        wasted += budget
+                        session.serve(budget)
+                        everyone_stopped = False
+                    continue
+                if not session.active or rate <= 0:
+                    continue
+                budget = kbps_to_bytes(rate, self.slot_seconds)
+                per_peer[i] += budget
+                total_bytes += budget
+                if first_data_slot is None:
+                    first_data_slot = t
+                for data in session.serve(budget):
+                    inflight.append(
+                        (t + self.latency.delivery_slots(i), data.message)
+                    )
+            if complete_slot is not None and everyone_stopped and not inflight:
+                break
+            if (
+                complete_slot is not None
+                and all(d is not None and t >= d for d in stop_deadline)
+            ):
+                break
+
+        return DownloadReport(
+            complete=self.decoder.is_complete,
+            slots=slots,
+            bytes_received=total_bytes,
+            messages_delivered=delivered,
+            messages_rejected=rejected,
+            messages_dependent=dependent,
+            per_peer_bytes=tuple(per_peer),
+            wasted_bytes=wasted,
+            first_data_slot=first_data_slot,
+        )

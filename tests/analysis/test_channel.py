@@ -1,0 +1,89 @@
+"""Unit tests for the Fig. 1 channel asymmetry model."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    CABLE_MODEM,
+    DIALUP_MODEM,
+    MEDIA_EXAMPLES,
+    aggregate_download_seconds,
+    asymmetry_ratio,
+    figure1_series,
+    peers_needed,
+    transmission_seconds,
+)
+
+GB = 1 << 30
+
+
+class TestTransmissionTime:
+    def test_basic_arithmetic(self):
+        # 1000 bytes at 8 kbps = 8000 bits / 8000 bps = 1 s
+        assert transmission_seconds(1000, 8.0) == pytest.approx(1.0)
+
+    def test_zero_rate_infinite(self):
+        assert transmission_seconds(100, 0.0) == math.inf
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            transmission_seconds(-1, 10.0)
+
+    def test_paper_headline_numbers(self):
+        """~9 hours up, ~45 minutes down for the 1 GB video on cable."""
+        up_hours = transmission_seconds(GB, CABLE_MODEM.upload_kbps) / 3600
+        down_min = transmission_seconds(GB, CABLE_MODEM.download_kbps) / 60
+        assert 8.5 < up_hours < 10
+        assert 40 < down_min < 50
+
+    def test_paper_technology_parameters(self):
+        assert DIALUP_MODEM.upload_kbps == 28.0
+        assert DIALUP_MODEM.download_kbps == 56.0
+        assert CABLE_MODEM.upload_kbps == 256.0
+        assert CABLE_MODEM.download_kbps == 3000.0
+
+
+class TestFigure1Series:
+    def test_four_lines(self):
+        series = figure1_series([1 << 20, 1 << 30])
+        assert len(series) == 4
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_monotone_in_size(self):
+        series = figure1_series([1 << 20, 1 << 25, 1 << 30])
+        for values in series.values():
+            assert values[0] < values[1] < values[2]
+
+    def test_upload_slower_than_download(self):
+        series = figure1_series([1 << 30])
+        for tech in (DIALUP_MODEM, CABLE_MODEM):
+            up = series[f"{tech.name} upload @ {tech.upload_kbps:g} kbps"][0]
+            down = series[f"{tech.name} download @ {tech.download_kbps:g} kbps"][0]
+            assert up > down
+
+
+class TestAggregation:
+    def test_ratio_and_peers(self):
+        assert asymmetry_ratio(DIALUP_MODEM) == pytest.approx(2.0)
+        assert peers_needed(DIALUP_MODEM) == 2
+        assert peers_needed(CABLE_MODEM) == 12  # ceil(3000/256)
+
+    def test_aggregate_sums_uplinks(self):
+        t1 = aggregate_download_seconds(GB, [256.0], 3000.0)
+        t4 = aggregate_download_seconds(GB, [256.0] * 4, 3000.0)
+        assert t4 == pytest.approx(t1 / 4)
+
+    def test_downlink_caps(self):
+        capped = aggregate_download_seconds(GB, [256.0] * 100, 3000.0)
+        assert capped == pytest.approx(transmission_seconds(GB, 3000.0))
+
+
+class TestMediaExamples:
+    def test_video_is_one_gb_class(self):
+        video = next(m for m in MEDIA_EXAMPLES if "MPEG-2" in m.name)
+        assert video.size_bytes == GB
+
+    def test_sizes_ascending(self):
+        sizes = [m.size_bytes for m in MEDIA_EXAMPLES]
+        assert sizes == sorted(sizes)

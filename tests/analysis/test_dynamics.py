@@ -1,0 +1,105 @@
+"""Tests for the mean-field model of the allocation dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import mean_field_trajectory, predicted_convergence_slot
+from repro.sim import AlwaysOn, BernoulliDemand, PeerConfig, Simulation
+
+
+class TestExactnessUnderSaturation:
+    def test_matches_simulator_slot_for_slot(self):
+        """With gamma = 1 the engine is deterministic, so the mean-field
+        recursion must reproduce it exactly."""
+        caps = [100.0, 300.0, 600.0]
+        init = 1e-6
+        sim = Simulation(
+            [PeerConfig(capacity=c, demand=AlwaysOn()) for c in caps],
+            initial_credit=init,
+        )
+        simulated = sim.run(400)
+        predicted = mean_field_trajectory(caps, [1.0] * 3, 400, initial_credit=init)
+        assert np.allclose(predicted.rates, simulated.rates, rtol=1e-9, atol=1e-9)
+
+    def test_final_credits_match_ledgers(self):
+        caps = [128.0, 1024.0]
+        init = 1e-6
+        sim = Simulation(
+            [PeerConfig(capacity=c, demand=AlwaysOn()) for c in caps],
+            initial_credit=init,
+        )
+        sim.run(200)
+        predicted = mean_field_trajectory(caps, [1.0, 1.0], 200, initial_credit=init)
+        for i in range(2):
+            assert np.allclose(
+                predicted.credits[i], sim.peers[i].ledger.credits, rtol=1e-9
+            )
+
+    def test_fixed_point_is_capacity(self):
+        caps = [128.0, 256.0, 1024.0]  # dominant-peer case of Fig. 5(b)
+        traj = mean_field_trajectory(caps, [1.0] * 3, 4000)
+        assert np.allclose(traj.rates[-1], caps, rtol=0.01)
+
+
+class TestBernoulliApproximation:
+    def test_tracks_simulation_mean_rates(self):
+        caps = [200.0] * 10
+        gammas = [0.6] * 10
+        traj = mean_field_trajectory(caps, gammas, 4000)
+        sim = Simulation(
+            [PeerConfig(capacity=c, demand=BernoulliDemand(0.6)) for c in caps],
+            seed=5,
+        ).run(20_000)
+        predicted = traj.rates[-1]
+        measured = sim.mean_download_bandwidth()
+        # Homogeneous many-peer case: mean field within a few percent.
+        assert np.allclose(predicted, measured, rtol=0.06)
+
+    def test_idle_peers_boost_requesters(self):
+        # One user with gamma=1 among idle contributors should be
+        # predicted to capture everyone's capacity.
+        traj = mean_field_trajectory([100.0] * 4, [1.0, 0.0, 0.0, 0.0], 2000)
+        assert traj.rates[-1][0] == pytest.approx(400.0, rel=0.01)
+        assert np.allclose(traj.rates[-1][1:], 0.0)
+
+
+class TestForgetting:
+    def test_forgetting_preserves_fixed_point(self):
+        caps = [100.0, 500.0]
+        plain = mean_field_trajectory(caps, [1.0, 1.0], 3000, forgetting=1.0)
+        fading = mean_field_trajectory(caps, [1.0, 1.0], 3000, forgetting=0.99)
+        assert np.allclose(plain.rates[-1], fading.rates[-1], rtol=0.02)
+
+
+class TestPredictedConvergence:
+    def test_prediction_close_to_simulated(self):
+        from repro.core import convergence_time
+
+        caps = [100.0, 300.0, 600.0, 1000.0]
+        predicted = predicted_convergence_slot(caps, [1.0] * 4, tolerance=0.10)
+        assert predicted is not None
+        sim = Simulation(
+            [PeerConfig(capacity=c, demand=AlwaysOn()) for c in caps]
+        ).run(3000)
+        simulated = max(
+            convergence_time(sim.rates[:, i], caps[i], tolerance=0.10, hold=50)
+            for i in range(4)
+        )
+        # In saturation both are the same deterministic process.
+        assert abs(predicted - simulated) <= 2
+
+    def test_none_when_horizon_too_short(self):
+        out = predicted_convergence_slot(
+            [1.0, 1e9], [1.0, 1.0], tolerance=1e-9, max_slots=2
+        )
+        assert out is None
+
+
+class TestValidation:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            mean_field_trajectory([1.0], [1.0, 1.0], 10)
+        with pytest.raises(ValueError):
+            mean_field_trajectory([1.0], [1.0], 0)
+        with pytest.raises(ValueError):
+            mean_field_trajectory([1.0], [1.0], 10, forgetting=0.0)

@@ -1,0 +1,67 @@
+"""Tests for the storage-for-bandwidth economics of Section I."""
+
+import pytest
+
+from repro.analysis import CachingEconomics, storage_donated_bytes
+
+GB = 1 << 30
+
+
+class TestStorageDonated:
+    def test_counts_headers(self):
+        # 8 messages of (16 + 131072) bytes x 3 files
+        out = storage_donated_bytes(
+            file_bytes=1 << 20, k=8, message_bytes=131072, files_hosted=3
+        )
+        assert out == 3 * 8 * (16 + 131072)
+
+
+class TestCachingEconomics:
+    @pytest.fixture
+    def cable_video(self):
+        """The paper's motivating case: 1 GB video, cable modem, 12
+        neighbours (enough to fill the downlink)."""
+        return CachingEconomics(
+            file_bytes=GB,
+            upload_kbps=256.0,
+            download_kbps=3000.0,
+            n_peers=12,
+        )
+
+    def test_solo_matches_figure1(self, cable_video):
+        assert cable_video.solo_access_seconds() / 3600 == pytest.approx(9.3, abs=0.1)
+
+    def test_shared_is_downlink_capped(self, cable_video):
+        # 12 x 256 = 3072 > 3000: downlink binds.
+        assert cable_video.shared_access_seconds() / 60 == pytest.approx(
+            47.7, abs=0.5
+        )
+
+    def test_hours_saved(self, cable_video):
+        assert cable_video.hours_saved_per_access() == pytest.approx(8.5, abs=0.2)
+
+    def test_storage_cost(self, cable_video):
+        # hosting 12 GB of neighbours' coded data at $1/GB
+        assert cable_video.storage_cost_dollars() == pytest.approx(12.0)
+
+    def test_exchange_rate_is_cheap(self, cable_video):
+        """The Section I claim: the one-time storage cost is small
+        against even a single access's time savings."""
+        rate = cable_video.dollars_per_hour_saved()
+        assert rate < 2.0  # < $2 per hour saved, once, then free forever
+
+    def test_no_benefit_when_alone(self):
+        solo = CachingEconomics(
+            file_bytes=GB, upload_kbps=256.0, download_kbps=3000.0, n_peers=1
+        )
+        assert solo.hours_saved_per_access() == pytest.approx(0.0)
+        assert solo.dollars_per_hour_saved() == float("inf")
+
+    def test_benefit_scales_until_downlink(self):
+        times = [
+            CachingEconomics(
+                file_bytes=GB, upload_kbps=256.0, download_kbps=3000.0, n_peers=n
+            ).shared_access_seconds()
+            for n in (1, 2, 4, 8, 16)
+        ]
+        assert times[0] > times[1] > times[2] > times[3] >= times[4]

@@ -1,0 +1,132 @@
+"""Unit tests for the chunked-playback analysis."""
+
+import pytest
+
+from repro.analysis import min_startup_for_smooth, simulate_playback
+
+# 1 MB chunks at 8 Mbps play for ~1.05 s each; use round numbers instead:
+# 1000-byte chunks at 8 kbps -> exactly 1 second per chunk.
+LEN = [1000, 1000, 1000, 1000]
+RATE = 8.0
+
+
+class TestSmoothPlayback:
+    def test_all_ready_upfront(self):
+        report = simulate_playback([0, 0, 0, 0], LEN, RATE)
+        assert report.smooth
+        assert report.startup_seconds == 0
+        assert report.completion_seconds == pytest.approx(4.0)
+
+    def test_just_in_time_arrivals(self):
+        # Chunk i arrives exactly when needed: 0, 1, 2, 3 seconds.
+        report = simulate_playback([0, 1, 2, 3], LEN, RATE)
+        assert report.smooth
+        assert report.chunk_start_seconds == (0.0, 1.0, 2.0, 3.0)
+
+    def test_download_faster_than_playback(self):
+        report = simulate_playback([0, 0.5, 1.0, 1.5], LEN, RATE)
+        assert report.smooth
+        assert report.completion_seconds == pytest.approx(4.0)
+
+
+class TestStalls:
+    def test_single_stall(self):
+        # Chunk 2 arrives 0.5 s late.
+        report = simulate_playback([0, 1, 2.5, 3.5], LEN, RATE)
+        assert report.stall_count == 1
+        assert report.total_stall_seconds == pytest.approx(0.5)
+        assert report.completion_seconds == pytest.approx(4.5)
+
+    def test_every_chunk_late(self):
+        report = simulate_playback([0, 2, 4, 6], LEN, RATE)
+        assert report.stall_count == 3
+        assert report.total_stall_seconds == pytest.approx(3.0)
+
+    def test_buffering_avoids_stalls(self):
+        # Same arrivals, but waiting for 2 chunks up front absorbs the gap.
+        arrivals = [0, 1.5, 2.5, 3.5]
+        eager = simulate_playback(arrivals, LEN, RATE, startup_buffer_chunks=1)
+        patient = simulate_playback(arrivals, LEN, RATE, startup_buffer_chunks=2)
+        assert eager.stall_count > 0
+        assert patient.smooth
+        assert patient.startup_seconds == pytest.approx(1.5)
+
+
+class TestMinStartup:
+    def test_matches_simulation(self):
+        arrivals = [0, 2, 4, 4.5]
+        t = min_startup_for_smooth(arrivals, LEN, RATE)
+        assert t == pytest.approx(2.0)  # chunk 1 at 2s minus 1s played
+        # Verify: delaying start to t is exactly smooth.
+        report = simulate_playback([max(a, t) for a in arrivals], LEN, RATE)
+        assert report.smooth
+
+    def test_zero_when_all_ready(self):
+        assert min_startup_for_smooth([0, 0, 0], LEN[:3], RATE) == 0.0
+
+    def test_uniform_late_arrivals(self):
+        # Constant-rate arrivals slower than playback: T = last gap.
+        arrivals = [0, 2, 4, 6]
+        assert min_startup_for_smooth(arrivals, LEN, RATE) == pytest.approx(3.0)
+
+
+class TestValidation:
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            simulate_playback([0], [100], 0.0)
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            simulate_playback([0, 1], [100], 8.0)
+
+    def test_out_of_order_arrivals(self):
+        with pytest.raises(ValueError):
+            simulate_playback([1, 0], [100, 100], 8.0)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            simulate_playback([], [], 8.0)
+
+
+class TestEndToEnd:
+    def test_streaming_decoder_feed(self, rng):
+        """Chunk-ready times from an actual simulated download feed the
+        playback model: parallel peers make real-time streaming work
+        where a single uplink stalls."""
+        from repro.rlnc import ChunkedEncoder, CodingParams, StreamingDecoder
+        from repro.transfer import kbps_to_bytes
+
+        params = CodingParams(p=16, m=64, file_bytes=1024)
+        movie = rng.bytes(8 * 1024)
+        enc = ChunkedEncoder(params, b"s", base_file_id=1)
+        manifest, chunks = enc.encode_file(movie, n_peers=4)
+
+        def ready_times(peer_rate_kbps, n_peers):
+            # Serial per-peer streams at the given rate, chunk bundles
+            # interleaved round-robin across peers.
+            decoder = StreamingDecoder(manifest, enc)
+            ready = []
+            pending = {
+                p: [m for ef in chunks for m in ef.bundles[p]] for p in range(n_peers)
+            }
+            t = 0.0
+            carry = {p: 0.0 for p in range(n_peers)}
+            while not decoder.is_complete:
+                t += 1.0
+                for p in range(n_peers):
+                    carry[p] += kbps_to_bytes(peer_rate_kbps)
+                    while pending[p] and carry[p] >= pending[p][0].wire_size():
+                        carry[p] -= pending[p][0].wire_size()
+                        decoder.offer(pending[p].pop(0))
+                        for _ in decoder.pop_ready():
+                            ready.append(t)
+            return ready
+
+        # Playback at 8 kbps media rate (1 chunk/sec of content); a
+        # 4 kbps uplink cannot keep up alone, four in parallel can.
+        solo = ready_times(4.0, 1)
+        quad = ready_times(4.0, 4)
+        solo_report = simulate_playback(solo, manifest.chunk_lengths, 8.0)
+        quad_report = simulate_playback(quad, manifest.chunk_lengths, 8.0)
+        assert quad_report.startup_seconds < solo_report.startup_seconds
+        assert quad_report.completion_seconds < solo_report.completion_seconds

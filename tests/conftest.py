@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(params=[4, 8, 16, 32], ids=lambda p: f"GF(2^{p})")
+def field(request):
+    """Every field the paper uses, via the default (fastest) backend."""
+    return GF(request.param)
+
+
+@pytest.fixture(params=[8, 32], ids=lambda p: f"GF(2^{p})")
+def field_fast(request):
+    """A cheaper field sweep for expensive tests."""
+    return GF(request.param)

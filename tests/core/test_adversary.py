@@ -1,0 +1,115 @@
+"""Unit tests for adversarial allocation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ColluderAllocator,
+    ContributionLedger,
+    FreeRiderAllocator,
+    RandomAllocator,
+    SelfHoarderAllocator,
+    WithholdingAllocator,
+)
+
+
+def run(allocator, capacity, requesting, credits=None, index=0):
+    n = len(requesting)
+    ledger = ContributionLedger(n, initial=1e-9)
+    if credits is not None:
+        ledger.record_received(np.asarray(credits, dtype=float))
+    return allocator.allocate(
+        index,
+        capacity,
+        np.asarray(requesting, dtype=bool),
+        ledger,
+        np.zeros(n),
+        0,
+    )
+
+
+class TestFreeRider:
+    def test_contributes_nothing(self):
+        out = run(FreeRiderAllocator(), 100.0, [True, True, True])
+        assert np.all(out == 0.0)
+
+
+class TestSelfHoarder:
+    def test_only_self(self):
+        out = run(SelfHoarderAllocator(), 100.0, [True, True], index=1)
+        assert np.allclose(out, [0.0, 100.0])
+
+    def test_idle_when_self_idle(self):
+        out = run(SelfHoarderAllocator(), 100.0, [True, False], index=1)
+        assert np.all(out == 0.0)
+
+
+class TestColluder:
+    def test_only_coalition_served(self):
+        out = run(
+            ColluderAllocator([0, 1]),
+            100.0,
+            [True, True, True, True],
+            credits=[1.0, 1.0, 50.0, 50.0],
+        )
+        assert out[2] == 0.0 and out[3] == 0.0
+        assert out[:2].sum() == pytest.approx(100.0)
+
+    def test_credit_weighted_within_coalition(self):
+        out = run(
+            ColluderAllocator([0, 1]),
+            100.0,
+            [True, True, False],
+            credits=[3.0, 1.0, 0.0],
+        )
+        assert out[0] == pytest.approx(75.0)
+        assert out[1] == pytest.approx(25.0)
+
+    def test_nothing_when_coalition_idle(self):
+        out = run(ColluderAllocator([0]), 100.0, [False, True, True])
+        assert np.all(out == 0.0)
+
+    def test_empty_coalition_rejected(self):
+        with pytest.raises(ValueError):
+            ColluderAllocator([])
+
+
+class TestWithholding:
+    def test_scales_capacity(self):
+        full = run(
+            WithholdingAllocator(1.0), 100.0, [True, True], credits=[1.0, 1.0]
+        )
+        half = run(
+            WithholdingAllocator(0.5), 100.0, [True, True], credits=[1.0, 1.0]
+        )
+        assert np.allclose(half, np.asarray(full) / 2)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            WithholdingAllocator(1.5)
+        with pytest.raises(ValueError):
+            WithholdingAllocator(-0.1)
+
+    def test_zero_fraction_is_free_rider(self):
+        out = run(WithholdingAllocator(0.0), 100.0, [True, True])
+        assert np.all(out == 0.0)
+
+
+class TestRandomAllocator:
+    def test_uses_full_capacity(self):
+        out = run(RandomAllocator(seed=1), 100.0, [True, True, True])
+        assert out.sum() == pytest.approx(100.0)
+
+    def test_only_requesters(self):
+        out = run(RandomAllocator(seed=1), 100.0, [True, False, True])
+        assert out[1] == 0.0
+
+    def test_varies_over_calls(self):
+        allocator = RandomAllocator(seed=1)
+        a = run(allocator, 100.0, [True, True, True])
+        b = run(allocator, 100.0, [True, True, True])
+        assert not np.allclose(a, b)
+
+    def test_no_requesters(self):
+        out = run(RandomAllocator(seed=1), 100.0, [False, False])
+        assert np.all(out == 0.0)

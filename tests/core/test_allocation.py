@@ -1,0 +1,125 @@
+"""Unit tests for the Equation (2) allocator and feasibility enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ContributionLedger,
+    PeerwiseProportionalAllocator,
+    enforce_feasibility,
+)
+
+
+def allocate(allocator, capacity, requesting, credits, declared=None, index=0, t=0):
+    n = len(requesting)
+    ledger = ContributionLedger(n, initial=1e-9)
+    ledger.record_received(np.asarray(credits, dtype=float))
+    declared = np.asarray(declared if declared is not None else [0.0] * n)
+    return allocator.allocate(
+        index, capacity, np.asarray(requesting, dtype=bool), ledger, declared, t
+    )
+
+
+class TestEquation2:
+    def test_proportional_to_credits(self):
+        out = allocate(
+            PeerwiseProportionalAllocator(),
+            capacity=100.0,
+            requesting=[True, True, True],
+            credits=[1.0, 3.0, 6.0],
+        )
+        assert np.allclose(out, [10.0, 30.0, 60.0])
+
+    def test_only_requesters_served(self):
+        out = allocate(
+            PeerwiseProportionalAllocator(),
+            capacity=100.0,
+            requesting=[True, False, True],
+            credits=[1.0, 98.0, 1.0],
+        )
+        assert out[1] == 0.0
+        assert np.allclose(out, [50.0, 0.0, 50.0])
+
+    def test_full_capacity_used_when_requests_exist(self):
+        out = allocate(
+            PeerwiseProportionalAllocator(),
+            capacity=64.0,
+            requesting=[True, True, False],
+            credits=[5.0, 2.0, 9.0],
+        )
+        assert out.sum() == pytest.approx(64.0)
+
+    def test_no_requesters_no_allocation(self):
+        out = allocate(
+            PeerwiseProportionalAllocator(),
+            capacity=64.0,
+            requesting=[False, False],
+            credits=[1.0, 1.0],
+        )
+        assert np.all(out == 0.0)
+
+    def test_self_allocation_included(self):
+        """The paper's departure from [16]: mu_ii is allowed, which is
+        what removes the non-dominant condition."""
+        out = allocate(
+            PeerwiseProportionalAllocator(),
+            capacity=10.0,
+            requesting=[True, True],
+            credits=[9.0, 1.0],
+            index=0,
+        )
+        assert out[0] == pytest.approx(9.0)
+
+    def test_equal_initial_credits_split_evenly(self):
+        n = 4
+        ledger = ContributionLedger(n, initial=1e-6)
+        out = PeerwiseProportionalAllocator().allocate(
+            0, 100.0, np.ones(n, dtype=bool), ledger, np.zeros(n), 0
+        )
+        assert np.allclose(out, 25.0)
+
+    def test_ignores_declared_capacities(self):
+        """Equation (2) must not be influenced by declarations."""
+        a = allocate(
+            PeerwiseProportionalAllocator(),
+            100.0,
+            [True, True],
+            [1.0, 1.0],
+            declared=[1.0, 1.0],
+        )
+        b = allocate(
+            PeerwiseProportionalAllocator(),
+            100.0,
+            [True, True],
+            [1.0, 1.0],
+            declared=[1.0, 10_000.0],
+        )
+        assert np.array_equal(a, b)
+
+
+class TestEnforceFeasibility:
+    def test_negative_clipped(self):
+        out = enforce_feasibility(np.array([-5.0, 10.0]), 20.0, [True, True])
+        assert out[0] == 0.0 and out[1] == 10.0
+
+    def test_non_requesters_zeroed(self):
+        out = enforce_feasibility(np.array([5.0, 10.0]), 20.0, [True, False])
+        assert out[1] == 0.0
+
+    def test_over_capacity_scaled(self):
+        out = enforce_feasibility(np.array([30.0, 10.0]), 20.0, [True, True])
+        assert out.sum() == pytest.approx(20.0)
+        assert out[0] / out[1] == pytest.approx(3.0)  # proportions kept
+
+    def test_under_capacity_untouched(self):
+        out = enforce_feasibility(np.array([3.0, 4.0]), 20.0, [True, True])
+        assert np.allclose(out, [3.0, 4.0])
+
+    def test_zero_capacity(self):
+        out = enforce_feasibility(np.array([3.0, 4.0]), 0.0, [True, True])
+        assert np.all(out == 0.0)
+
+    def test_input_not_mutated(self):
+        proposal = np.array([30.0, -1.0])
+        enforce_feasibility(proposal, 10.0, [True, True])
+        assert np.array_equal(proposal, [30.0, -1.0])

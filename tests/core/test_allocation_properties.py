@@ -1,0 +1,159 @@
+"""Property-based tests of allocation-rule invariants.
+
+Hypothesis drives credit vectors, request patterns and capacities;
+the Equation (2) allocator and the feasibility clamp must satisfy their
+invariants for *all* of them, not just the scenarios the figures use.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ContributionLedger,
+    EqualSplitAllocator,
+    GlobalProportionalAllocator,
+    PeerwiseProportionalAllocator,
+    enforce_feasibility,
+)
+
+
+def credit_vectors(n):
+    return st.lists(
+        st.floats(min_value=1e-9, max_value=1e6, allow_nan=False),
+        min_size=n,
+        max_size=n,
+    )
+
+
+def request_masks(n):
+    return st.lists(st.booleans(), min_size=n, max_size=n)
+
+
+def ledger_with(credits, initial=1e-12):
+    ledger = ContributionLedger(len(credits), initial=initial)
+    ledger.record_received(np.asarray(credits))
+    return ledger
+
+
+@given(data=st.data(), n=st.integers(min_value=1, max_value=8))
+@settings(max_examples=80, deadline=None)
+def test_eq2_conservation_and_support(data, n):
+    """Eq. (2) uses exactly the capacity iff someone requests, and only
+    requesters receive."""
+    credits = data.draw(credit_vectors(n))
+    requesting = np.array(data.draw(request_masks(n)))
+    capacity = data.draw(st.floats(min_value=0.0, max_value=1e5))
+    out = PeerwiseProportionalAllocator().allocate(
+        0, capacity, requesting, ledger_with(credits), np.zeros(n), 0
+    )
+    assert np.all(out >= 0)
+    assert np.all(out[~requesting] == 0)
+    if requesting.any():
+        assert out.sum() == pytest.approx(capacity, rel=1e-9, abs=1e-12)
+    else:
+        assert out.sum() == 0.0
+
+
+@given(data=st.data(), n=st.integers(min_value=2, max_value=8))
+@settings(max_examples=80, deadline=None)
+def test_eq2_proportionality(data, n):
+    """Among requesters, shares are exactly proportional to credits."""
+    credits = data.draw(credit_vectors(n))
+    requesting = np.array(data.draw(request_masks(n)))
+    assume(requesting.sum() >= 2)
+    out = PeerwiseProportionalAllocator().allocate(
+        0, 1000.0, requesting, ledger_with(credits), np.zeros(n), 0
+    )
+    idx = np.nonzero(requesting)[0]
+    for a in idx:
+        for b in idx:
+            # out_a * credit_b == out_b * credit_a (cross-multiplied to
+            # avoid dividing by tiny credits)
+            assert out[a] * credits[b] == pytest.approx(
+                out[b] * credits[a], rel=1e-6, abs=1e-6
+            )
+
+
+@given(data=st.data(), n=st.integers(min_value=2, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_eq2_scale_invariance(data, n):
+    """Multiplying every credit (including the epsilon initialisation)
+    by a constant changes nothing."""
+    credits = data.draw(credit_vectors(n))
+    scale = data.draw(st.floats(min_value=1e-3, max_value=1e3))
+    requesting = np.ones(n, dtype=bool)
+    a = PeerwiseProportionalAllocator().allocate(
+        0, 100.0, requesting, ledger_with(credits), np.zeros(n), 0
+    )
+    b = PeerwiseProportionalAllocator().allocate(
+        0, 100.0, requesting,
+        ledger_with([c * scale for c in credits], initial=1e-12 * scale),
+        np.zeros(n), 0,
+    )
+    assert np.allclose(a, b, rtol=1e-9)
+
+
+@given(data=st.data(), n=st.integers(min_value=2, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_eq2_monotone_in_own_credit(data, n):
+    """More recorded contribution never reduces the allocated share."""
+    credits = data.draw(credit_vectors(n))
+    bump = data.draw(st.floats(min_value=0.0, max_value=1e6))
+    requesting = np.ones(n, dtype=bool)
+    base = PeerwiseProportionalAllocator().allocate(
+        0, 100.0, requesting, ledger_with(credits), np.zeros(n), 0
+    )
+    bumped_credits = list(credits)
+    bumped_credits[1] += bump
+    bumped = PeerwiseProportionalAllocator().allocate(
+        0, 100.0, requesting, ledger_with(bumped_credits), np.zeros(n), 0
+    )
+    assert bumped[1] >= base[1] - 1e-9
+
+
+@given(data=st.data(), n=st.integers(min_value=1, max_value=8))
+@settings(max_examples=80, deadline=None)
+def test_feasibility_clamp_invariants(data, n):
+    proposal = np.array(
+        data.draw(
+            st.lists(
+                st.floats(
+                    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    requesting = np.array(data.draw(request_masks(n)))
+    capacity = data.draw(st.floats(min_value=0.0, max_value=1e6))
+    out = enforce_feasibility(proposal, capacity, requesting)
+    assert np.all(out >= 0)
+    assert out.sum() <= capacity * (1 + 1e-9)
+    assert np.all(out[~requesting] == 0)
+    # Clamping never *increases* anyone's allocation.
+    assert np.all(out <= np.maximum(proposal, 0) + 1e-9)
+
+
+@given(data=st.data(), n=st.integers(min_value=2, max_value=6))
+@settings(max_examples=50, deadline=None)
+def test_all_rules_feasible_after_clamp(data, n):
+    """Every built-in allocator composed with the clamp is feasible."""
+    credits = data.draw(credit_vectors(n))
+    declared = data.draw(credit_vectors(n))
+    requesting = np.array(data.draw(request_masks(n)))
+    capacity = data.draw(st.floats(min_value=0.0, max_value=1e5))
+    ledger = ledger_with(credits)
+    for allocator in (
+        PeerwiseProportionalAllocator(),
+        GlobalProportionalAllocator(),
+        EqualSplitAllocator(),
+    ):
+        proposal = allocator.allocate(
+            0, capacity, requesting, ledger, np.asarray(declared), 0
+        )
+        out = enforce_feasibility(proposal, capacity, requesting)
+        assert out.sum() <= capacity * (1 + 1e-9)
+        assert np.all(out[~requesting] == 0)

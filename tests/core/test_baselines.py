@@ -1,0 +1,89 @@
+"""Unit tests for the baseline allocators (Eq. 3, isolation, equal split)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ContributionLedger,
+    EqualSplitAllocator,
+    GlobalProportionalAllocator,
+    IsolationAllocator,
+)
+
+
+def run(allocator, capacity, requesting, declared, index=0):
+    n = len(requesting)
+    return allocator.allocate(
+        index,
+        capacity,
+        np.asarray(requesting, dtype=bool),
+        ContributionLedger(n),
+        np.asarray(declared, dtype=float),
+        0,
+    )
+
+
+class TestGlobalProportional:
+    def test_proportional_to_declared(self):
+        out = run(
+            GlobalProportionalAllocator(), 100.0, [True, True, True], [10, 30, 60]
+        )
+        assert np.allclose(out, [10.0, 30.0, 60.0])
+
+    def test_respects_requests(self):
+        out = run(GlobalProportionalAllocator(), 100.0, [True, False], [50, 50])
+        assert np.allclose(out, [100.0, 0.0])
+
+    def test_zero_over_zero_convention(self):
+        # "with the understanding that 0/0 = 0" — no declared capacity
+        # among requesters means nothing is allocated.
+        out = run(GlobalProportionalAllocator(), 100.0, [True, True], [0, 0])
+        assert np.all(out == 0.0)
+
+    def test_gameable_by_declaration(self):
+        """The flaw the paper fixes: inflating a declaration inflates the
+        received share under Equation (3)."""
+        honest = run(GlobalProportionalAllocator(), 100.0, [True, True], [50, 50])
+        inflated = run(GlobalProportionalAllocator(), 100.0, [True, True], [500, 50])
+        assert inflated[0] > honest[0]
+
+
+class TestIsolation:
+    def test_serves_only_self(self):
+        out = run(IsolationAllocator(), 100.0, [True, True, True], [0, 0, 0], index=1)
+        assert np.allclose(out, [0.0, 100.0, 0.0])
+
+    def test_nothing_when_own_user_idle(self):
+        out = run(IsolationAllocator(), 100.0, [True, False, True], [0, 0, 0], index=1)
+        assert np.all(out == 0.0)
+
+
+class TestEqualSplit:
+    def test_even_division(self):
+        out = run(EqualSplitAllocator(), 90.0, [True, False, True, True], [0] * 4)
+        assert np.allclose(out, [30.0, 0.0, 30.0, 30.0])
+
+    def test_no_requesters(self):
+        out = run(EqualSplitAllocator(), 90.0, [False, False], [0, 0])
+        assert np.all(out == 0.0)
+
+    def test_credit_blind(self):
+        """Equal split ignores history entirely — the property the
+        fairness ablation contrasts against."""
+        n = 2
+        rich = ContributionLedger(n, initial=1.0)
+        rich.record_from(0, 1000.0)
+        out = EqualSplitAllocator().allocate(
+            0, 50.0, np.array([True, True]), rich, np.zeros(n), 0
+        )
+        assert np.allclose(out, [25.0, 25.0])
+
+
+class TestAllocatorNames:
+    def test_names_distinct(self):
+        names = {
+            GlobalProportionalAllocator().name,
+            IsolationAllocator().name,
+            EqualSplitAllocator().name,
+        }
+        assert len(names) == 3

@@ -1,0 +1,166 @@
+"""Unit tests for fairness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    convergence_time,
+    cooperation_gain,
+    jain_index,
+    max_pairwise_gap,
+    normalized_exchange_ratio,
+    pairwise_asymmetry,
+    running_average,
+)
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index(np.array([5.0, 5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        # One user takes everything: index = 1/n.
+        assert jain_index(np.array([10.0, 0.0, 0.0, 0.0])) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert jain_index(x) == pytest.approx(jain_index(x * 100))
+
+    def test_all_zero(self):
+        assert jain_index(np.zeros(3)) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index(np.array([]))
+
+
+class TestPairwise:
+    def test_symmetric_matrix_no_gap(self):
+        A = np.array([[0.0, 2.0], [2.0, 0.0]])
+        assert max_pairwise_gap(A) == 0.0
+        assert np.all(pairwise_asymmetry(A) == 0.0)
+
+    def test_asymmetric_matrix(self):
+        A = np.array([[0.0, 3.0], [1.0, 0.0]])
+        assert pairwise_asymmetry(A)[0, 1] == pytest.approx(2.0)
+        # relative gap: |3-1| / mean(3,1) = 2/2 = 1
+        assert max_pairwise_gap(A, relative=True) == pytest.approx(1.0)
+        assert max_pairwise_gap(A, relative=False) == pytest.approx(2.0)
+
+    def test_diagonal_ignored_in_relative(self):
+        A = np.array([[5.0, 1.0], [1.0, 7.0]])
+        assert max_pairwise_gap(A) == 0.0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_asymmetry(np.zeros((2, 3)))
+
+
+class TestExchangeRatio:
+    def test_balanced_exchange_is_one(self):
+        A = np.array([[0.0, 4.0], [2.0, 0.0]])
+        gamma = np.array([0.5, 1.0])
+        # mu_01 * g0 = 4*0.5 = 2 ; mu_10 * g1 = 2*1.0 = 2 -> ratio 1
+        ratio = normalized_exchange_ratio(A, gamma)
+        assert ratio[0, 1] == pytest.approx(1.0)
+        assert ratio[1, 0] == pytest.approx(1.0)
+
+    def test_zero_exchange_is_nan(self):
+        A = np.array([[0.0, 0.0], [2.0, 0.0]])
+        ratio = normalized_exchange_ratio(A, np.array([1.0, 1.0]))
+        assert np.isnan(ratio[0, 1])
+
+
+class TestConvergenceTime:
+    def test_step_series(self):
+        series = np.concatenate([np.zeros(50), np.full(200, 10.0)])
+        assert convergence_time(series, 10.0, tolerance=0.1, hold=50) == 50
+
+    def test_never_converges(self):
+        series = np.zeros(100)
+        assert convergence_time(series, 10.0) is None
+
+    def test_late_excursion_resets(self):
+        series = np.full(300, 10.0)
+        series[250] = 0.0
+        t = convergence_time(series, 10.0, tolerance=0.1, hold=20)
+        assert t == 251
+
+    def test_must_hold_to_end(self):
+        series = np.full(100, 10.0)
+        series[-1] = 0.0
+        assert convergence_time(series, 10.0) is None
+
+    def test_hold_requirement(self):
+        series = np.concatenate([np.zeros(95), np.full(5, 10.0)])
+        assert convergence_time(series, 10.0, hold=50) is None
+
+    def test_zero_target(self):
+        series = np.concatenate([np.ones(10), np.zeros(90)])
+        assert convergence_time(series, 0.0, tolerance=0.01, hold=10) == 10
+
+    def test_converged_from_start(self):
+        series = np.full(100, 10.0)
+        assert convergence_time(series, 10.0, hold=50) == 0
+
+
+class TestCooperationGain:
+    def test_gain_measured_only_while_requesting(self):
+        rates = np.array([[0.0, 100.0], [300.0, 0.0]])
+        requesting = np.array([[False, True], [True, False]])
+        capacity = np.array([200.0, 50.0])
+        gains = cooperation_gain(rates, capacity, requesting)
+        assert gains[0] == pytest.approx(100.0)  # 300 - 200
+        assert gains[1] == pytest.approx(50.0)  # 100 - 50
+
+    def test_never_requesting_zero_gain(self):
+        rates = np.zeros((5, 1))
+        requesting = np.zeros((5, 1), dtype=bool)
+        assert cooperation_gain(rates, np.array([10.0]), requesting)[0] == 0.0
+
+    def test_time_varying_capacity(self):
+        rates = np.array([[50.0], [50.0]])
+        requesting = np.ones((2, 1), dtype=bool)
+        capacity = np.array([[10.0], [30.0]])
+        assert cooperation_gain(rates, capacity, requesting)[0] == pytest.approx(30.0)
+
+
+class TestRunningAverage:
+    def test_window_one_identity(self):
+        s = np.array([1.0, 5.0, 3.0])
+        assert np.array_equal(running_average(s, 1), s)
+
+    def test_constant_series(self):
+        s = np.full(20, 7.0)
+        assert np.allclose(running_average(s, 10), 7.0)
+
+    def test_trailing_mean(self):
+        s = np.arange(10.0)
+        out = running_average(s, 3)
+        assert out[5] == pytest.approx((3 + 4 + 5) / 3)
+
+    def test_warmup_partial_means(self):
+        s = np.array([2.0, 4.0, 6.0, 8.0])
+        out = running_average(s, 4)
+        assert out[0] == 2.0
+        assert out[1] == 3.0
+        assert out[2] == 4.0
+        assert out[3] == 5.0
+
+    def test_2d_series(self):
+        s = np.ones((30, 3))
+        out = running_average(s, 10)
+        assert out.shape == (30, 3)
+        assert np.allclose(out, 1.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            running_average(np.ones(5), 0)
+
+    def test_matches_paper_smoothing_semantics(self):
+        """The paper smooths with a 10-second running average; verify the
+        steady-state value is the plain mean of the last 10 samples."""
+        rng = np.random.default_rng(3)
+        s = rng.random(100)
+        out = running_average(s, 10)
+        assert out[50] == pytest.approx(s[41:51].mean())

@@ -1,0 +1,107 @@
+"""Unit tests for contribution ledgers."""
+
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_INITIAL_CREDIT, ContributionLedger
+
+
+class TestConstruction:
+    def test_initial_credit_everywhere(self):
+        ledger = ContributionLedger(4, initial=0.5)
+        assert np.all(ledger.credits == 0.5)
+
+    def test_default_initial_positive(self):
+        ledger = ContributionLedger(3)
+        assert np.all(ledger.credits == DEFAULT_INITIAL_CREDIT)
+        assert DEFAULT_INITIAL_CREDIT > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n=0),
+            dict(n=3, initial=0.0),
+            dict(n=3, initial=-1.0),
+            dict(n=3, forgetting=0.0),
+            dict(n=3, forgetting=1.5),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ContributionLedger(**kwargs)
+
+
+class TestAccumulation:
+    def test_record_received_accumulates(self):
+        ledger = ContributionLedger(3, initial=1.0)
+        ledger.record_received(np.array([10.0, 0.0, 5.0]))
+        ledger.record_received(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(ledger.credits, [12.0, 3.0, 9.0])
+
+    def test_record_from_single(self):
+        ledger = ContributionLedger(2, initial=1.0)
+        ledger.record_from(1, 4.0)
+        assert ledger.credit_of(1) == 5.0
+        assert ledger.credit_of(0) == 1.0
+
+    def test_negative_rejected(self):
+        ledger = ContributionLedger(2)
+        with pytest.raises(ValueError):
+            ledger.record_received(np.array([-1.0, 0.0]))
+        with pytest.raises(ValueError):
+            ledger.record_from(0, -0.1)
+
+    def test_shape_enforced(self):
+        ledger = ContributionLedger(3)
+        with pytest.raises(ValueError):
+            ledger.record_received(np.zeros(4))
+
+    def test_credits_view_read_only(self):
+        ledger = ContributionLedger(2)
+        with pytest.raises(ValueError):
+            ledger.credits[0] = 99.0
+
+    def test_share_of(self):
+        ledger = ContributionLedger(2, initial=1.0)
+        ledger.record_from(0, 3.0)  # credits [4, 1]
+        assert ledger.share_of(0) == pytest.approx(0.8)
+        assert ledger.total() == pytest.approx(5.0)
+
+    def test_reset(self):
+        ledger = ContributionLedger(2, initial=1.0)
+        ledger.record_from(0, 3.0)
+        ledger.reset(initial=0.25)
+        assert np.all(ledger.credits == 0.25)
+
+
+class TestForgetting:
+    def test_no_forgetting_is_plain_sum(self):
+        ledger = ContributionLedger(1, initial=1.0, forgetting=1.0)
+        for _ in range(10):
+            ledger.record_received(np.array([2.0]))
+        assert ledger.credit_of(0) == pytest.approx(21.0)
+
+    def test_exponential_decay(self):
+        ledger = ContributionLedger(1, initial=1.0, forgetting=0.5)
+        ledger.record_received(np.array([0.0]))
+        assert ledger.credit_of(0) == pytest.approx(0.5)
+        ledger.record_received(np.array([4.0]))
+        assert ledger.credit_of(0) == pytest.approx(4.25)
+
+    def test_forgetting_bounds_memory(self):
+        """With forgetting f and constant input c, credit converges to
+        c / (1 - f) rather than growing without bound."""
+        f, c = 0.9, 1.0
+        ledger = ContributionLedger(1, initial=1.0, forgetting=f)
+        for _ in range(500):
+            ledger.record_received(np.array([c]))
+        assert ledger.credit_of(0) == pytest.approx(c / (1 - f), rel=1e-6)
+
+    def test_forgetting_weighs_recent_more(self):
+        old_heavy = ContributionLedger(2, initial=1e-9, forgetting=0.9)
+        # Peer 0 contributed long ago, peer 1 recently, same totals.
+        old_heavy.record_received(np.array([100.0, 0.0]))
+        for _ in range(50):
+            old_heavy.record_received(np.array([0.0, 2.0]))
+        # Peer 1's 100 total units outweigh peer 0's decayed 100.
+        assert old_heavy.credit_of(1) > old_heavy.credit_of(0)

@@ -1,0 +1,117 @@
+"""Tests for quantized bandwidth division."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ContributionLedger,
+    PeerwiseProportionalAllocator,
+    QuantizedAllocator,
+    quantize_shares,
+)
+
+
+class TestQuantizeShares:
+    def test_exact_multiples_unchanged(self):
+        shares = np.array([10.0, 20.0, 30.0])
+        assert np.array_equal(quantize_shares(shares, 10.0), shares)
+
+    def test_rounds_to_quanta(self):
+        out = quantize_shares(np.array([12.0, 27.0]), 10.0)
+        assert np.all(out % 10.0 == 0)
+        # total 39 -> 3 quanta; remainders 0.2 and 0.7 -> 27 gets the spare
+        assert out.tolist() == [10.0, 20.0]
+
+    def test_total_preserved_to_quantum(self):
+        shares = np.array([3.3, 3.3, 3.4])
+        out = quantize_shares(shares, 1.0)
+        assert out.sum() == 10.0
+
+    def test_zero_shares(self):
+        out = quantize_shares(np.zeros(3), 5.0)
+        assert np.all(out == 0.0)
+
+    def test_sub_quantum_shares_may_consolidate(self):
+        # Three shares of 0.4 with quantum 1: one quantum total, given to
+        # one of the (equal) remainders.
+        out = quantize_shares(np.array([0.4, 0.4, 0.4]), 1.0)
+        assert out.sum() == 1.0
+        assert sorted(out.tolist()) == [0.0, 0.0, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_shares(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            quantize_shares(np.array([-1.0]), 1.0)
+
+    @given(
+        data=st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        ),
+        quantum=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_properties(self, data, quantum):
+        shares = np.array(data)
+        out = quantize_shares(shares, quantum)
+        # Non-negative, quantum-aligned (up to float error), and no one
+        # gains more than one quantum over their raw share.
+        assert np.all(out >= 0)
+        assert np.allclose(out / quantum, np.round(out / quantum), atol=1e-6)
+        assert np.all(out <= shares + quantum * (1 + 1e-9))
+        # Total never exceeds the raw total.
+        assert out.sum() <= shares.sum() + 1e-6
+
+
+class TestQuantizedAllocator:
+    def _run(self, quantum, credits=(1.0, 3.0, 6.0), capacity=100.0):
+        n = len(credits)
+        ledger = ContributionLedger(n, initial=1e-9)
+        ledger.record_received(np.asarray(credits, dtype=float))
+        allocator = QuantizedAllocator(PeerwiseProportionalAllocator(), quantum)
+        return allocator.allocate(
+            0, capacity, np.ones(n, dtype=bool), ledger, np.zeros(n), 0
+        )
+
+    def test_small_quantum_near_exact(self):
+        out = self._run(0.001)
+        assert np.allclose(out, [10.0, 30.0, 60.0], atol=0.01)
+
+    def test_large_quantum_coarsens(self):
+        out = self._run(40.0)
+        assert np.all(out % 40.0 == 0)
+        assert out.sum() <= 100.0
+
+    def test_extreme_quantum_starves_small_contributor(self):
+        """The §III-D dilution: with a one-message-per-slot granularity
+        comparable to the capacity, the small contributor gets nothing."""
+        out = self._run(50.0)
+        assert out[0] == 0.0  # deserved 10, rounded away
+
+    def test_name_mentions_quantum(self):
+        allocator = QuantizedAllocator(PeerwiseProportionalAllocator(), 8.0)
+        assert "8" in allocator.name
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantizedAllocator(PeerwiseProportionalAllocator(), 0.0)
+
+    def test_in_simulation_converges_with_fine_quantum(self):
+        from repro.sim import AlwaysOn, PeerConfig, Simulation
+
+        caps = [100.0, 300.0, 600.0]
+        configs = [
+            PeerConfig(
+                capacity=c,
+                demand=AlwaysOn(),
+                allocator=QuantizedAllocator(PeerwiseProportionalAllocator(), 1.0),
+            )
+            for c in caps
+        ]
+        result = Simulation(configs).run(2000)
+        final = result.window_mean_rates(1500, 2000)
+        assert np.allclose(final, caps, rtol=0.05)

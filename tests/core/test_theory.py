@@ -1,0 +1,160 @@
+"""Unit tests for the numeric forms of the paper's analytical results."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    check_theorem1,
+    corollary1_gap,
+    denominator_gaussian_stats,
+    eq6_lower_bound,
+    overdeclaration_gradient,
+    theorem1_alpha,
+    theorem1_bound,
+    theorem1_bound_eq12,
+)
+
+
+class TestAlpha:
+    def test_sole_contributor_gets_alpha_one(self):
+        # Only peer 0 contributes to user 1.
+        A = np.array([[0.0, 5.0], [0.0, 0.0]])
+        alpha = theorem1_alpha(A, np.array([0.5, 0.5]))
+        assert alpha[0, 1] == pytest.approx(1.0)
+
+    def test_split_contribution(self):
+        # Users 0 and 1 contribute equally to user 2, all gammas 1.
+        A = np.zeros((3, 3))
+        A[0, 2] = 2.0
+        A[1, 2] = 2.0
+        alpha = theorem1_alpha(A, np.ones(3))
+        assert alpha[0, 2] == pytest.approx(0.5)
+        assert alpha[1, 2] == pytest.approx(0.5)
+
+    def test_zero_denominator_is_zero(self):
+        alpha = theorem1_alpha(np.zeros((2, 2)), np.ones(2))
+        assert np.all(alpha == 0.0)
+
+    def test_alpha_in_unit_interval(self, rng):
+        A = rng.random((5, 5)) * 10
+        g = rng.random(5)
+        alpha = theorem1_alpha(A, g)
+        assert np.all(alpha >= 0.0) and np.all(alpha <= 1.0)
+
+
+class TestTheorem1Bounds:
+    def test_isolation_term_dominates_without_sharing(self):
+        mu = np.array([100.0, 200.0])
+        g = np.array([0.5, 0.25])
+        bound = theorem1_bound(mu, g, np.zeros((2, 2)))
+        assert np.allclose(bound, g * mu)
+
+    def test_eq12_adds_free_bandwidth(self):
+        mu = np.array([100.0, 100.0])
+        g = np.array([0.5, 0.5])
+        A = np.array([[25.0, 25.0], [25.0, 25.0]])
+        bound = theorem1_bound_eq12(mu, g, A)
+        # bound_i = 0.5*100 + (1 - 0.5)*25 = 62.5
+        assert np.allclose(bound, 62.5)
+
+    def test_check_report(self):
+        mu = np.array([100.0, 100.0])
+        g = np.array([1.0, 1.0])
+        A = np.array([[50.0, 50.0], [50.0, 50.0]])
+        report = check_theorem1(mu, g, A, form="eq12")
+        assert np.allclose(report.measured, 100.0)
+        assert report.satisfied()
+
+    def test_violation_detected(self):
+        mu = np.array([100.0, 100.0])
+        g = np.array([1.0, 1.0])
+        # User 0 starved below isolation: measured 10 < bound 100.
+        A = np.array([[10.0, 90.0], [0.0, 100.0]])
+        report = check_theorem1(mu, g, A, form="eq12")
+        assert not report.satisfied()
+        assert report.slack[0] < 0
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError):
+            check_theorem1(np.ones(2), np.ones(2), np.zeros((2, 2)), form="x")
+
+    def test_alpha_form_bounded_by_full_free_bandwidth(self, rng):
+        mu = rng.random(4) * 1000
+        g = rng.random(4)
+        A = rng.random((4, 4)) * 100
+        bound = theorem1_bound(mu, g, A)
+        ceiling = g * (mu + np.array([
+            sum((1 - g[l]) * mu[l] for l in range(4) if l != i) for i in range(4)
+        ]))
+        assert np.all(bound <= ceiling + 1e-9)
+
+
+class TestCorollary1:
+    def test_symmetric_is_zero(self):
+        A = np.array([[1.0, 3.0], [3.0, 2.0]])
+        assert corollary1_gap(A) == 0.0
+
+    def test_asymmetric_positive(self):
+        A = np.array([[0.0, 4.0], [1.0, 0.0]])
+        assert corollary1_gap(A) > 0.0
+
+
+class TestEq6:
+    def test_saturated_equals_capacity(self):
+        """With gamma = 1 everywhere the bound reduces to
+        mu_j * sum(mu) / sum(mu) = mu_j."""
+        mu = np.array([100.0, 300.0])
+        bound = eq6_lower_bound(mu, np.ones(2))
+        assert np.allclose(bound, mu)
+
+    def test_idle_others_allow_exceeding_capacity(self):
+        mu = np.array([100.0, 100.0])
+        g = np.array([1.0, 0.0])
+        bound = eq6_lower_bound(mu, g)
+        # User 0 gets mu_0 * 200/100 = 200: both peers' capacity.
+        assert bound[0] == pytest.approx(200.0)
+        assert bound[1] == 0.0
+
+    def test_strictly_above_isolation_unless_all_saturated(self):
+        mu = np.array([100.0, 100.0, 100.0])
+        g = np.array([0.5, 0.5, 0.5])
+        bound = eq6_lower_bound(mu, g)
+        assert np.all(bound > g * mu)
+
+
+class TestOverdeclaration:
+    def test_gradient_positive(self):
+        grad = overdeclaration_gradient([100.0] * 4, [0.5] * 4, j=0)
+        assert grad > 0
+
+    def test_gradient_positive_heterogeneous(self, rng):
+        mu = (rng.random(5) * 900 + 100).tolist()
+        g = (rng.random(5) * 0.8 + 0.1).tolist()
+        for j in range(5):
+            assert overdeclaration_gradient(mu, g, j=j) > 0
+
+
+class TestGaussianStats:
+    def test_mean_and_variance(self):
+        mu = np.array([10.0, 20.0, 30.0])
+        g = np.array([0.5, 0.5, 1.0])
+        mean, var = denominator_gaussian_stats(mu, g, j=2)
+        assert mean == pytest.approx(15.0)
+        assert var == pytest.approx(100 * 0.25 + 400 * 0.25)
+
+    def test_saturated_has_zero_variance(self):
+        mean, var = denominator_gaussian_stats(
+            np.array([10.0, 10.0]), np.array([1.0, 1.0]), j=0
+        )
+        assert var == 0.0
+
+    def test_variance_shrinks_with_n(self):
+        """The concentration argument of Section IV-B: with total
+        capacity fixed, more smaller peers -> smaller variance."""
+        total = 1000.0
+        stats = []
+        for n in (10, 100, 1000):
+            mu = np.full(n, total / n)
+            g = np.full(n, 0.5)
+            stats.append(denominator_gaussian_stats(mu, g, j=0)[1])
+        assert stats[0] > stats[1] > stats[2]

@@ -1,0 +1,191 @@
+"""Unit tests for the Chord-style content-location substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.discovery import ChordRing, PeerDirectory, chord_id
+
+
+def ring_with(n, bits=16, replication=1, seed=0):
+    ring = ChordRing(bits=bits, replication=replication)
+    rng = np.random.default_rng(seed)
+    ids = rng.choice(1 << bits, size=n, replace=False)
+    for i, nid in enumerate(ids):
+        ring.join(f"peer-{i}", node_id=int(nid))
+    return ring
+
+
+class TestChordId:
+    def test_deterministic(self):
+        assert chord_id("abc") == chord_id("abc")
+
+    def test_within_space(self):
+        for key in ("a", 123, b"xyz"):
+            assert 0 <= chord_id(key, bits=10) < 1024
+
+    def test_distinct_types_distinct_ids(self):
+        # str and int keys hash through different encodings.
+        assert chord_id("1", 32) != chord_id(1, 32)
+
+
+class TestMembership:
+    def test_join_sorted(self):
+        ring = ring_with(20)
+        assert ring.node_ids == sorted(ring.node_ids)
+        assert len(ring) == 20
+
+    def test_duplicate_id_rejected(self):
+        ring = ChordRing(bits=8)
+        ring.join("a", node_id=5)
+        with pytest.raises(ValueError):
+            ring.join("b", node_id=5)
+
+    def test_labels(self):
+        ring = ChordRing(bits=8)
+        nid = ring.join("home-pc", node_id=77)
+        assert ring.label_of(nid) == "home-pc"
+
+    def test_leave_unknown(self):
+        with pytest.raises(KeyError):
+            ChordRing(bits=8).leave(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChordRing(bits=2)
+        with pytest.raises(ValueError):
+            ChordRing(replication=0)
+
+
+class TestSuccessor:
+    def test_matches_bruteforce(self):
+        ring = ring_with(25, bits=12, seed=3)
+        nodes = ring.node_ids
+        for key in range(0, 1 << 12, 37):
+            expected = min(
+                (nid for nid in nodes if nid >= key), default=nodes[0]
+            )
+            assert ring.successor(key) == expected, key
+
+    def test_wraparound(self):
+        ring = ChordRing(bits=8)
+        ring.join("a", node_id=10)
+        ring.join("b", node_id=200)
+        assert ring.successor(201) == 10
+        assert ring.successor(10) == 10
+        assert ring.successor(11) == 200
+
+    def test_empty_ring(self):
+        with pytest.raises(RuntimeError):
+            ChordRing(bits=8).successor(1)
+
+
+class TestLookupRouting:
+    def test_owner_correct_from_every_start(self):
+        ring = ring_with(15, bits=12, seed=5)
+        for start in ring.node_ids[::3]:
+            for key in (0, 100, 2000, 4095):
+                result = ring.lookup(key, start=start)
+                assert result.owner == ring.successor(key)
+                assert result.path[0] == start
+                assert result.path[-1] == result.owner
+
+    def test_hops_logarithmic(self):
+        """Chord's theorem: O(log n) hops w.h.p.; check the average is
+        comfortably below 2*log2(n) and the max below 3*log2(n)."""
+        n = 128
+        ring = ring_with(n, bits=20, seed=7)
+        rng = np.random.default_rng(1)
+        hops = []
+        for _ in range(300):
+            start = int(rng.choice(ring.node_ids))
+            key = int(rng.integers(0, 1 << 20))
+            hops.append(ring.lookup(key, start=start).hops)
+        log_n = math.log2(n)
+        assert np.mean(hops) < 2 * log_n
+        assert max(hops) <= 3 * log_n
+
+    def test_single_node_zero_hops(self):
+        ring = ChordRing(bits=8)
+        ring.join("solo", node_id=42)
+        result = ring.lookup(7)
+        assert result.owner == 42
+        assert result.hops == 0
+
+    def test_unknown_start(self):
+        ring = ring_with(3)
+        with pytest.raises(KeyError):
+            ring.lookup(5, start=999999)
+
+
+class TestStorage:
+    def test_store_get_roundtrip(self):
+        ring = ring_with(10, seed=2)
+        ring.store("key-A", "value-A")
+        value, result = ring.get("key-A")
+        assert value == "value-A"
+        assert result.owner == ring.successor(chord_id("key-A", ring.bits))
+
+    def test_missing_key(self):
+        ring = ring_with(5)
+        value, _ = ring.get("nope")
+        assert value is None
+
+    def test_keys_rebalance_on_join(self):
+        # 24-bit space: 50 keys collide with probability ~7e-5.
+        ring = ring_with(5, bits=24, seed=9)
+        for i in range(50):
+            ring.store(f"k{i}", i)
+        ring.join("newcomer", node_id=next(
+            nid for nid in range(1 << 24) if nid not in ring.node_ids
+        ))
+        for i in range(50):
+            value, _ = ring.get(f"k{i}")
+            assert value == i
+
+    def test_keys_survive_graceful_leave(self):
+        ring = ring_with(8, seed=11)
+        for i in range(30):
+            ring.store(f"k{i}", i)
+        ring.leave(ring.node_ids[3])
+        for i in range(30):
+            assert ring.get(f"k{i}")[0] == i
+
+    def test_replication_survives_failure(self):
+        ring = ring_with(10, replication=3, seed=13)
+        ring.store("precious", 42)
+        primary = ring.successor(chord_id("precious", ring.bits))
+        ring.fail(primary)
+        value, _ = ring.get("precious")
+        assert value == 42
+
+    def test_no_replication_loses_on_failure(self):
+        ring = ring_with(10, replication=1, seed=13)
+        ring.store("fragile", 42)
+        primary = ring.successor(chord_id("fragile", ring.bits))
+        ring.fail(primary)
+        value, _ = ring.get("fragile")
+        assert value is None
+
+
+class TestPeerDirectory:
+    def test_publish_locate(self):
+        ring = ring_with(12, seed=4)
+        directory = PeerDirectory(ring)
+        directory.publish(0xCAFE, holders=[0, 2, 5])
+        holders, result = directory.locate(0xCAFE)
+        assert holders == (0, 2, 5)
+        assert result.hops >= 0
+
+    def test_unknown_file(self):
+        directory = PeerDirectory(ring_with(4))
+        holders, _ = directory.locate(0xDEAD)
+        assert holders is None
+
+    def test_distinct_files_distinct_records(self):
+        directory = PeerDirectory(ring_with(12, seed=4))
+        directory.publish(1, holders=[0])
+        directory.publish(2, holders=[1])
+        assert directory.locate(1)[0] == (0,)
+        assert directory.locate(2)[0] == (1,)

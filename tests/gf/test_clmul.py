@@ -1,0 +1,77 @@
+"""Unit tests for the generic carry-less-multiply field backend."""
+
+import numpy as np
+import pytest
+
+from repro.gf import ClmulField, FieldError, TableField
+from repro.gf.polynomials import poly_mod, poly_mul
+
+
+class TestConstruction:
+    def test_supported_range(self):
+        assert ClmulField(1).q == 2
+        assert ClmulField(32).q == 1 << 32
+        with pytest.raises(FieldError):
+            ClmulField(0)
+        with pytest.raises(FieldError):
+            ClmulField(33)
+
+    def test_default_modulus_matches_tables(self):
+        for p in (4, 8, 16):
+            assert ClmulField(p).modulus == TableField(p).modulus
+
+
+class TestAgainstTables:
+    """The clmul field must agree with the table field element-for-element."""
+
+    @pytest.mark.parametrize("p", [4, 8, 16])
+    def test_full_agreement_on_sample(self, p, rng):
+        T = TableField(p)
+        C = ClmulField(p, T.modulus)
+        a = T.random(2000, rng)
+        b = T.random(2000, rng)
+        assert np.array_equal(T.mul(a, b), C.mul(a, b))
+
+    def test_exhaustive_gf16(self):
+        T = TableField(4)
+        C = ClmulField(4, T.modulus)
+        a, b = np.meshgrid(np.arange(16, dtype=np.uint32), np.arange(16, dtype=np.uint32))
+        assert np.array_equal(T.mul(a, b), C.mul(a, b))
+
+    @pytest.mark.parametrize("p", [4, 8])
+    def test_inverse_agreement(self, p, rng):
+        T = TableField(p)
+        C = ClmulField(p, T.modulus)
+        a = T.random_nonzero(300, rng)
+        assert np.array_equal(T.inv(a), C.inv(a))
+
+
+class TestAgainstIntPolynomials:
+    """Cross-check the vectorised path against the scalar int reference."""
+
+    @pytest.mark.parametrize("p", [5, 12, 20, 29, 32])
+    def test_scalar_agreement(self, p, rng):
+        F = ClmulField(p)
+        a = F.random(64, rng)
+        b = F.random(64, rng)
+        out = F.mul(a, b)
+        for x, y, z in zip(a.tolist(), b.tolist(), out.tolist()):
+            assert poly_mod(poly_mul(x, y), F.modulus) == z
+
+
+class TestOddSizes:
+    """Fields outside the paper's set still satisfy the axioms."""
+
+    @pytest.mark.parametrize("p", [3, 7, 13, 24])
+    def test_axioms(self, p, rng):
+        F = ClmulField(p)
+        a, b, c = (F.random(400, rng) for _ in range(3))
+        assert np.array_equal(F.mul(a, b), F.mul(b, a))
+        assert np.array_equal(F.mul(F.mul(a, b), c), F.mul(a, F.mul(b, c)))
+        assert np.array_equal(F.mul(a, b ^ c), F.mul(a, b) ^ F.mul(a, c))
+        nz = F.random_nonzero(100, rng)
+        assert np.all(F.mul(nz, F.inv(nz)) == 1)
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(FieldError):
+            ClmulField(7).inv(0)

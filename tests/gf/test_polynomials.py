@@ -1,0 +1,131 @@
+"""Unit tests for GF(2) polynomial arithmetic and modulus verification."""
+
+import pytest
+
+from repro.gf.polynomials import (
+    DEFAULT_MODULI,
+    find_irreducible,
+    is_irreducible,
+    is_primitive,
+    poly_degree,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_mulmod,
+    poly_powmod_x,
+    prime_factors,
+)
+
+
+class TestBasicOps:
+    def test_degree(self):
+        assert poly_degree(0) == -1
+        assert poly_degree(1) == 0
+        assert poly_degree(2) == 1  # x
+        assert poly_degree(0x13) == 4
+
+    def test_mul_simple(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert poly_mul(0b11, 0b11) == 0b101
+        # x * x = x^2
+        assert poly_mul(2, 2) == 4
+
+    def test_mul_identity_and_zero(self):
+        assert poly_mul(0x13, 1) == 0x13
+        assert poly_mul(0x13, 0) == 0
+
+    def test_mul_commutes(self):
+        assert poly_mul(0b1011, 0b110) == poly_mul(0b110, 0b1011)
+
+    def test_mod(self):
+        # x^4 mod (x^4 + x + 1) = x + 1
+        assert poly_mod(0b10000, 0x13) == 0b11
+        assert poly_mod(0x13, 0x13) == 0
+
+    def test_mod_zero_modulus_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_mod(5, 0)
+
+    def test_mulmod_stays_reduced(self):
+        out = poly_mulmod(0b1111, 0b1101, 0x13)
+        assert poly_degree(out) < 4
+
+    def test_powmod_x(self):
+        # x^1 = x; x^4 = x + 1 in GF(2^4) with x^4 + x + 1
+        assert poly_powmod_x(1, 0x13) == 2
+        assert poly_powmod_x(4, 0x13) == 0b11
+        # order of x in GF(2^4)* is 15 for a primitive modulus
+        assert poly_powmod_x(15, 0x13) == 1
+        assert poly_powmod_x(5, 0x13) != 1
+
+    def test_gcd(self):
+        # gcd(x^2 + 1, x + 1) = x + 1 since x^2 + 1 = (x+1)^2
+        assert poly_gcd(0b101, 0b11) == 0b11
+        assert poly_gcd(0x13, 0) == 0x13
+
+
+class TestPrimeFactors:
+    def test_small(self):
+        assert prime_factors(1) == []
+        assert prime_factors(12) == [2, 3]
+        assert prime_factors(17) == [17]
+
+    def test_mersenne_like(self):
+        assert prime_factors(2**16 - 1) == [3, 5, 17, 257]
+        assert prime_factors(2**32 - 1) == [3, 5, 17, 257, 65537]
+
+
+class TestIrreducibility:
+    def test_known_irreducible(self):
+        for f in (0b111, 0x13, 0x11D, 0x11B, 0x1100B):
+            assert is_irreducible(f), hex(f)
+
+    def test_known_reducible(self):
+        # x^2 + 1 = (x+1)^2 ; x^4 + x^2 = x^2(x^2+1); anything even
+        assert not is_irreducible(0b101)
+        assert not is_irreducible(0b10100)
+        assert not is_irreducible(0x13 << 1)
+
+    def test_degree_zero_and_one(self):
+        assert not is_irreducible(1)
+        assert is_irreducible(2)  # x
+        assert is_irreducible(3)  # x + 1
+
+    def test_product_is_reducible(self):
+        f = poly_mul(0x13, 0x11D)
+        assert not is_irreducible(f)
+
+
+class TestPrimitivity:
+    def test_default_moduli_are_primitive(self):
+        for p, f in DEFAULT_MODULI.items():
+            assert poly_degree(f) == p
+            assert is_primitive(f), f"DEFAULT_MODULI[{p}] = {f:#x}"
+
+    def test_aes_modulus_is_irreducible_but_not_primitive(self):
+        # The AES polynomial x^8+x^4+x^3+x+1: x has order 51, not 255.
+        assert is_irreducible(0x11B)
+        assert not is_primitive(0x11B)
+
+    def test_reducible_is_not_primitive(self):
+        assert not is_primitive(0b101)
+
+
+class TestFindIrreducible:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 12, 20, 32])
+    def test_found_polynomials_verify(self, n):
+        f = find_irreducible(n)
+        assert poly_degree(f) == n
+        assert is_irreducible(f)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_primitive_search(self, n):
+        f = find_irreducible(n, primitive=True)
+        assert is_primitive(f)
+
+    def test_deterministic(self):
+        assert find_irreducible(10) == find_irreducible(10)
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            find_irreducible(0)

@@ -1,0 +1,119 @@
+"""System-level adversarial scenarios: the paper's fairness/incentive
+claims under hostile strategy mixes (Section IV-C, Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ColluderAllocator,
+    FreeRiderAllocator,
+    RandomAllocator,
+    SelfHoarderAllocator,
+    WithholdingAllocator,
+    check_theorem1,
+    jain_index,
+)
+from repro.sim import bernoulli_network
+
+N = 8
+CAPS = [400.0] * N
+GAMMAS = [0.5] * N
+SLOTS = 12_000
+
+
+def run(allocators=None, seed=31):
+    return bernoulli_network(CAPS, GAMMAS, slots=SLOTS, seed=seed, allocators=allocators)
+
+
+def honest_indices(adversaries):
+    return [i for i in range(N) if i not in (adversaries or {})]
+
+
+class TestIncentiveUnderAttack:
+    @pytest.mark.parametrize(
+        "adversaries",
+        [
+            {0: FreeRiderAllocator()},
+            {0: SelfHoarderAllocator()},
+            {0: WithholdingAllocator(0.25)},
+            {0: RandomAllocator(seed=3)},
+            {0: ColluderAllocator([0, 1, 2]), 1: ColluderAllocator([0, 1, 2]),
+             2: ColluderAllocator([0, 1, 2])},
+            {0: FreeRiderAllocator(), 1: SelfHoarderAllocator(),
+             2: RandomAllocator(seed=9)},
+        ],
+        ids=["freerider", "hoarder", "withhold", "random", "coalition", "mixed"],
+    )
+    def test_theorem1_for_honest_users(self, adversaries):
+        result = run(adversaries)
+        report = check_theorem1(
+            result.mean_capacity(), result.empirical_gamma(), result.mean_alloc
+        )
+        tol = 0.03 * np.asarray(CAPS)
+        for i in honest_indices(adversaries):
+            assert report.slack[i] >= -tol[i], (i, report.slack)
+
+    def test_honest_users_unharmed_by_free_rider(self):
+        clean = run()
+        attacked = run({0: FreeRiderAllocator()})
+        honest = honest_indices({0: None})
+        clean_rates = clean.mean_download_bandwidth()[honest]
+        attacked_rates = attacked.mean_download_bandwidth()[honest]
+        # Honest users lose only the free rider's withheld capacity share,
+        # never dropping below isolation.
+        iso = np.asarray(CAPS)[honest] * np.asarray(GAMMAS)[honest]
+        assert np.all(attacked_rates >= iso - 0.03 * np.asarray(CAPS)[honest])
+        # And they keep most of their clean-network service.
+        assert np.all(attacked_rates > 0.75 * clean_rates)
+
+
+class TestStarvation:
+    def test_free_rider_starves(self):
+        result = run({0: FreeRiderAllocator()})
+        rates = result.mean_download_bandwidth()
+        # The free rider earns only epsilon-credit service.
+        assert rates[0] < 0.1 * rates[1:].mean()
+
+    def test_hoarder_self_limits(self):
+        result = run({0: SelfHoarderAllocator()})
+        rates = result.mean_download_bandwidth()
+        iso = CAPS[0] * GAMMAS[0]
+        # A hoarder gets roughly isolation service (its own capacity when
+        # requesting) and no more than a modest bonus from stale credits.
+        assert rates[0] == pytest.approx(iso, rel=0.25)
+
+    def test_withholding_degrades_proportionally(self):
+        full = run()
+        half = run({0: WithholdingAllocator(0.5)})
+        quarter = run({0: WithholdingAllocator(0.25)})
+        r_full = full.mean_download_bandwidth()[0]
+        r_half = half.mean_download_bandwidth()[0]
+        r_quarter = quarter.mean_download_bandwidth()[0]
+        assert r_full > r_half > r_quarter
+        # no cliff: quarter-contribution still earns meaningful service
+        assert r_quarter > 0.25 * r_full
+
+
+class TestCoalition:
+    def test_coalition_cannot_beat_contribution_share(self):
+        coalition = {
+            0: ColluderAllocator([0, 1]),
+            1: ColluderAllocator([0, 1]),
+        }
+        result = run(coalition)
+        rates = result.mean_download_bandwidth()
+        honest = rates[2:].mean()
+        # Colluders concentrate their own capacity on themselves but lose
+        # honest peers' free bandwidth; they cannot do better than honest
+        # peers of equal capacity.
+        assert rates[0] <= honest * 1.05
+        assert rates[1] <= honest * 1.05
+
+    def test_fairness_among_honest_survives_coalition(self):
+        coalition = {
+            0: ColluderAllocator([0, 1]),
+            1: ColluderAllocator([0, 1]),
+        }
+        result = run(coalition)
+        honest_rates = result.mean_download_bandwidth()[2:]
+        assert jain_index(honest_rates) > 0.99

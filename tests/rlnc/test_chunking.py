@@ -1,0 +1,173 @@
+"""Unit tests for 1 MB chunking, manifests and streaming reassembly."""
+
+import numpy as np
+import pytest
+
+from repro.rlnc import (
+    ChunkedEncoder,
+    CodingParams,
+    FileManifest,
+    Offer,
+    StreamingDecoder,
+    derive_chunk_id,
+    split_chunks,
+)
+from repro.security import DigestStore
+
+PARAMS = CodingParams(p=16, m=32, file_bytes=512)  # k = 8, tiny "1MB"
+
+
+class TestSplitChunks:
+    def test_even_split(self):
+        chunks = split_chunks(b"a" * 1024, 256)
+        assert len(chunks) == 4
+        assert all(len(c) == 256 for c in chunks)
+
+    def test_ragged_tail(self):
+        chunks = split_chunks(b"a" * 1000, 256)
+        assert len(chunks) == 4
+        assert len(chunks[-1]) == 1000 - 3 * 256
+
+    def test_empty_file_is_one_chunk(self):
+        assert split_chunks(b"", 256) == [b""]
+
+    def test_reassembly(self, rng):
+        data = rng.bytes(3000)
+        assert b"".join(split_chunks(data, 512)) == data
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            split_chunks(b"x", 0)
+
+
+class TestDeriveChunkId:
+    def test_chunk0_keeps_base(self):
+        assert derive_chunk_id(0xABC, 0) == 0xABC
+
+    def test_later_chunks_distinct(self):
+        ids = {derive_chunk_id(0xABC, i) for i in range(100)}
+        assert len(ids) == 100
+
+    def test_deterministic(self):
+        assert derive_chunk_id(5, 3) == derive_chunk_id(5, 3)
+
+    def test_fits_64_bits(self):
+        assert derive_chunk_id((1 << 64) - 1, 7) < (1 << 64)
+
+
+class TestManifest:
+    def test_roundtrip_dict(self):
+        m = FileManifest(
+            base_file_id=9,
+            total_length=700,
+            chunk_bytes=512,
+            p=16,
+            m=32,
+            chunk_ids=(9, 1234),
+            chunk_lengths=(512, 188),
+        )
+        assert FileManifest.from_dict(m.to_dict()) == m
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FileManifest(
+                base_file_id=9, total_length=100, chunk_bytes=512,
+                p=16, m=32, chunk_ids=(9,), chunk_lengths=(99,),
+            )
+
+    def test_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            FileManifest(
+                base_file_id=9, total_length=100, chunk_bytes=512,
+                p=16, m=32, chunk_ids=(9, 10), chunk_lengths=(100,),
+            )
+
+
+class TestChunkedEncoder:
+    def test_manifest_matches_data(self, rng):
+        data = rng.bytes(1800)
+        enc = ChunkedEncoder(PARAMS, b"s", base_file_id=3)
+        manifest, chunks = enc.encode_file(data, n_peers=2)
+        assert manifest.n_chunks == 4
+        assert manifest.total_length == len(data)
+        assert sum(manifest.chunk_lengths) == len(data)
+        assert len(chunks) == 4
+        assert manifest.chunk_ids[0] == 3
+
+    def test_per_chunk_secrets_differ(self):
+        enc = ChunkedEncoder(PARAMS, b"s", base_file_id=3)
+        g0 = enc.coefficient_generator(0)
+        g1 = enc.coefficient_generator(1)
+        assert not np.array_equal(g0.row(0), g1.row(0))
+
+    def test_single_chunk_small_file(self, rng):
+        data = rng.bytes(100)
+        enc = ChunkedEncoder(PARAMS, b"s", base_file_id=3)
+        manifest, chunks = enc.encode_file(data, n_peers=2)
+        assert manifest.n_chunks == 1
+
+
+class TestStreamingDecoder:
+    @pytest.fixture
+    def stack(self, rng):
+        data = rng.bytes(1500)
+        store = DigestStore()
+        enc = ChunkedEncoder(PARAMS, b"s", base_file_id=44)
+        manifest, chunks = enc.encode_file(data, n_peers=3, digest_store=store)
+        return data, enc, manifest, chunks, store
+
+    def test_in_order_streaming(self, stack):
+        data, enc, manifest, chunks, store = stack
+        dec = StreamingDecoder(manifest, enc, digest_store=store)
+        emitted = b""
+        for encoded_file in chunks:  # chunk by chunk, in order
+            for msg in encoded_file.bundles[0]:
+                dec.offer(msg)
+            emitted += b"".join(dec.pop_ready())
+        assert emitted == data
+        assert dec.result() == data
+
+    def test_out_of_order_chunks_buffered(self, stack):
+        data, enc, manifest, chunks, store = stack
+        dec = StreamingDecoder(manifest, enc, digest_store=store)
+        # Complete the LAST chunk first: nothing pops (in-order emission).
+        for msg in chunks[-1].bundles[0]:
+            dec.offer(msg)
+        assert dec.pop_ready() == []
+        # Now complete the rest; everything pops in order.
+        for encoded_file in chunks[:-1]:
+            for msg in encoded_file.bundles[0]:
+                dec.offer(msg)
+        out = b"".join(dec.pop_ready())
+        assert out == data
+
+    def test_unknown_chunk_rejected(self, stack):
+        data, enc, manifest, chunks, store = stack
+        other_enc = ChunkedEncoder(PARAMS, b"s", base_file_id=999)
+        _, other_chunks = other_enc.encode_file(b"x" * 100, n_peers=1)
+        dec = StreamingDecoder(manifest, enc, digest_store=store)
+        assert dec.offer(other_chunks[0].bundles[0][0]) == Offer.REJECTED
+
+    def test_result_before_complete_raises(self, stack):
+        data, enc, manifest, chunks, store = stack
+        dec = StreamingDecoder(manifest, enc, digest_store=store)
+        with pytest.raises(ValueError):
+            dec.result()
+
+    def test_needed_for_chunk(self, stack):
+        data, enc, manifest, chunks, store = stack
+        dec = StreamingDecoder(manifest, enc, digest_store=store)
+        assert dec.needed_for_chunk(0) == PARAMS.k
+        dec.offer(chunks[0].bundles[0][0])
+        assert dec.needed_for_chunk(0) == PARAMS.k - 1
+
+    def test_mixed_peer_sources(self, stack, rng):
+        data, enc, manifest, chunks, store = stack
+        dec = StreamingDecoder(manifest, enc, digest_store=store)
+        msgs = [m for ef in chunks for bundle in ef.bundles for m in bundle]
+        rng.shuffle(msgs)
+        for msg in msgs:
+            dec.offer(msg)
+            if dec.is_complete:
+                break
+        assert dec.result() == data

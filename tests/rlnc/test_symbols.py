@@ -1,0 +1,81 @@
+"""Unit tests for byte <-> symbol packing."""
+
+import numpy as np
+import pytest
+
+from repro.rlnc import bytes_to_symbols, reshape_file_matrix, symbols_to_bytes
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("p", [4, 8, 16, 32])
+    def test_aligned_roundtrip(self, p, rng):
+        data = rng.bytes(64)
+        symbols = bytes_to_symbols(data, p)
+        assert symbols_to_bytes(symbols, p, length=64) == data
+
+    @pytest.mark.parametrize("p", [4, 8, 16, 32])
+    def test_unaligned_roundtrip(self, p, rng):
+        data = rng.bytes(13)
+        symbols = bytes_to_symbols(data, p)
+        assert symbols_to_bytes(symbols, p, length=13) == data
+
+    def test_empty(self):
+        for p in (4, 8, 16, 32):
+            assert bytes_to_symbols(b"", p).size == 0
+            assert symbols_to_bytes(np.array([], dtype=np.uint32), p) == b""
+
+
+class TestSemantics:
+    def test_nibble_order_big_endian(self):
+        # 0xAB -> high nibble first
+        out = bytes_to_symbols(b"\xab", 4)
+        assert out.tolist() == [0xA, 0xB]
+
+    def test_u16_big_endian(self):
+        out = bytes_to_symbols(b"\x01\x02", 16)
+        assert out.tolist() == [0x0102]
+
+    def test_u32_big_endian(self):
+        out = bytes_to_symbols(b"\x01\x02\x03\x04", 32)
+        assert out.tolist() == [0x01020304]
+
+    def test_tail_zero_padded(self):
+        out = bytes_to_symbols(b"\xff", 32)
+        assert out.tolist() == [0xFF000000]
+
+    def test_symbol_range(self, rng):
+        for p in (4, 8, 16):
+            out = bytes_to_symbols(rng.bytes(128), p)
+            assert out.max() < (1 << p)
+
+    def test_count_extension(self):
+        out = bytes_to_symbols(b"\xaa", 8, count=5)
+        assert out.tolist() == [0xAA, 0, 0, 0, 0]
+
+    def test_count_too_small_raises(self):
+        with pytest.raises(ValueError):
+            bytes_to_symbols(b"\xaa\xbb", 8, count=1)
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            bytes_to_symbols(b"12", 12)
+        with pytest.raises(ValueError):
+            symbols_to_bytes(np.zeros(2, dtype=np.uint32), 12)
+
+
+class TestReshape:
+    def test_shape_and_content(self, rng):
+        data = rng.bytes(32)
+        X = reshape_file_matrix(data, 8, k=4, m=8)
+        assert X.shape == (4, 8)
+        assert X.reshape(-1).tolist() == list(data)
+
+    def test_padding(self):
+        X = reshape_file_matrix(b"\x01", 8, k=2, m=4)
+        assert X[0].tolist() == [1, 0, 0, 0]
+        assert X[1].tolist() == [0, 0, 0, 0]
+
+    def test_odd_nibbles(self):
+        X = reshape_file_matrix(b"\xab\xcd", 4, k=2, m=3)
+        assert X[0].tolist() == [0xA, 0xB, 0xC]
+        assert X[1].tolist() == [0xD, 0, 0]

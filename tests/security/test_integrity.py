@@ -1,0 +1,91 @@
+"""Unit tests for the per-message digest store (Section III-C)."""
+
+import pytest
+
+from repro.security import DigestStore, IntegrityError
+
+
+class TestRecordVerify:
+    def test_roundtrip(self):
+        store = DigestStore()
+        store.record(1, 2, b"payload")
+        assert store.verify(1, 2, b"payload")
+
+    def test_tamper_detected(self):
+        store = DigestStore()
+        store.record(1, 2, b"payload")
+        assert not store.verify(1, 2, b"payloaD")
+
+    def test_unknown_message_fails_closed(self):
+        store = DigestStore()
+        assert not store.verify(9, 9, b"anything")
+
+    def test_require(self):
+        store = DigestStore()
+        store.record(1, 2, b"x")
+        store.require(1, 2, b"x")
+        with pytest.raises(IntegrityError):
+            store.require(1, 2, b"y")
+
+    def test_re_record_overwrites(self):
+        store = DigestStore()
+        store.record(1, 2, b"old")
+        store.record(1, 2, b"new")
+        assert store.verify(1, 2, b"new")
+        assert not store.verify(1, 2, b"old")
+
+
+class TestAlgorithms:
+    def test_md5_is_default_and_16_bytes(self):
+        store = DigestStore()
+        assert store.algorithm == "md5"
+        assert len(store.record(1, 1, b"data")) == 16
+
+    def test_sha256_supported(self):
+        store = DigestStore(algorithm="sha256")
+        assert len(store.record(1, 1, b"data")) == 32
+        assert store.verify(1, 1, b"data")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            DigestStore(algorithm="crc32")
+
+
+class TestSlices:
+    def test_slice_for_file(self):
+        store = DigestStore()
+        store.record(1, 0, b"a")
+        store.record(1, 1, b"b")
+        store.record(2, 0, b"c")
+        s = store.slice_for_file(1)
+        assert set(s) == {0, 1}
+
+    def test_merge_into_fresh_store(self):
+        owner = DigestStore()
+        owner.record(7, 3, b"msg")
+        carried = DigestStore()
+        carried.merge(7, owner.slice_for_file(7))
+        assert carried.verify(7, 3, b"msg")
+        assert not carried.verify(7, 3, b"forged")
+
+    def test_len(self):
+        store = DigestStore()
+        assert len(store) == 0
+        store.record(1, 1, b"x")
+        store.record(1, 2, b"y")
+        assert len(store) == 2
+
+
+class TestOverhead:
+    def test_paper_overhead_figure(self):
+        """Section III-C: for k=8 this is '128 hash bytes per megabyte'."""
+        store = DigestStore()
+        for mid in range(8):  # k = 8 messages for 1 MB at the example point
+            store.record(1, mid, bytes([mid]))
+        assert store.overhead_bytes(1) == 128
+
+    def test_overhead_scales_with_algorithm(self):
+        store = DigestStore(algorithm="sha256")
+        for mid in range(8):
+            store.record(1, mid, bytes([mid]))
+        assert store.overhead_bytes(1) == 256

@@ -1,0 +1,184 @@
+"""Unit and property tests for the Merkle digest commitment."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security import (
+    DigestStore,
+    MerkleDigestIndex,
+    MerkleProof,
+    MerkleVerifier,
+    merkle_root,
+)
+
+
+def digests_for(n, salt=b""):
+    return {mid: hashlib.md5(salt + bytes([mid % 256])).digest() for mid in range(n)}
+
+
+class TestIndexConstruction:
+    def test_single_leaf(self):
+        index = MerkleDigestIndex(digests_for(1))
+        proof = index.prove(0)
+        assert proof.siblings == ()
+        assert proof.root() == index.root
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 33])
+    def test_all_proofs_verify(self, n):
+        index = MerkleDigestIndex(digests_for(n))
+        for mid in range(n):
+            assert index.prove(mid).root() == index.root
+
+    def test_root_independent_of_insertion_order(self):
+        d = digests_for(10)
+        shuffled = dict(sorted(d.items(), key=lambda kv: -kv[0]))
+        assert MerkleDigestIndex(d).root == MerkleDigestIndex(shuffled).root
+
+    def test_root_sensitive_to_any_digest(self):
+        d = digests_for(8)
+        base = merkle_root(d)
+        for mid in d:
+            tampered = dict(d)
+            tampered[mid] = hashlib.md5(b"evil").digest()
+            assert merkle_root(tampered) != base
+
+    def test_root_sensitive_to_id_binding(self):
+        d = digests_for(4)
+        swapped = dict(d)
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        assert merkle_root(swapped) != merkle_root(d)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleDigestIndex({})
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            MerkleDigestIndex(digests_for(4)).prove(99)
+
+    def test_proof_depth_logarithmic(self):
+        index = MerkleDigestIndex(digests_for(33))
+        assert len(index.prove(0).siblings) == 6  # ceil(log2(33))
+
+
+class TestMetadataSavings:
+    def test_carried_bytes(self):
+        index = MerkleDigestIndex(digests_for(1000))
+        assert index.carried_bytes_plain() == 16_000
+        assert index.carried_bytes_merkle() == 32
+
+    def test_savings_motivating_case(self):
+        """A 1 GB file at the paper's point: 1024 chunks x 8 messages x
+        n peers — carrying 16 B each adds up; the root stays 32 B."""
+        n_messages = 1024 * 8 * 4
+        index = MerkleDigestIndex(digests_for(512) | digests_for(0))  # shape only
+        assert 16 * n_messages > 500_000  # half an MB of plain metadata
+        assert index.carried_bytes_merkle() == 32
+
+
+class TestVerifier:
+    @pytest.fixture
+    def setup(self):
+        payloads = {mid: bytes([mid]) * 10 for mid in range(8)}
+        digests = {mid: hashlib.md5(p).digest() for mid, p in payloads.items()}
+        index = MerkleDigestIndex(digests)
+        verifier = MerkleVerifier({7: index.root})
+        return payloads, index, verifier
+
+    def test_admit_then_verify(self, setup):
+        payloads, index, verifier = setup
+        assert verifier.admit_proof(7, index.prove(3))
+        assert verifier.verify(7, 3, payloads[3])
+        assert verifier.proofs_accepted == 1
+
+    def test_verify_without_proof_fails_closed(self, setup):
+        payloads, index, verifier = setup
+        assert not verifier.verify(7, 3, payloads[3])
+
+    def test_wrong_root_rejected(self, setup):
+        payloads, index, verifier = setup
+        other = MerkleDigestIndex(digests_for(8, salt=b"x"))
+        assert not verifier.admit_proof(7, other.prove(3))
+        assert verifier.proofs_rejected == 1
+
+    def test_unknown_file_rejected(self, setup):
+        payloads, index, verifier = setup
+        assert not verifier.admit_proof(99, index.prove(3))
+
+    def test_tampered_payload_rejected(self, setup):
+        payloads, index, verifier = setup
+        verifier.admit_proof(7, index.prove(3))
+        assert not verifier.verify(7, 3, payloads[3] + b"!")
+
+    def test_forged_proof_rejected(self, setup):
+        payloads, index, verifier = setup
+        genuine = index.prove(3)
+        forged = MerkleProof(
+            message_id=3,
+            digest=hashlib.md5(b"evil").digest(),
+            index=genuine.index,
+            siblings=genuine.siblings,
+        )
+        assert not verifier.admit_proof(7, forged)
+
+    def test_plugs_into_progressive_decoder(self, rng):
+        """End-to-end: decoder guarded by a MerkleVerifier instead of a
+        digest list — the carried metadata drops to one root."""
+        from repro.rlnc import CodingParams, FileEncoder, Offer, ProgressiveDecoder
+
+        params = CodingParams(p=16, m=16, file_bytes=256)
+        data = rng.bytes(256)
+        store = DigestStore()
+        encoder = FileEncoder(params, b"owner", file_id=5)
+        encoded = encoder.encode_bundles(data, n_peers=1, digest_store=store)
+        index = MerkleDigestIndex(store.slice_for_file(5))
+        verifier = MerkleVerifier({5: index.root})
+
+        decoder = ProgressiveDecoder(
+            params, encoder.coefficients, digest_store=verifier
+        )
+        for msg in encoded.bundles[0]:
+            # Without an admitted proof the message is rejected...
+            assert decoder.offer(msg) == Offer.REJECTED
+            # ...after the serving peer supplies the proof, it verifies.
+            assert verifier.admit_proof(5, index.prove(msg.message_id))
+            assert decoder.offer(msg) in (Offer.ACCEPTED, Offer.COMPLETE)
+        assert decoder.result(len(data)) == data
+
+
+class TestProofProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=64),
+        salt=st.binary(min_size=0, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_proof_verifies_every_forgery_fails(self, n, salt):
+        d = digests_for(n, salt=salt)
+        index = MerkleDigestIndex(d)
+        for mid in list(d)[: min(n, 8)]:
+            proof = index.prove(mid)
+            assert proof.root() == index.root
+            wrong = MerkleProof(
+                message_id=proof.message_id,
+                digest=hashlib.md5(b"f" + proof.digest).digest(),
+                index=proof.index,
+                siblings=proof.siblings,
+            )
+            assert wrong.root() != index.root
+
+    @given(n=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_proof_not_transferable_between_positions(self, n):
+        index = MerkleDigestIndex(digests_for(n))
+        p0 = index.prove(0)
+        p1 = index.prove(1)
+        crossed = MerkleProof(
+            message_id=p0.message_id,
+            digest=p0.digest,
+            index=p1.index,
+            siblings=p1.siblings,
+        )
+        assert crossed.root() != index.root

@@ -1,0 +1,98 @@
+"""Unit tests for the keyed deterministic symbol stream."""
+
+import numpy as np
+import pytest
+
+from repro.security import SUPPORTED_SYMBOL_BITS, KeyedStream, derive_key
+
+
+class TestDeriveKey:
+    def test_deterministic(self):
+        assert derive_key(b"s", "a", 1) == derive_key(b"s", "a", 1)
+
+    def test_sensitive_to_secret(self):
+        assert derive_key(b"s1", "a") != derive_key(b"s2", "a")
+
+    def test_sensitive_to_parts(self):
+        assert derive_key(b"s", "a", "b") != derive_key(b"s", "ab")
+        assert derive_key(b"s", b"ab", b"c") != derive_key(b"s", b"a", b"bc")
+
+    def test_part_types(self):
+        # str parts are UTF-8 encoded (so "1" == b"1"); ints use a fixed
+        # 16-byte encoding distinct from their decimal string.
+        assert derive_key(b"s", "1") == derive_key(b"s", b"1")
+        assert derive_key(b"s", 1) != derive_key(b"s", "1")
+
+    def test_output_is_32_bytes(self):
+        assert len(derive_key(b"s", "x")) == 32
+
+
+class TestKeyedStream:
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            KeyedStream(b"")
+
+    def test_deterministic_bytes(self):
+        s = KeyedStream(b"key")
+        assert s.bytes_for("label", 100) == s.bytes_for("label", 100)
+
+    def test_prefix_property(self):
+        s = KeyedStream(b"key")
+        long = s.bytes_for("label", 200)
+        assert s.bytes_for("label", 50) == long[:50]
+
+    def test_labels_independent(self):
+        s = KeyedStream(b"key")
+        assert s.bytes_for("a", 64) != s.bytes_for("b", 64)
+
+    def test_keys_independent(self):
+        assert KeyedStream(b"k1").bytes_for("a", 64) != KeyedStream(b"k2").bytes_for(
+            "a", 64
+        )
+
+    def test_count_zero(self):
+        assert KeyedStream(b"k").bytes_for("a", 0) == b""
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            KeyedStream(b"k").bytes_for("a", -1)
+
+
+class TestSymbols:
+    @pytest.mark.parametrize("bits", SUPPORTED_SYMBOL_BITS)
+    def test_count_and_range(self, bits):
+        s = KeyedStream(b"key")
+        out = s.symbols("lbl", 1000, bits)
+        assert out.shape == (1000,)
+        assert out.dtype == np.uint32
+        assert int(out.max()) < (1 << bits)
+
+    def test_odd_count_nibbles(self):
+        s = KeyedStream(b"key")
+        assert s.symbols("lbl", 7, 4).shape == (7,)
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            KeyedStream(b"k").symbols("a", 10, 12)
+
+    @pytest.mark.parametrize("bits", SUPPORTED_SYMBOL_BITS)
+    def test_roughly_uniform(self, bits):
+        s = KeyedStream(b"key")
+        out = s.symbols("uniform", 4000, bits).astype(np.float64)
+        mean = out.mean() / ((1 << bits) - 1)
+        assert 0.45 < mean < 0.55
+
+    def test_deterministic(self):
+        a = KeyedStream(b"key").symbols("x", 32, 16)
+        b = KeyedStream(b"key").symbols("x", 32, 16)
+        assert np.array_equal(a, b)
+
+
+class TestFloats:
+    def test_unit_interval(self):
+        out = KeyedStream(b"key").floats("f", 500)
+        assert np.all(out >= 0.0) and np.all(out < 1.0)
+
+    def test_mean_near_half(self):
+        out = KeyedStream(b"key").floats("f", 5000)
+        assert 0.47 < out.mean() < 0.53

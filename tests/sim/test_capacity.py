@@ -1,0 +1,66 @@
+"""Unit tests for capacity profiles."""
+
+import pytest
+
+from repro.sim import ConstantCapacity, StepCapacity, as_capacity
+
+
+class TestConstant:
+    def test_value(self):
+        assert ConstantCapacity(256.0).value(0) == 256.0
+        assert ConstantCapacity(256.0).value(10**9) == 256.0
+
+    def test_mean(self):
+        assert ConstantCapacity(100.0).mean(50) == 100.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantCapacity(-1.0)
+
+
+class TestStep:
+    def test_fig8b_profile(self):
+        profile = StepCapacity([(0, 1024.0), (1000, 512.0), (3000, 1024.0)])
+        assert profile.value(0) == 1024.0
+        assert profile.value(999) == 1024.0
+        assert profile.value(1000) == 512.0
+        assert profile.value(2999) == 512.0
+        assert profile.value(3000) == 1024.0
+
+    def test_before_first_step_is_zero(self):
+        profile = StepCapacity([(100, 512.0)])
+        assert profile.value(0) == 0.0
+        assert profile.value(99) == 0.0
+        assert profile.value(100) == 512.0
+
+    def test_unsorted_input_ok(self):
+        profile = StepCapacity([(50, 2.0), (0, 1.0)])
+        assert profile.value(10) == 1.0
+        assert profile.value(60) == 2.0
+
+    def test_mean(self):
+        profile = StepCapacity([(0, 10.0), (5, 20.0)])
+        assert profile.mean(10) == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepCapacity([])
+        with pytest.raises(ValueError):
+            StepCapacity([(0, -1.0)])
+        with pytest.raises(ValueError):
+            StepCapacity([(0, 1.0), (0, 2.0)])
+
+    def test_mean_validation(self):
+        with pytest.raises(ValueError):
+            ConstantCapacity(1.0).mean(0)
+
+
+class TestAsCapacity:
+    def test_coercions(self):
+        assert isinstance(as_capacity(100), ConstantCapacity)
+        p = StepCapacity([(0, 1.0)])
+        assert as_capacity(p) is p
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TypeError):
+            as_capacity("fast")

@@ -1,0 +1,54 @@
+"""Tests for the churn scenario (dynamic environment, future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import check_theorem1
+from repro.sim import churn_network
+
+
+class TestChurnScenario:
+    def test_churners_actually_churn(self):
+        result = churn_network(n=6, slots=10_000, seed=2)
+        for i in range(3):  # churners
+            caps = result.capacities[:, i]
+            assert (caps == 0).any() and (caps > 0).any(), i
+        for i in range(3, 6):  # stable peers
+            assert np.all(result.capacities[:, i] == 512.0)
+
+    def test_stable_peers_keep_theorem1(self):
+        """The incentive bound must hold for stable peers even as others
+        come and go (their mu_i is what they actually provided)."""
+        result = churn_network(n=8, slots=25_000, seed=4)
+        report = check_theorem1(
+            result.mean_capacity(), result.empirical_gamma(), result.mean_alloc
+        )
+        for i in range(4, 8):  # stable peers
+            assert report.slack[i] >= -0.03 * 512.0, (i, report.slack)
+
+    def test_churners_get_proportionally_less(self):
+        """A peer online half the time contributes half the capacity and
+        should receive commensurately less than stable peers."""
+        result = churn_network(n=8, slots=25_000, seed=4)
+        rates = result.mean_download_bandwidth()
+        contributed = result.mean_capacity()
+        churn_ratio = rates[:4].mean() / rates[4:].mean()
+        contrib_ratio = contributed[:4].mean() / contributed[4:].mean()
+        # Received share tracks contributed share within a loose band.
+        assert churn_ratio == pytest.approx(contrib_ratio, abs=0.30)
+        assert rates[:4].mean() < rates[4:].mean()
+
+    def test_total_capacity_never_exceeded(self):
+        result = churn_network(n=6, slots=5_000, seed=1)
+        assert np.all(
+            result.rates.sum(axis=1) <= result.capacities.sum(axis=1) + 1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            churn_network(n=4, churners=5, slots=100)
+
+    def test_deterministic(self):
+        a = churn_network(n=4, slots=2_000, seed=7)
+        b = churn_network(n=4, slots=2_000, seed=7)
+        assert np.array_equal(a.rates, b.rates)

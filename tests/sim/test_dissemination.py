@@ -1,0 +1,128 @@
+"""Unit tests for the initialization-phase (seeding) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    BernoulliDemand,
+    DisseminationSimulator,
+    ScheduleDemand,
+    SeedingOrder,
+    StepCapacity,
+)
+
+MSG = 1000  # bytes per message
+K = 4
+
+
+def sim(**kwargs):
+    defaults = dict(
+        owner_capacity=8.0,  # 8 kbps -> 1000 B/slot -> 1 message/slot
+        peer_capacities=[8.0, 8.0, 8.0],
+        message_bytes=MSG,
+        k=K,
+    )
+    defaults.update(kwargs)
+    return DisseminationSimulator(**defaults)
+
+
+class TestBasics:
+    def test_completes_and_counts(self):
+        report = sim().run()
+        assert report.complete
+        assert report.messages_sent == 3 * K
+        assert report.slots == 3 * K  # one message per slot
+
+    def test_timing_exact_sequential(self):
+        report = sim(order=SeedingOrder.SEQUENTIAL).run()
+        # Peer 0's k messages complete at slot k-1 (0-indexed slot ends).
+        assert report.first_replica_slot == K - 1
+        assert report.all_seeded_slot == 3 * K - 1
+
+    def test_round_robin_delays_first_replica(self):
+        seq = sim(order=SeedingOrder.SEQUENTIAL).run()
+        rr = sim(order=SeedingOrder.ROUND_ROBIN).run()
+        assert rr.first_replica_slot > seq.first_replica_slot
+        # but both finish at the same time
+        assert rr.all_seeded_slot == seq.all_seeded_slot
+
+    def test_seeded_curve_monotone(self):
+        report = sim().run()
+        assert np.all(np.diff(report.seeded_over_time) >= 0)
+        assert report.seeded_over_time[-1] == 3
+
+    def test_potential_rate_ramps_up(self):
+        report = sim().run()
+        assert report.potential_rate_over_time[0] == 8.0  # owner only
+        assert report.potential_rate_over_time[-1] == 8.0 * 4  # + 3 peers
+        assert report.ramp_up_factor() == pytest.approx(4.0)
+
+
+class TestBusyUplink:
+    def test_busy_slots_stall_seeding(self):
+        # Owner busy for the first 10 slots: nothing seeds.
+        report = sim(owner_busy=ScheduleDemand([(0, 10)])).run()
+        assert report.first_replica_slot == 10 + K - 1
+        assert report.busy_fraction > 0
+
+    def test_random_busyness_slows_roughly_proportionally(self):
+        quiet = sim().run()
+        busy = sim(owner_busy=BernoulliDemand(0.5), seed=3).run()
+        assert busy.slots > quiet.slots * 1.5  # ~2x expected
+
+    def test_always_busy_never_completes(self):
+        report = sim(owner_busy=True).run(max_slots=100)
+        assert not report.complete
+        assert report.messages_sent == 0
+        assert report.busy_fraction == 1.0
+
+
+class TestCapacityShapes:
+    def test_fractional_messages_carry_over(self):
+        # 4 kbps = 500 B/slot: one message every 2 slots.
+        report = sim(owner_capacity=4.0).run()
+        assert report.slots == 2 * 3 * K
+
+    def test_time_varying_uplink(self):
+        # Uplink appears only from slot 5.
+        profile = StepCapacity([(0, 0.0), (5, 8.0)])
+        report = sim(owner_capacity=profile).run()
+        assert report.first_replica_slot == 5 + K - 1
+
+    def test_zero_capacity_never_completes(self):
+        report = sim(owner_capacity=0.0).run(max_slots=50)
+        assert not report.complete
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            sim(k=0)
+        with pytest.raises(ValueError):
+            sim(message_bytes=0)
+        with pytest.raises(ValueError):
+            sim(peer_capacities=[])
+        with pytest.raises(ValueError):
+            sim(slot_seconds=0)
+
+
+class TestPaperScale:
+    def test_one_megabyte_at_the_paper_point(self):
+        """1 MB at k=8, q=2^32, m=2^15: 8 messages of ~128 KiB + header,
+        per peer, over a 256 kbps cable uplink; 4 peers ~= 4 MB total
+        ~= 131 s/MB -> ~526 s of pure uplink time."""
+        from repro.rlnc import PAPER_EXAMPLE
+
+        message_bytes = 16 + PAPER_EXAMPLE.message_bytes
+        simulator = DisseminationSimulator(
+            owner_capacity=256.0,
+            peer_capacities=[256.0] * 4,
+            message_bytes=message_bytes,
+            k=PAPER_EXAMPLE.k,
+        )
+        report = simulator.run()
+        assert report.complete
+        expected = 4 * PAPER_EXAMPLE.k * message_bytes * 8 / 256_000
+        assert report.slots == pytest.approx(expected, rel=0.02)
+        # Availability is never zero meanwhile: the owner still serves.
+        assert np.all(report.potential_rate_over_time >= 256.0)

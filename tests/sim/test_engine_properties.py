@@ -1,0 +1,90 @@
+"""Property-based tests of engine invariants over random configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EqualSplitAllocator,
+    FreeRiderAllocator,
+    GlobalProportionalAllocator,
+    PeerwiseProportionalAllocator,
+    SelfHoarderAllocator,
+)
+from repro.sim import BernoulliDemand, PeerConfig, Simulation
+
+ALLOCATORS = [
+    PeerwiseProportionalAllocator,
+    GlobalProportionalAllocator,
+    EqualSplitAllocator,
+    FreeRiderAllocator,
+    SelfHoarderAllocator,
+]
+
+
+def network_configs(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    configs = []
+    for i in range(n):
+        cap = draw(st.floats(min_value=0.0, max_value=2000.0))
+        gamma = draw(st.floats(min_value=0.0, max_value=1.0))
+        allocator_cls = draw(st.sampled_from(ALLOCATORS))
+        configs.append(
+            PeerConfig(
+                capacity=cap,
+                demand=BernoulliDemand(gamma),
+                allocator=allocator_cls(),
+            )
+        )
+    return configs
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_conservation_holds_for_any_network(data):
+    """No slot may deliver more than the physical capacities allow, and
+    nothing flows to users who did not request."""
+    configs = network_configs(data.draw)
+    seed = data.draw(st.integers(min_value=0, max_value=1000))
+    sim = Simulation(configs, seed=seed)
+    result = sim.run(30, record_allocations=True)
+
+    assert np.all(result.alloc_history >= 0)
+    per_slot_sent = result.alloc_history.sum(axis=2)  # (T, n) peer outflow
+    assert np.all(per_slot_sent <= result.capacities + 1e-9)
+    # Non-requesters receive exactly zero.
+    received = result.alloc_history.sum(axis=1)  # (T, n) user inflow
+    assert np.all(received[~result.requesting] == 0.0)
+
+
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_ledgers_equal_received_totals(data):
+    """Every ledger equals the initial credit plus all bandwidth its user
+    actually received — the bookkeeping invariant of Equation (2)."""
+    configs = network_configs(data.draw)
+    sim = Simulation(configs, seed=7, initial_credit=1e-6)
+    result = sim.run(25, record_allocations=True)
+    received = result.alloc_history.sum(axis=0)  # (from, to) totals
+    for j, peer in enumerate(sim.peers):
+        expected = received[:, j] + 1e-6
+        assert np.allclose(peer.ledger.credits, expected, rtol=1e-9, atol=1e-12)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    slots=st.integers(min_value=1, max_value=60),
+)
+@settings(max_examples=25, deadline=None)
+def test_determinism(seed, slots):
+    def run():
+        configs = [
+            PeerConfig(capacity=100.0 * (i + 1), demand=BernoulliDemand(0.5))
+            for i in range(3)
+        ]
+        return Simulation(configs, seed=seed).run(slots)
+
+    a, b = run(), run()
+    assert np.array_equal(a.rates, b.rates)
+    assert np.array_equal(a.requesting, b.requesting)

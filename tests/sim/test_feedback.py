@@ -1,0 +1,76 @@
+"""Tests for delayed ledger feedback (periodic informational updates).
+
+The paper's user "contacts its corresponding peer periodically with
+informational updates" and "this step can be done off-line" — so a
+peer's ledger may lag the true received-bandwidth measurements.  The
+engine models this with ``feedback_interval``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import check_theorem1
+from repro.sim import AlwaysOn, BernoulliDemand, PeerConfig, Simulation
+
+
+def saturated(caps, **kwargs):
+    return Simulation(
+        [PeerConfig(capacity=c, demand=AlwaysOn()) for c in caps], **kwargs
+    )
+
+
+class TestMechanics:
+    def test_interval_one_is_default_behaviour(self):
+        a = saturated([100.0, 200.0], feedback_interval=1)
+        b = saturated([100.0, 200.0])
+        ra = a.run(100)
+        rb = b.run(100)
+        assert np.array_equal(ra.rates, rb.rates)
+
+    def test_ledger_frozen_between_updates(self):
+        sim = saturated([100.0, 200.0], feedback_interval=10)
+        initial = sim.peers[0].ledger.credits.copy()
+        for _ in range(9):
+            sim.step()
+            assert np.array_equal(sim.peers[0].ledger.credits, initial)
+        sim.step()  # slot 10 flushes the batch
+        assert not np.array_equal(sim.peers[0].ledger.credits, initial)
+
+    def test_batch_conserves_measurements(self):
+        """Nothing is lost in the buffer: after a flush boundary, each
+        ledger holds exactly the sum of what its user received."""
+        from repro.core import DEFAULT_INITIAL_CREDIT
+
+        sim = saturated([100.0, 300.0], feedback_interval=5)
+        result = sim.run(5, record_allocations=True)
+        received = result.alloc_history.sum(axis=0)  # [from, to] totals
+        for j in range(2):
+            expected = received[:, j] + DEFAULT_INITIAL_CREDIT
+            assert np.allclose(sim.peers[j].ledger.credits, expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            saturated([1.0], feedback_interval=0)
+
+
+class TestConvergenceWithDelay:
+    @pytest.mark.parametrize("interval", [10, 100])
+    def test_saturated_fixed_point_unchanged(self, interval):
+        """Delayed feedback slows adaptation but must not move the
+        fixed point: saturated rates still converge to capacities."""
+        caps = [128.0, 256.0, 1024.0]
+        sim = saturated(caps, feedback_interval=interval)
+        result = sim.run(3000)
+        final = result.window_mean_rates(2500, 3000)
+        assert np.allclose(final, caps, rtol=0.06)
+
+    def test_theorem1_survives_delay(self):
+        configs = [
+            PeerConfig(capacity=c, demand=BernoulliDemand(g))
+            for c, g in zip([100.0, 300.0, 500.0], [0.4, 0.6, 0.8])
+        ]
+        result = Simulation(configs, seed=13, feedback_interval=50).run(15_000)
+        report = check_theorem1(
+            result.mean_capacity(), result.empirical_gamma(), result.mean_alloc
+        )
+        assert report.satisfied(tolerance=10.0)

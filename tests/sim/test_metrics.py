@@ -1,0 +1,90 @@
+"""Unit tests for simulation result metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim import SimulationResult
+
+
+def make_result():
+    rates = np.array(
+        [
+            [100.0, 0.0],
+            [150.0, 50.0],
+            [200.0, 100.0],
+            [250.0, 0.0],
+        ]
+    )
+    requesting = np.array(
+        [
+            [True, False],
+            [True, True],
+            [True, True],
+            [True, False],
+        ]
+    )
+    capacities = np.full((4, 2), 100.0)
+    mean_alloc = np.array([[50.0, 10.0], [125.0, 27.5]])
+    return SimulationResult(
+        rates=rates,
+        requesting=requesting,
+        capacities=capacities,
+        mean_alloc=mean_alloc,
+        labels=("a", "b"),
+    )
+
+
+class TestBasics:
+    def test_dimensions(self):
+        r = make_result()
+        assert r.slots == 4
+        assert r.n == 2
+
+    def test_empirical_gamma(self):
+        r = make_result()
+        assert np.allclose(r.empirical_gamma(), [1.0, 0.5])
+
+    def test_mean_capacity(self):
+        assert np.allclose(make_result().mean_capacity(), [100.0, 100.0])
+
+    def test_labels(self):
+        r = make_result()
+        assert r.label_of(0) == "a"
+        assert r.label_of(5) == "peer 5"
+
+
+class TestRates:
+    def test_mean_download_bandwidth(self):
+        r = make_result()
+        assert np.allclose(r.mean_download_bandwidth(), [175.0, 37.5])
+
+    def test_mean_rate_while_requesting(self):
+        r = make_result()
+        assert r.mean_rate_while_requesting()[0] == pytest.approx(175.0)
+        assert r.mean_rate_while_requesting()[1] == pytest.approx(75.0)
+
+    def test_window_mean(self):
+        r = make_result()
+        assert np.allclose(r.window_mean_rates(1, 3), [175.0, 75.0])
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            make_result().window_mean_rates(3, 2)
+
+    def test_smoothing_matches_running_average(self):
+        r = make_result()
+        out = r.smoothed_rates(window=2)
+        assert out[1, 0] == pytest.approx(125.0)
+
+
+class TestIsolationComparisons:
+    def test_isolation_baseline(self):
+        r = make_result()
+        # gamma_hat * capacity with realised indicators: [1.0, 0.5] * 100
+        assert np.allclose(r.isolation_baseline(), [100.0, 50.0])
+
+    def test_gains_over_isolation(self):
+        r = make_result()
+        gains = r.gains_over_isolation()
+        assert gains[0] == pytest.approx(75.0)  # 175 - 100
+        assert gains[1] == pytest.approx(-25.0)  # 75 - 100

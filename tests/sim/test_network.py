@@ -1,0 +1,145 @@
+"""Integration tests for the full-stack file-sharing network."""
+
+import numpy as np
+import pytest
+
+from repro.core import FreeRiderAllocator
+from repro.rlnc import CodingParams
+from repro.sim import FileSharingNetwork
+
+
+@pytest.fixture(scope="module")
+def small_params():
+    return CodingParams(p=16, m=64, file_bytes=1024)  # k = 8
+
+
+@pytest.fixture
+def net(small_params):
+    return FileSharingNetwork(
+        [256.0, 512.0, 1024.0], params=small_params, seed=4
+    )
+
+
+@pytest.fixture
+def payload(rng):
+    return rng.bytes(3000)
+
+
+class TestPublish:
+    def test_bundles_distributed_to_all_peers(self, net, payload):
+        handle = net.publish(owner=0, name="f", data=payload)
+        for store in net.stores:
+            for chunk_id in handle.manifest.chunk_ids:
+                assert store.count(chunk_id) == net.params.k
+
+    def test_duplicate_name_rejected(self, net, payload):
+        net.publish(owner=0, name="f", data=payload)
+        with pytest.raises(ValueError):
+            net.publish(owner=1, name="f", data=payload)
+
+    def test_bad_owner_rejected(self, net, payload):
+        with pytest.raises(IndexError):
+            net.publish(owner=9, name="f", data=payload)
+
+    def test_message_limit(self, net, payload):
+        handle = net.publish(owner=0, name="f", data=payload, message_limit=3)
+        assert net.stores[1].count(handle.manifest.chunk_ids[0]) == 3
+
+    def test_initialization_time_positive(self, net, payload):
+        handle = net.publish(owner=0, name="f", data=payload)
+        seconds = net.initialization_seconds(handle)
+        assert seconds > 0
+        # wire bytes * 8 / (kbps * 1000)
+        assert seconds == pytest.approx(handle.wire_bytes * 8 / 256_000)
+
+    def test_digests_recorded_with_owner(self, net, payload):
+        handle = net.publish(owner=2, name="f", data=payload)
+        expected = handle.n_chunks * net.params.k * net.n
+        assert len(net.digest_stores[2]) == expected
+
+
+class TestDownload:
+    def test_roundtrip(self, net, payload):
+        net.publish(owner=0, name="f", data=payload)
+        result = net.download(user=0, name="f")
+        assert result.complete
+        assert result.data == payload
+
+    def test_download_someone_elses_file(self, net, payload):
+        """Any authenticated user can fetch the coded messages; only the
+        owner's manifest (held by the network registry here) makes them
+        decodable — user 1 downloading user 0's published file models
+        user 0 at a remote terminal."""
+        net.publish(owner=0, name="f", data=payload)
+        result = net.download(user=1, name="f")
+        assert result.complete and result.data == payload
+
+    def test_unknown_file(self, net):
+        with pytest.raises(KeyError):
+            net.download(user=0, name="nope")
+
+    def test_aggregate_rate_beats_own_uplink(self, small_params, rng):
+        data = rng.bytes(4000)
+        net = FileSharingNetwork([256.0] * 6, params=small_params, seed=1)
+        net.publish(owner=0, name="f", data=data)
+        result = net.download(user=0, name="f", download_cap_kbps=10_000.0)
+        assert result.mean_rate_kbps() > 256.0 * 3
+
+    def test_download_cap_respected(self, small_params, rng):
+        data = rng.bytes(4000)
+        net = FileSharingNetwork([256.0] * 6, params=small_params, seed=1)
+        net.publish(owner=0, name="f", data=data)
+        result = net.download(user=0, name="f", download_cap_kbps=300.0)
+        assert result.complete
+        assert result.mean_rate_kbps() <= 300.0 * 1.01
+
+    def test_subset_of_peers(self, net, payload):
+        net.publish(owner=0, name="f", data=payload)
+        result = net.download(user=0, name="f", peers=[0, 1])
+        assert result.complete and result.data == payload
+
+    def test_partial_storage_needs_other_peers(self, small_params, rng):
+        data = rng.bytes(1000)
+        net = FileSharingNetwork([100.0, 100.0, 100.0], params=small_params, seed=2)
+        net.publish(owner=0, name="f", data=data, message_limit=3)
+        # 3 peers x 3 messages = 9 >= k = 8: decodable only by combining.
+        result = net.download(user=0, name="f")
+        assert result.complete and result.data == data
+
+    def test_partial_storage_insufficient_fails_cleanly(self, small_params, rng):
+        data = rng.bytes(1000)
+        net = FileSharingNetwork([100.0, 100.0], params=small_params, seed=2)
+        net.publish(owner=0, name="f", data=data, message_limit=3)
+        # 2 peers x 3 = 6 < k = 8: cannot complete.
+        result = net.download(user=0, name="f", max_slots=500)
+        assert not result.complete
+        assert result.data == b""
+
+    def test_ledgers_updated_by_download(self, net, payload):
+        net.publish(owner=0, name="f", data=payload)
+        before = net.ledger_of(0).credits.copy()
+        net.download(user=0, name="f")
+        after = net.ledger_of(0).credits
+        assert after.sum() > before.sum()
+
+    def test_free_riding_peer_still_serves_stored_data(self, small_params, rng):
+        """A peer whose *allocator* free-rides contributes no bandwidth,
+        but the others still carry the download."""
+        data = rng.bytes(1000)
+        net = FileSharingNetwork(
+            [100.0] * 4,
+            params=small_params,
+            seed=3,
+            allocators={1: FreeRiderAllocator()},
+        )
+        net.publish(owner=0, name="f", data=data)
+        result = net.download(user=0, name="f")
+        assert result.complete and result.data == data
+        # Peer 1 transferred nothing.
+        assert result.reports[0].per_peer_bytes[1] == 0.0
+
+
+class TestValidation:
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            FileSharingNetwork([])

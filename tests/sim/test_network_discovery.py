@@ -1,0 +1,59 @@
+"""Integration tests for DHT-backed content location in the network."""
+
+import pytest
+
+from repro.rlnc import CodingParams
+from repro.sim import FileSharingNetwork
+
+PARAMS = CodingParams(p=16, m=64, file_bytes=1024)
+
+
+@pytest.fixture
+def net():
+    return FileSharingNetwork(
+        [200.0] * 6, params=PARAMS, seed=5, use_discovery=True
+    )
+
+
+class TestDiscovery:
+    def test_download_via_dht(self, net, rng):
+        data = rng.bytes(3000)
+        net.publish(owner=0, name="f", data=data)
+        hops_after_publish = net.lookup_hops
+        result = net.download(user=3, name="f")
+        assert result.complete and result.data == data
+        # Locating each of the 3 chunks cost routing hops.
+        assert net.lookup_hops >= hops_after_publish
+
+    def test_explicit_peers_bypass_dht(self, net, rng):
+        data = rng.bytes(1000)
+        net.publish(owner=0, name="f", data=data)
+        before = net.lookup_hops
+        result = net.download(user=0, name="f", peers=[1, 2])
+        assert result.complete
+        assert net.lookup_hops == before  # no lookups performed
+
+    def test_updates_republish_changed_chunks(self, net, rng):
+        data = rng.bytes(3000)
+        net.publish(owner=0, name="f", data=data)
+        edited = bytearray(data)
+        edited[0] ^= 1
+        net.publish_update(0, "f", bytes(edited))
+        # The new chunk id must be resolvable and the download current.
+        result = net.download(user=2, name="f")
+        assert result.data == bytes(edited)
+
+    def test_disabled_by_default(self, rng):
+        net = FileSharingNetwork([200.0] * 3, params=PARAMS, seed=5)
+        assert net.directory is None
+        data = rng.bytes(1000)
+        net.publish(owner=0, name="f", data=data)
+        assert net.download(user=0, name="f").data == data
+        assert net.lookup_hops == 0
+
+    def test_directory_holds_every_chunk(self, net, rng):
+        data = rng.bytes(3000)
+        handle = net.publish(owner=0, name="f", data=data)
+        for chunk_id in handle.manifest.chunk_ids:
+            holders, _ = net.directory.locate(chunk_id)
+            assert holders == tuple(range(net.n))

@@ -1,0 +1,86 @@
+"""Integration tests for versioned updates through the full network."""
+
+import numpy as np
+import pytest
+
+from repro.rlnc import CodingParams
+from repro.sim import FileSharingNetwork
+
+PARAMS = CodingParams(p=16, m=64, file_bytes=1024)  # k = 8
+
+
+@pytest.fixture
+def net():
+    return FileSharingNetwork([200.0, 400.0, 800.0], params=PARAMS, seed=9)
+
+
+@pytest.fixture
+def original(rng):
+    return rng.bytes(4 * 1024)
+
+
+class TestPublishUpdate:
+    def test_updated_content_downloads(self, net, original):
+        net.publish(owner=0, name="doc", data=original)
+        edited = bytearray(original)
+        edited[1500] ^= 0xAA  # chunk 1
+        result = net.publish_update(0, "doc", bytes(edited))
+        assert result.changed_chunks == (1,)
+        download = net.download(user=0, name="doc")
+        assert download.complete
+        assert download.data == bytes(edited)
+
+    def test_version_advances(self, net, original):
+        handle = net.publish(owner=0, name="doc", data=original)
+        assert handle.version == 0
+        net.publish_update(0, "doc", original[:-1] + b"\x00")
+        assert handle.version == 1
+        net.publish_update(0, "doc", original)
+        assert handle.version == 2
+
+    def test_stale_messages_dropped_from_stores(self, net, original):
+        handle = net.publish(owner=0, name="doc", data=original)
+        old_ids = handle.manifest.chunk_ids
+        edited = bytearray(original)
+        edited[0] ^= 1  # chunk 0
+        net.publish_update(0, "doc", bytes(edited))
+        for store in net.stores:
+            assert not store.has_file(old_ids[0])
+            # unchanged chunks keep their stored messages
+            assert store.count(old_ids[1]) == PARAMS.k
+
+    def test_only_changed_chunks_reseeded(self, net, original):
+        handle = net.publish(owner=0, name="doc", data=original)
+        wire_before = handle.wire_bytes
+        edited = bytearray(original)
+        edited[0] ^= 1
+        result = net.publish_update(0, "doc", bytes(edited))
+        # one chunk re-seeded to 3 peers
+        assert result.upload_savings == pytest.approx(0.75)
+        assert handle.wire_bytes == wire_before + result.upload_bytes
+
+    def test_growth_and_shrink_roundtrip(self, net, original, rng):
+        net.publish(owner=0, name="doc", data=original)
+        grown = original + rng.bytes(500)
+        net.publish_update(0, "doc", grown)
+        assert net.download(user=1, name="doc").data == grown
+        shrunk = grown[:2048]
+        net.publish_update(0, "doc", shrunk)
+        assert net.download(user=2, name="doc").data == shrunk
+
+    def test_non_owner_rejected(self, net, original):
+        net.publish(owner=0, name="doc", data=original)
+        with pytest.raises(PermissionError):
+            net.publish_update(1, "doc", original)
+
+    def test_unknown_file_rejected(self, net, original):
+        with pytest.raises(KeyError):
+            net.publish_update(0, "ghost", original)
+
+    def test_noop_update_keeps_everything(self, net, original):
+        handle = net.publish(owner=0, name="doc", data=original)
+        ids_before = handle.manifest.chunk_ids
+        result = net.publish_update(0, "doc", original)
+        assert result.upload_bytes == 0
+        assert handle.manifest.chunk_ids == ids_before
+        assert net.download(user=0, name="doc").data == original

@@ -1,0 +1,85 @@
+"""Unit tests for peer configuration and runtime state."""
+
+import pytest
+
+from repro.core import FreeRiderAllocator, PeerwiseProportionalAllocator
+from repro.sim import (
+    AlwaysOn,
+    BernoulliDemand,
+    ConstantCapacity,
+    NeverRequests,
+    PeerConfig,
+    PeerState,
+    ScheduleDemand,
+    StepCapacity,
+)
+
+
+class TestPeerConfig:
+    def test_coercions(self):
+        cfg = PeerConfig(capacity=256.0, demand=0.5)
+        assert isinstance(cfg.capacity, ConstantCapacity)
+        assert isinstance(cfg.demand, BernoulliDemand)
+        assert cfg.demand.gamma == 0.5
+
+    def test_bool_demand(self):
+        assert isinstance(PeerConfig(capacity=1, demand=True).demand, AlwaysOn)
+        assert isinstance(PeerConfig(capacity=1, demand=False).demand, NeverRequests)
+
+    def test_interval_demand(self):
+        cfg = PeerConfig(capacity=1, demand=[(0, 10)])
+        assert isinstance(cfg.demand, ScheduleDemand)
+
+    def test_profiles_pass_through(self):
+        profile = StepCapacity([(0, 5.0)])
+        cfg = PeerConfig(capacity=profile, demand=True)
+        assert cfg.capacity is profile
+
+    def test_default_allocator_is_honest(self):
+        cfg = PeerConfig(capacity=1, demand=True)
+        assert isinstance(cfg.allocator, PeerwiseProportionalAllocator)
+
+    def test_distinct_default_allocators(self):
+        # default_factory must not share one allocator across peers
+        a = PeerConfig(capacity=1, demand=True)
+        b = PeerConfig(capacity=1, demand=True)
+        assert a.allocator is not b.allocator
+
+
+class TestPeerState:
+    def make(self, **kwargs):
+        defaults = dict(capacity=StepCapacity([(0, 10.0), (5, 20.0)]), demand=True)
+        defaults.update(kwargs)
+        return PeerState(2, PeerConfig(**defaults), n=4, initial_credit=1e-6)
+
+    def test_capacity_at(self):
+        state = self.make()
+        assert state.capacity_at(0) == 10.0
+        assert state.capacity_at(7) == 20.0
+
+    def test_declared_defaults_to_truth(self):
+        state = self.make()
+        assert state.declared_at(0) == 10.0
+        assert state.declared_at(7) == 20.0
+
+    def test_declared_override(self):
+        state = self.make(declared_capacity=999.0)
+        assert state.declared_at(0) == 999.0
+        assert state.capacity_at(0) == 10.0  # the truth is unchanged
+
+    def test_ledger_dimensions(self):
+        state = self.make()
+        assert state.ledger.n == 4
+        assert state.ledger.total() == pytest.approx(4e-6)
+
+    def test_labels(self):
+        assert self.make().label == "peer 2"
+        assert self.make(label="Home PC").label == "Home PC"
+
+    def test_forgetting_propagates(self):
+        state = self.make(forgetting=0.9)
+        assert state.ledger.forgetting == 0.9
+
+    def test_adversary_allocator_kept(self):
+        state = self.make(allocator=FreeRiderAllocator())
+        assert isinstance(state.config.allocator, FreeRiderAllocator)

@@ -1,0 +1,117 @@
+"""Integration-level tests of the paper scenario library.
+
+These are smaller/faster variants of the benchmark assertions — enough
+to catch regressions in every figure's setup without benchmark-scale
+runtimes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FreeRiderAllocator, check_theorem1
+from repro.sim import (
+    FIG5A_CAPACITIES,
+    FIG5B_CAPACITIES,
+    FIG6_CAPACITIES,
+    bernoulli_network,
+    figure_5a,
+    figure_5b,
+    figure_6,
+    figure_7,
+    figure_8a,
+    figure_8b,
+)
+
+
+class TestFig5:
+    def test_5a_converges_to_capacities(self):
+        result = figure_5a(slots=1500)
+        final = result.window_mean_rates(1200, 1500)
+        assert np.allclose(final, FIG5A_CAPACITIES, rtol=0.06)
+
+    def test_5b_dominant_peer_fairness(self):
+        result = figure_5b(slots=1500)
+        final = result.window_mean_rates(1200, 1500)
+        assert np.allclose(final, FIG5B_CAPACITIES, rtol=0.06)
+
+    def test_5a_capacity_labels(self):
+        result = figure_5a(slots=10)
+        assert "1000" in result.label_of(9)
+
+
+class TestFig67:
+    def test_fig6_gains_positive(self):
+        result = figure_6(seed=1, slot_seconds=30.0)
+        assert np.all(result.gains_over_isolation() > 0)
+
+    def test_fig6_duty_cycle_half(self):
+        result = figure_6(seed=1, slot_seconds=30.0)
+        assert np.allclose(result.empirical_gamma(), 0.5, atol=0.01)
+
+    def test_fig7_late_join_capacity_profile(self):
+        result = figure_7(seed=1, slot_seconds=30.0)
+        per_hour = int(3600 / 30.0)
+        assert np.all(result.capacities[: 3 * per_hour, 1] == 0.0)
+        assert np.all(result.capacities[3 * per_hour :, 1] == FIG6_CAPACITIES[1])
+
+    def test_fig7_penalises_late_joiner(self):
+        reference = figure_6(seed=1, slot_seconds=30.0)
+        late = figure_7(seed=1, slot_seconds=30.0)
+        req = late.requesting[:, 1]
+        assert (
+            late.rates[req, 1].mean() < reference.rates[req, 1].mean()
+        )
+
+
+class TestFig8:
+    def test_8a_credit_advantage(self):
+        result = figure_8a(slots=2000)
+        post = result.window_mean_rates(1100, 2000)
+        assert post[0] > post[1]
+
+    def test_8a_idle_bandwidth_consumed_by_others(self):
+        result = figure_8a(slots=1200)
+        pre = result.window_mean_rates(200, 1000)
+        assert pre[0] == 0.0 and pre[1] == 0.0
+        assert pre[2:].mean() > 1024.0
+
+    def test_8b_drop_and_recovery_direction(self):
+        result = figure_8b(slots=5000)
+        dropped = result.window_mean_rates(2500, 3000)[0]
+        recovering = result.window_mean_rates(4500, 5000)[0]
+        assert dropped < 1024.0 * 0.85
+        assert recovering > dropped
+
+
+class TestBernoulliNetwork:
+    def test_theorem1_on_default_network(self):
+        result = bernoulli_network(
+            [100, 200, 300], [0.4, 0.6, 0.8], slots=8000, seed=2
+        )
+        report = check_theorem1(
+            result.mean_capacity(), result.empirical_gamma(), result.mean_alloc
+        )
+        assert report.satisfied(tolerance=5.0)
+
+    def test_adversary_override(self):
+        result = bernoulli_network(
+            [100, 100],
+            [0.5, 0.5],
+            slots=2000,
+            seed=2,
+            allocators={0: FreeRiderAllocator()},
+        )
+        # Peer 0 never serves anyone.
+        assert result.mean_alloc[0].sum() == 0.0
+
+    def test_baseline_switch(self):
+        iso = bernoulli_network([100, 100], [1.0, 1.0], slots=100, baseline="isolation")
+        assert np.allclose(iso.rates, 100.0)
+
+    def test_declared_override_only_affects_eq3(self):
+        a = bernoulli_network([100, 100], [1.0, 1.0], slots=500, declared={0: 1e6})
+        assert np.allclose(a.window_mean_rates(400, 500), [100.0, 100.0], rtol=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bernoulli_network([100], [0.5, 0.5])

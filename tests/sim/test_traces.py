@@ -1,0 +1,139 @@
+"""Tests for trace-driven and non-stationary demand processes."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    DiurnalDemand,
+    FlashCrowdDemand,
+    PeerConfig,
+    Simulation,
+    TraceDemand,
+)
+
+
+@pytest.fixture
+def demand_rng():
+    return np.random.default_rng(9)
+
+
+class TestTraceDemand:
+    def test_replay_exact(self, demand_rng):
+        trace = [True, False, True, True]
+        d = TraceDemand(trace)
+        assert [d.sample(t, demand_rng) for t in range(4)] == trace
+
+    def test_wrap(self, demand_rng):
+        d = TraceDemand([True, False])
+        assert d.sample(2, demand_rng) is True
+        assert d.sample(3, demand_rng) is False
+
+    def test_no_wrap_goes_idle(self, demand_rng):
+        d = TraceDemand([True], wrap=False)
+        assert d.sample(0, demand_rng)
+        assert not d.sample(1, demand_rng)
+
+    def test_gamma_is_trace_mean(self):
+        assert TraceDemand([True, True, False, False]).gamma == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceDemand([])
+        with pytest.raises(ValueError):
+            TraceDemand([[True]])
+
+
+class TestDiurnalDemand:
+    def test_peak_and_trough(self):
+        d = DiurnalDemand(peak_gamma=0.9, trough_gamma=0.1, peak_hour=20,
+                          slot_seconds=3600.0)
+        assert d.gamma_at(20) == pytest.approx(0.9)
+        assert d.gamma_at(8) == pytest.approx(0.1)  # 12 h opposite
+
+    def test_period_is_24h(self):
+        d = DiurnalDemand(slot_seconds=3600.0)
+        assert d.gamma_at(5) == pytest.approx(d.gamma_at(5 + 24))
+
+    def test_bounds_respected(self):
+        d = DiurnalDemand(peak_gamma=0.7, trough_gamma=0.2, slot_seconds=60.0)
+        gammas = [d.gamma_at(t) for t in range(0, 1440, 7)]
+        assert min(gammas) >= 0.2 - 1e-9
+        assert max(gammas) <= 0.7 + 1e-9
+
+    def test_empirical_rate_tracks_gamma(self, demand_rng):
+        d = DiurnalDemand(peak_gamma=0.9, trough_gamma=0.1, peak_hour=12,
+                          slot_seconds=1.0)
+        noon = sum(d.sample(12 * 3600 + i, demand_rng) for i in range(3000)) / 3000
+        midnight = sum(d.sample(i, demand_rng) for i in range(3000)) / 3000
+        assert noon > 0.8
+        assert midnight < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalDemand(peak_gamma=0.1, trough_gamma=0.5)
+        with pytest.raises(ValueError):
+            DiurnalDemand(slot_seconds=0)
+
+
+class TestFlashCrowd:
+    def test_surge_window(self):
+        d = FlashCrowdDemand(base_gamma=0.0, surge_gamma=1.0,
+                             surge_start=10, surge_end=20)
+        rng = np.random.default_rng(0)
+        assert not d.sample(9, rng)
+        assert d.sample(10, rng)
+        assert d.sample(19, rng)
+        assert not d.sample(20, rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowdDemand(base_gamma=2.0)
+        with pytest.raises(ValueError):
+            FlashCrowdDemand(surge_start=5, surge_end=1)
+
+
+class TestInSimulation:
+    def test_flash_crowd_rates_track_demand(self):
+        """During a flash crowd the surging users split the network;
+        before it they idle and others profit."""
+        n = 6
+        configs = [
+            PeerConfig(
+                capacity=300.0,
+                demand=FlashCrowdDemand(
+                    base_gamma=0.0, surge_gamma=1.0,
+                    surge_start=2000, surge_end=4000,
+                ),
+            )
+            for _ in range(n // 2)
+        ]
+        configs += [
+            PeerConfig(capacity=300.0, demand=True) for _ in range(n // 2)
+        ]
+        result = Simulation(configs, seed=3).run(4000)
+        before = result.window_mean_rates(500, 2000)
+        during = result.window_mean_rates(2500, 4000)
+        # Pre-surge: the always-on half shares everything (> own capacity).
+        assert before[n // 2 :].mean() > 300.0 * 1.5
+        assert np.allclose(before[: n // 2], 0.0)
+        # During the surge everyone is busy: rates fall back toward own
+        # contributions.
+        assert during[n // 2 :].mean() < before[n // 2 :].mean()
+        assert during[: n // 2].mean() > 0
+
+    def test_diurnal_day_gains_off_peak(self):
+        configs = [
+            PeerConfig(
+                capacity=200.0,
+                demand=DiurnalDemand(
+                    peak_gamma=0.9, trough_gamma=0.05,
+                    peak_hour=6 * (i + 1) % 24, slot_seconds=60.0,
+                ),
+            )
+            for i in range(4)
+        ]
+        result = Simulation(configs, seed=1, slot_seconds=60.0).run(1440)
+        # Staggered peaks: every user averages above isolation while
+        # requesting because others' troughs free bandwidth.
+        gains = result.gains_over_isolation()
+        assert np.all(gains > 0)

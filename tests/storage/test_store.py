@@ -1,0 +1,134 @@
+"""Unit tests for per-peer message storage and File-id.dat persistence."""
+
+import numpy as np
+import pytest
+
+from repro.rlnc import CodingParams, FileEncoder
+from repro.storage import MessageStore, StorageError
+
+PARAMS = CodingParams(p=16, m=32, file_bytes=512)  # k = 8
+
+
+@pytest.fixture
+def messages(rng):
+    encoder = FileEncoder(PARAMS, b"s", file_id=0x11)
+    encoded = encoder.encode_bundles(rng.bytes(500), n_peers=2)
+    return encoded.all_messages()
+
+
+class TestAddAndQuery:
+    def test_add_and_count(self, messages):
+        store = MessageStore()
+        assert store.add_messages(messages) == len(messages)
+        assert store.count(0x11) == len(messages)
+        assert store.files() == [0x11]
+        assert store.has_file(0x11)
+
+    def test_limit_per_call(self, messages):
+        store = MessageStore()
+        kept = store.add_messages(messages, limit=3)
+        assert kept == 3
+        assert store.count(0x11) == 3
+
+    def test_messages_copy(self, messages):
+        store = MessageStore()
+        store.add_messages(messages[:2])
+        listed = store.messages(0x11)
+        listed.append("sentinel")
+        assert store.count(0x11) == 2
+
+    def test_unknown_file_raises(self):
+        store = MessageStore()
+        with pytest.raises(StorageError):
+            store.messages(0x99)
+        with pytest.raises(StorageError):
+            store.open_cursor(0x99)
+
+    def test_total_bytes(self, messages):
+        store = MessageStore()
+        store.add_messages(messages[:4])
+        assert store.total_bytes() == sum(m.wire_size() for m in messages[:4])
+
+    def test_drop_file(self, messages):
+        store = MessageStore()
+        store.add_messages(messages)
+        store.drop_file(0x11)
+        assert not store.has_file(0x11)
+        assert store.count(0x11) == 0
+
+
+class TestServingCursor:
+    def test_serial_order(self, messages):
+        store = MessageStore()
+        store.add_messages(messages[:5])
+        cursor = store.open_cursor(0x11)
+        served = [cursor.advance() for _ in range(5)]
+        assert [m.message_id for m in served] == [m.message_id for m in messages[:5]]
+
+    def test_exhaustion(self, messages):
+        store = MessageStore()
+        store.add_messages(messages[:2])
+        cursor = store.open_cursor(0x11)
+        cursor.advance()
+        cursor.advance()
+        assert cursor.exhausted
+        assert cursor.peek() is None
+        with pytest.raises(StorageError):
+            cursor.advance()
+
+    def test_remaining_counts_down(self, messages):
+        store = MessageStore()
+        store.add_messages(messages[:3])
+        cursor = store.open_cursor(0x11)
+        assert cursor.remaining == 3
+        cursor.advance()
+        assert cursor.remaining == 2
+
+    def test_independent_cursors(self, messages):
+        store = MessageStore()
+        store.add_messages(messages[:3])
+        a = store.open_cursor(0x11)
+        b = store.open_cursor(0x11)
+        a.advance()
+        assert b.remaining == 3
+
+    def test_peek_does_not_consume(self, messages):
+        store = MessageStore()
+        store.add_messages(messages[:2])
+        cursor = store.open_cursor(0x11)
+        assert cursor.peek() is cursor.peek()
+        assert cursor.remaining == 2
+
+
+class TestDatPersistence:
+    def test_save_load_roundtrip(self, messages, tmp_path):
+        store = MessageStore()
+        store.add_messages(messages)
+        paths = store.save_dat(str(tmp_path))
+        assert len(paths) == 1
+        assert paths[0].endswith("0000000000000011.dat")
+
+        loaded = MessageStore()
+        count = loaded.load_dat(paths[0], p=PARAMS.p, m=PARAMS.m)
+        assert count == len(messages)
+        original = store.messages(0x11)
+        restored = loaded.messages(0x11)
+        for a, b in zip(original, restored):
+            assert a.message_id == b.message_id
+            assert np.array_equal(a.payload, b.payload)
+
+    def test_corrupt_dat_rejected(self, messages, tmp_path):
+        store = MessageStore()
+        store.add_messages(messages[:2])
+        path = store.save_dat(str(tmp_path))[0]
+        with open(path, "ab") as fh:
+            fh.write(b"\x00")  # break record alignment
+        with pytest.raises(StorageError):
+            MessageStore().load_dat(path, p=PARAMS.p, m=PARAMS.m)
+
+    def test_multiple_files_saved_separately(self, rng, tmp_path):
+        store = MessageStore()
+        for fid in (1, 2):
+            enc = FileEncoder(PARAMS, b"s", file_id=fid)
+            store.add_messages(enc.encode_bundles(rng.bytes(100), 1).all_messages())
+        assert len(store.save_dat(str(tmp_path))) == 2

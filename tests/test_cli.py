@@ -1,0 +1,302 @@
+"""Tests for the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def workspace(tmp_path, rng):
+    src = tmp_path / "video.bin"
+    src.write_bytes(rng.bytes(3000))
+    out = tmp_path / "encoded"
+    return tmp_path, src, out
+
+
+def encode(src, out, peers=3, chunk=1024, secret="s3cret"):
+    return main(
+        [
+            "encode",
+            str(src),
+            "--out",
+            str(out),
+            "--secret",
+            secret,
+            "--peers",
+            str(peers),
+            "--p",
+            "16",
+            "--m",
+            "64",
+            "--chunk-bytes",
+            str(chunk),
+        ]
+    )
+
+
+class TestEncode:
+    def test_creates_bundles_manifest_digests(self, workspace, capsys):
+        tmp, src, out = workspace
+        assert encode(src, out) == 0
+        assert (out / "manifest.json").exists()
+        assert (out / "digests.json").exists()
+        for peer in range(3):
+            dats = list((out / f"peer{peer}").glob("*.dat"))
+            assert len(dats) == 3  # one per chunk
+        stdout = capsys.readouterr().out
+        assert "3 chunk(s)" in stdout
+
+    def test_manifest_contents(self, workspace):
+        tmp, src, out = workspace
+        encode(src, out)
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["total_length"] == 3000
+        assert manifest["p"] == 16
+        assert manifest["version"] == 0
+        assert len(manifest["chunk_versions"]) == 3
+        assert len(manifest["chunk_hashes"]) == 3
+
+
+class TestDecode:
+    def test_roundtrip_all_peers(self, workspace):
+        tmp, src, out = workspace
+        encode(src, out)
+        dest = tmp / "restored.bin"
+        code = main(
+            [
+                "decode",
+                str(out / "peer0"),
+                str(out / "peer1"),
+                "--manifest",
+                str(out / "manifest.json"),
+                "--secret",
+                "s3cret",
+                "--digests",
+                str(out / "digests.json"),
+                "--out",
+                str(dest),
+            ]
+        )
+        assert code == 0
+        assert dest.read_bytes() == src.read_bytes()
+
+    def test_single_peer_suffices(self, workspace):
+        tmp, src, out = workspace
+        encode(src, out)
+        dest = tmp / "restored.bin"
+        code = main(
+            [
+                "decode",
+                str(out / "peer2"),
+                "--manifest",
+                str(out / "manifest.json"),
+                "--secret",
+                "s3cret",
+                "--out",
+                str(dest),
+            ]
+        )
+        assert code == 0
+        assert dest.read_bytes() == src.read_bytes()
+
+    def test_wrong_secret_fails_with_digests(self, workspace, capsys):
+        tmp, src, out = workspace
+        encode(src, out)
+        dest = tmp / "restored.bin"
+        code = main(
+            [
+                "decode",
+                str(out / "peer0"),
+                "--manifest",
+                str(out / "manifest.json"),
+                "--secret",
+                "WRONG",
+                "--digests",
+                str(out / "digests.json"),
+                "--out",
+                str(dest),
+            ]
+        )
+        # Wrong secret -> coefficients differ; with digest auth present
+        # the payloads still verify, but the decoded bytes would be
+        # garbage ... except digests only authenticate payloads, not the
+        # secret. The decode "succeeds" mechanically but outputs garbage:
+        # verify it does NOT match the source.
+        if code == 0:
+            assert dest.read_bytes() != src.read_bytes()
+
+    def test_missing_data_fails_cleanly(self, workspace, capsys):
+        tmp, src, out = workspace
+        encode(src, out)
+        # Remove most .dat files from peer0 and decode only from it.
+        dats = sorted((out / "peer0").glob("*.dat"))
+        for dat in dats[1:]:
+            os.unlink(dat)
+        dest = tmp / "restored.bin"
+        code = main(
+            [
+                "decode",
+                str(out / "peer0"),
+                "--manifest",
+                str(out / "manifest.json"),
+                "--secret",
+                "s3cret",
+                "--out",
+                str(dest),
+            ]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().err
+        assert not dest.exists()
+
+
+class TestUpdate:
+    def _decode(self, out, dest, *sources):
+        return main(
+            [
+                "decode",
+                *[str(s) for s in sources],
+                "--manifest",
+                str(out / "manifest.json"),
+                "--secret",
+                "s3cret",
+                "--digests",
+                str(out / "digests.json"),
+                "--out",
+                str(dest),
+            ]
+        )
+
+    def test_update_roundtrip(self, workspace, capsys):
+        tmp, src, out = workspace
+        encode(src, out)
+        original = src.read_bytes()
+        edited = bytearray(original)
+        edited[1500] ^= 0xFF  # chunk 1 of 3
+        src.write_bytes(bytes(edited))
+        code = main(
+            [
+                "update",
+                str(src),
+                "--out",
+                str(out),
+                "--manifest",
+                str(out / "manifest.json"),
+                "--secret",
+                "s3cret",
+                "--peers",
+                "3",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "1 of 3 chunk(s)" in stdout
+
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["version"] == 1
+        assert manifest["chunk_versions"] == [0, 1, 0]
+
+        dest = tmp / "restored.bin"
+        assert self._decode(out, dest, out / "peer0", out / "peer1") == 0
+        assert dest.read_bytes() == bytes(edited)
+
+    def test_update_rejects_legacy_manifest(self, workspace, tmp_path):
+        tmp, src, out = workspace
+        encode(src, out)
+        # Strip the version fields to fake a legacy manifest.
+        blob = json.loads((out / "manifest.json").read_text())
+        del blob["version"]
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps(blob))
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "update",
+                    str(src),
+                    "--out",
+                    str(out),
+                    "--manifest",
+                    str(legacy),
+                    "--secret",
+                    "s3cret",
+                    "--peers",
+                    "3",
+                ]
+            )
+
+    def test_update_wrong_peer_count(self, workspace):
+        tmp, src, out = workspace
+        encode(src, out)
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "update",
+                    str(src),
+                    "--out",
+                    str(out),
+                    "--manifest",
+                    str(out / "manifest.json"),
+                    "--secret",
+                    "s3cret",
+                    "--peers",
+                    "7",
+                ]
+            )
+
+
+class TestInspect:
+    def test_lists_stores(self, workspace, capsys):
+        tmp, src, out = workspace
+        encode(src, out)
+        code = main(["inspect", str(out / "peer0"), "--p", "16", "--m", "64"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "message(s)" in stdout
+        assert stdout.count("file 0x") == 3
+
+
+class TestSimulate:
+    def test_fig5b_summary(self, capsys):
+        code = main(["simulate", "fig5b"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "3 peers" in stdout
+        assert "1024" in stdout
+
+
+class TestChannel:
+    def test_table(self, capsys):
+        code = main(["channel", "--size", str(1 << 30)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "cable modem" in stdout
+        assert "upload" in stdout and "download" in stdout
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_empty_secret_rejected(self, workspace):
+        tmp, src, out = workspace
+        with pytest.raises(SystemExit):
+            main(["encode", str(src), "--out", str(out), "--secret", ""])
+
+    def test_bad_source_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "decode",
+                    str(tmp_path / "nope.txt"),
+                    "--manifest",
+                    "x",
+                    "--secret",
+                    "s",
+                    "--out",
+                    "y",
+                ]
+            )

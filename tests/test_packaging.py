@@ -1,0 +1,63 @@
+"""Packaging sanity: every public export must resolve.
+
+Catches broken ``__init__`` re-export lists (a common refactoring
+casualty) and keeps ``__all__`` honest across the whole package.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.gf",
+    "repro.rlnc",
+    "repro.security",
+    "repro.core",
+    "repro.sim",
+    "repro.storage",
+    "repro.transfer",
+    "repro.discovery",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_subpackages_reachable_from_root():
+    for sub in repro.__all__:
+        importlib.import_module(f"repro.{sub}" if sub != "cli" else "repro.cli")
+
+
+def test_no_accidental_circular_imports():
+    """gf and security must import without pulling in the heavy layers."""
+    import subprocess
+    import sys
+
+    code = (
+        "import sys; import repro.gf, repro.security; "
+        "loaded = [m for m in sys.modules if m.startswith('repro.')]; "
+        "bad = [m for m in loaded if any(x in m for x in "
+        "('sim', 'transfer', 'storage', 'discovery', 'rlnc', 'core'))]; "
+        "sys.exit(1 if bad else 0)"
+    )
+    result = subprocess.run([sys.executable, "-c", code])
+    assert result.returncode == 0, "low-level packages import high-level ones"

@@ -1,0 +1,45 @@
+"""Unit tests for protocol message types."""
+
+import numpy as np
+import pytest
+
+from repro.rlnc import EncodedMessage
+from repro.transfer import (
+    DataMessage,
+    FeedbackUpdate,
+    FileAccept,
+    FileRequest,
+    StopTransmission,
+)
+
+
+def sample_message():
+    return EncodedMessage(
+        file_id=1, message_id=2, payload=np.arange(4, dtype=np.uint32), p=16
+    )
+
+
+class TestDataMessage:
+    def test_wire_bytes(self):
+        dm = DataMessage(sample_message())
+        assert dm.wire_bytes == dm.message.wire_size()
+
+    def test_frozen(self):
+        dm = DataMessage(sample_message())
+        with pytest.raises(AttributeError):
+            dm.message = None
+
+
+class TestSimpleMessages:
+    def test_file_request_accept(self):
+        req = FileRequest(file_id=7)
+        acc = FileAccept(file_id=7, available_messages=8)
+        assert req.file_id == acc.file_id
+
+    def test_stop(self):
+        assert StopTransmission(file_id=3).file_id == 3
+
+    def test_feedback_update(self):
+        fb = FeedbackUpdate(user=2, received=(0.0, 1.5, 3.0))
+        assert fb.user == 2
+        assert sum(fb.received) == pytest.approx(4.5)

@@ -1,0 +1,136 @@
+"""Unit tests for the parallel download scheduler."""
+
+import pytest
+
+from repro.rlnc import CodingParams, FileEncoder, ProgressiveDecoder
+from repro.security import DigestStore, generate_keypair
+from repro.storage import MessageStore
+from repro.transfer import (
+    DownloadSession,
+    ParallelDownloader,
+    ServingSession,
+    kbps_to_bytes,
+)
+
+PARAMS = CodingParams(p=16, m=32, file_bytes=512)  # k = 8
+FILE_ID = 0x33
+
+
+class TestKbpsToBytes:
+    def test_conversion(self):
+        assert kbps_to_bytes(8.0, 1.0) == 1000.0
+        assert kbps_to_bytes(256.0, 2.0) == 64_000.0
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_keypair(bits=512, seed=3)
+
+
+def build(rng, n_peers, keys, tamper_peer=None, limit=None):
+    data = rng.bytes(500)
+    store = DigestStore()
+    encoder = FileEncoder(PARAMS, b"s", file_id=FILE_ID)
+    encoded = encoder.encode_bundles(data, n_peers=n_peers, digest_store=store)
+    sessions = []
+    for p in range(n_peers):
+        mstore = MessageStore()
+        bundle = encoded.bundles[p]
+        if tamper_peer == p:
+            import numpy as np
+
+            bundle = tuple(
+                m.with_payload(np.asarray(m.payload) ^ 0xBEEF) for m in bundle
+            )
+        mstore.add_messages(bundle, limit=limit)
+        serving = ServingSession(mstore, keys.public)
+        DownloadSession(keys).handshake(serving, FILE_ID)
+        sessions.append(serving)
+    decoder = ProgressiveDecoder(PARAMS, encoder.coefficients, store)
+    return data, sessions, decoder
+
+
+class TestDownload:
+    def test_single_peer_completes(self, rng, keys):
+        data, sessions, decoder = build(rng, 1, keys)
+        dl = ParallelDownloader(sessions, decoder, lambda i, t: 256.0)
+        report = dl.run(10_000, file_id=FILE_ID)
+        assert report.complete
+        assert decoder.result(len(data)) == data
+        assert report.messages_delivered == PARAMS.k
+
+    def test_parallel_faster_than_serial(self, rng, keys):
+        # 1 kbps -> 125 B/slot; the file is ~640 wire bytes, so the
+        # single-peer download needs several slots.
+        data1, s1, d1 = build(rng, 1, keys)
+        dl1 = ParallelDownloader(s1, d1, lambda i, t: 1.0)
+        serial = dl1.run(10_000).slots
+        assert serial > 2
+
+        data4, s4, d4 = build(rng, 4, keys)
+        dl4 = ParallelDownloader(s4, d4, lambda i, t: 1.0)
+        parallel = dl4.run(10_000).slots
+        assert parallel < serial
+
+    def test_download_cap_scales_rates(self, rng, keys):
+        data, sessions, decoder = build(rng, 4, keys)
+        dl = ParallelDownloader(
+            sessions, decoder, lambda i, t: 1000.0, download_cap_kbps=100.0
+        )
+        report = dl.run(10_000)
+        assert report.complete
+        # 4 x 1000 kbps offered but capped at 100 kbps aggregate.
+        assert report.effective_rate_kbps() <= 100.0 * 1.05
+
+    def test_stops_all_sessions_on_completion(self, rng, keys):
+        data, sessions, decoder = build(rng, 4, keys)
+        dl = ParallelDownloader(sessions, decoder, lambda i, t: 10_000.0)
+        dl.run(10_000, file_id=FILE_ID)
+        assert all(not s.active for s in sessions)
+
+    def test_incomplete_when_budget_too_small(self, rng, keys):
+        data, sessions, decoder = build(rng, 1, keys)
+        dl = ParallelDownloader(sessions, decoder, lambda i, t: 1.0)
+        report = dl.run(5)  # way too few slots at 1 kbps
+        assert not report.complete
+        assert report.slots == 5
+
+    def test_tampering_peer_messages_rejected(self, rng, keys):
+        data, sessions, decoder = build(rng, 2, keys, tamper_peer=0)
+        dl = ParallelDownloader(sessions, decoder, lambda i, t: 500.0)
+        report = dl.run(10_000, file_id=FILE_ID)
+        assert report.complete  # honest peer 1 suffices
+        assert report.messages_rejected >= 1
+        assert decoder.result(len(data)) == data
+
+    def test_per_peer_bytes_tracked(self, rng, keys):
+        data, sessions, decoder = build(rng, 2, keys)
+        rates = {0: 300.0, 1: 100.0}
+        dl = ParallelDownloader(sessions, decoder, lambda i, t: rates[i])
+        report = dl.run(10_000)
+        assert report.per_peer_bytes[0] > report.per_peer_bytes[1]
+
+    def test_dead_rate_peer_ignored(self, rng, keys):
+        data, sessions, decoder = build(rng, 2, keys)
+        dl = ParallelDownloader(
+            sessions, decoder, lambda i, t: 0.0 if i == 0 else 200.0
+        )
+        report = dl.run(10_000)
+        assert report.complete
+        assert report.per_peer_bytes[0] == 0.0
+
+    def test_validation(self, rng, keys):
+        data, sessions, decoder = build(rng, 1, keys)
+        with pytest.raises(ValueError):
+            ParallelDownloader([], decoder, lambda i, t: 1.0)
+        with pytest.raises(ValueError):
+            ParallelDownloader(sessions, decoder, lambda i, t: 1.0, slot_seconds=0)
+
+
+class TestReport:
+    def test_effective_rate(self, rng, keys):
+        data, sessions, decoder = build(rng, 1, keys)
+        dl = ParallelDownloader(sessions, decoder, lambda i, t: 64.0)
+        report = dl.run(10_000)
+        assert report.effective_rate_kbps() <= 64.0 * 1.01
+        assert report.seconds == report.slots
