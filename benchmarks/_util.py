@@ -9,7 +9,42 @@ differ from the authors' 2006 NTL/C++ testbed.
 
 from __future__ import annotations
 
-__all__ = ["print_header", "print_table", "format_seconds"]
+from repro.obs import REGISTRY
+
+__all__ = [
+    "print_header",
+    "print_table",
+    "format_seconds",
+    "attach_obs_snapshot",
+    "metered",
+]
+
+
+def attach_obs_snapshot(benchmark, key: str = "obs") -> dict:
+    """Snapshot the metrics registry into a bench's JSON output.
+
+    Stored under ``extra_info[key]``, so running with
+    ``--benchmark-json`` gives every future perf PR regression-visible
+    counters (mul calls, innovative/dependent splits, ...) for free.
+    Returns the snapshot for inline assertions.
+    """
+    snapshot = REGISTRY.snapshot()
+    benchmark.extra_info[key] = snapshot
+    return snapshot
+
+
+def metered(fn, *args, **kwargs):
+    """Run ``fn`` once with observability enabled on a clean registry.
+
+    Timing-sensitive measurements should run *before* this (the enabled
+    path adds bookkeeping); use it to capture operation counts that the
+    snapshot attaches to the bench output.
+    """
+    from repro.obs import observability
+
+    with observability(reset=True):
+        result = fn(*args, **kwargs)
+    return result
 
 
 def print_header(title: str) -> None:

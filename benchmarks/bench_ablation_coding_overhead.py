@@ -9,9 +9,7 @@ recommends, measurable for GF(2^4).
 """
 
 import numpy as np
-import pytest
 
-from repro.gf import GF
 from repro.rlnc import CodingParams, FileEncoder, ProgressiveDecoder
 
 from _util import print_header, print_table

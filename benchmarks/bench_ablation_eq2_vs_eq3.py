@@ -6,7 +6,6 @@ the payoff of lying by 2x/10x/100x under both rules, and check the
 analytical over-declaration gradient is positive for Eq. 3.
 """
 
-import pytest
 
 from repro.core import eq6_lower_bound, overdeclaration_gradient
 from repro.sim import bernoulli_network

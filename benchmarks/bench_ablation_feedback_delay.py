@@ -8,7 +8,6 @@ scenario and (b) final fairness — showing the fixed point is delay
 """
 
 import numpy as np
-import pytest
 
 from repro.core import convergence_time, jain_index
 from repro.sim import AlwaysOn, PeerConfig, Simulation

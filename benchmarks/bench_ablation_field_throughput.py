@@ -12,7 +12,6 @@ import pytest
 
 from repro.gf import GF, ClmulField
 
-from _util import print_header, print_table
 
 SIZE = 1 << 18
 

@@ -9,7 +9,6 @@ after recovery — and verify fairness at the fixed point is unharmed.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import convergence_time
 from repro.sim import AlwaysOn, PeerConfig, Simulation, StepCapacity

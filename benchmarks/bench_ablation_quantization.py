@@ -18,7 +18,6 @@ chunking keeps the system away from.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     PeerwiseProportionalAllocator,

@@ -9,7 +9,6 @@ that tracking — the fairness-vs-adaptation trade-off the paper names.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import check_theorem1
 from repro.sim import BernoulliDemand, PeerConfig, Simulation, StepCapacity

@@ -14,7 +14,6 @@ full aggregate.
 import os
 
 import numpy as np
-import pytest
 
 from repro.rlnc import CodingParams
 from repro.sim import FileSharingNetwork

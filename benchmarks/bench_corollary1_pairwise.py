@@ -8,7 +8,6 @@ moderate load.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import corollary1_gap, normalized_exchange_ratio
 from repro.sim import bernoulli_network

@@ -8,7 +8,6 @@ the other peers exploit peer 0's unused bandwidth to exceed their own
 upload capacity.
 """
 
-import numpy as np
 
 from repro.sim import figure_8a
 

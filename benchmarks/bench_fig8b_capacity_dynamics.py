@@ -7,7 +7,6 @@ among themselves, the restored capacity restores the rate — and the
 dynamics are visibly *slow* (motivating the forgetting-factor ablation).
 """
 
-import numpy as np
 
 from repro.sim import figure_8b
 

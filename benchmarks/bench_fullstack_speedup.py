@@ -10,7 +10,6 @@ progressive decode — and sweeps the number of serving peers.
 
 import os
 
-import pytest
 
 from repro.sim import FileSharingNetwork
 

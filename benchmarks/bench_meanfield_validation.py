@@ -8,7 +8,6 @@ reproduction an analytical cross-check the paper itself lacks.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import mean_field_trajectory, predicted_convergence_slot
 from repro.core import convergence_time

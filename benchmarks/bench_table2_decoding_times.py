@@ -25,7 +25,7 @@ from repro.rlnc import (
     FileEncoder,
 )
 
-from _util import print_header, print_table
+from _util import attach_obs_snapshot, metered, print_header, print_table
 
 #: Table II as printed (seconds, authors' 2006 testbed) for reference.
 PAPER_TABLE2 = {
@@ -117,3 +117,71 @@ def test_table2_cross_field_shape_and_realtime(benchmark):
     print(f"\nGF(2^32), m=2^15 (k=8): {point:.3f}s -> {throughput:.1f} MB/s "
           "(paper: 1.0 MB/s real-time threshold)")
     assert throughput >= 1.0
+
+    # After the timing-sensitive work: re-run one representative cell
+    # with observability on and attach the counters to the bench JSON,
+    # so future perf PRs see op-count regressions, not just seconds.
+    metered(decode_cell, 16, 1 << 11)
+    snapshot = attach_obs_snapshot(benchmark)
+    assert snapshot["repro.gf.mul.calls"]["value"] > 0
+    assert snapshot["repro.rlnc.decode.block_ns"]["count"] == 1
+
+
+def test_obs_disabled_overhead():
+    """The observability no-op path must cost < 3% on the decode hot loop.
+
+    The instrumented ``field.mul`` adds one attribute check and one
+    extra call frame over the raw backend ``_mul``; measured on rows
+    shaped like the decoder's augmented rows (the Table II inner loop).
+    Noisy-neighbour CPU steal on shared runners makes second-scale
+    timing windows swing by several percent, so the two paths are
+    interleaved at single-call granularity (alternating which goes
+    first): any noise episode then slows both sides by the same
+    amount and cancels in the ratio.  The verdict is the median ratio
+    over several such interleaved rounds.
+    """
+    from repro.obs import REGISTRY
+
+    assert not REGISTRY.enabled  # the default: observability off
+    params = CodingParams(p=16, m=1 << 11)
+    field = GF(16)
+    rng = np.random.default_rng(42)
+    row = field.random_nonzero((params.k + params.m,), rng)
+    scale = field.random_nonzero((), rng)
+    calls = 2000
+    clock = time.perf_counter_ns
+
+    def interleaved_round():
+        gated_ns = raw_ns = 0
+        for i in range(calls):
+            first, second = (
+                (field.mul, field._mul) if i % 2 == 0 else (field._mul, field.mul)
+            )
+            t0 = clock()
+            first(scale, row)
+            t1 = clock()
+            second(scale, row)
+            t2 = clock()
+            if first is field.mul:
+                gated_ns += t1 - t0
+                raw_ns += t2 - t1
+            else:
+                raw_ns += t1 - t0
+                gated_ns += t2 - t1
+        return gated_ns, raw_ns
+
+    interleaved_round()  # warm caches and allocator
+    ratios, totals = [], []
+    for _ in range(7):
+        gated_ns, raw_ns = interleaved_round()
+        ratios.append(gated_ns / raw_ns)
+        totals.append((gated_ns, raw_ns))
+    ratios.sort()
+    overhead = ratios[len(ratios) // 2] - 1.0
+    gated_best = min(g for g, _ in totals)
+    raw_best = min(r for _, r in totals)
+    print_header("Observability disabled-path overhead (GF(2^16) mul)")
+    print(f"raw _mul : {raw_best / calls:8.0f} ns/call (best of 7 rounds)")
+    print(f"gated mul: {gated_best / calls:8.0f} ns/call (best of 7 rounds)")
+    print(f"overhead : {overhead:+.2%} median of 7 interleaved rounds (budget 3%)")
+    assert overhead < 0.03, f"no-op observability overhead {overhead:.2%} >= 3%"

@@ -10,7 +10,13 @@ Turns the library into the tool a home user would actually run:
 * ``repro inspect`` — show what a ``.dat`` store holds;
 * ``repro simulate``— rerun one of the paper's evaluation scenarios and
   print its summary series (Section V);
-* ``repro channel`` — the Fig. 1 asymmetric-link timing table.
+* ``repro channel`` — the Fig. 1 asymmetric-link timing table;
+* ``repro stats``   — the observability catalog, or a saved snapshot.
+
+``repro simulate`` and ``repro decode`` accept ``--metrics`` (print a
+registry snapshot when done), ``--metrics-out FILE`` (save the snapshot
+as JSON, readable by ``repro stats FILE``) and ``--trace FILE`` (write
+the structured trace as JSONL).
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
 """
@@ -23,6 +29,7 @@ import json
 import os
 import sys
 
+from . import obs
 from .analysis import TECHNOLOGIES, transmission_seconds
 from .rlnc import (
     ChunkedEncoder,
@@ -186,7 +193,63 @@ def _collect_dat_paths(sources: list[str]) -> list[str]:
     return paths
 
 
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "metrics", False)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "trace", None)
+    )
+
+
+def _obs_report(args: argparse.Namespace) -> None:
+    """Emit the requested observability outputs after a command ran."""
+    if getattr(args, "trace", None):
+        try:
+            count = obs.TRACER.write_jsonl(args.trace)
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace: {exc}") from exc
+        print(f"trace: {count} event(s) -> {args.trace}")
+    if getattr(args, "metrics_out", None):
+        try:
+            with open(args.metrics_out, "w") as fh:
+                json.dump(obs.REGISTRY.snapshot(), fh, indent=2)
+        except OSError as exc:
+            raise SystemExit(f"cannot write metrics snapshot: {exc}") from exc
+        print(f"metrics snapshot -> {args.metrics_out}")
+    if getattr(args, "metrics", False):
+        print(obs.render_snapshot(obs.REGISTRY.snapshot()))
+
+
+def _with_obs(args: argparse.Namespace, fn) -> int:
+    """Run ``fn()`` under scoped observability when any flag asks for it."""
+    if not _obs_requested(args):
+        return fn()
+    with obs.observability(tracing=bool(getattr(args, "trace", None)), reset=True):
+        code = fn()
+        _obs_report(args)
+    return code
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print a metrics-registry snapshot when done",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the metrics snapshot as JSON (readable by `repro stats`)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write structured trace events as JSONL",
+    )
+
+
 def cmd_decode(args: argparse.Namespace) -> int:
+    return _with_obs(args, lambda: _decode(args))
+
+
+def _decode(args: argparse.Namespace) -> int:
     # Validate the sources first so a typo'd path gives a clean error
     # before any decoding state is built.
     dat_paths = _collect_dat_paths(args.sources)
@@ -272,6 +335,10 @@ _SCENARIOS = ("fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b")
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    return _with_obs(args, lambda: _simulate(args))
+
+
+def _simulate(args: argparse.Namespace) -> int:
     from .sim import figure_5a, figure_5b, figure_6, figure_7, figure_8a, figure_8b
 
     runners = {
@@ -294,6 +361,35 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"{result.label_of(i):<28} {caps[i]:>9.1f} {gammas[i]:>6.2f} "
             f"{final[i]:>11.1f} {gains[i]:>+8.1f}"
         )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh)
+        print(f"result -> {args.json}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Show the observability catalog, or pretty-print a saved snapshot."""
+    if args.snapshot is not None:
+        try:
+            with open(args.snapshot) as fh:
+                snapshot = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read snapshot: {exc}") from exc
+        if not isinstance(snapshot, dict) or not all(
+            isinstance(v, dict) and "kind" in v for v in snapshot.values()
+        ):
+            raise SystemExit(
+                f"{args.snapshot} is not a metrics snapshot "
+                "(expected the JSON written by --metrics-out)"
+            )
+        print(obs.render_snapshot(snapshot, header=args.snapshot))
+        return 0
+    # Import every instrumented layer so its metrics are registered and
+    # the catalog is complete.
+    from . import sim, transfer  # noqa: F401
+
+    print(obs.render_catalog(obs.REGISTRY.snapshot(), obs.events.ALL_EVENTS))
     return 0
 
 
@@ -345,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--secret", required=True)
     dec.add_argument("--out", required=True)
     dec.add_argument("--digests", default=None, help="digests.json for authentication")
+    _add_obs_flags(dec)
     dec.set_defaults(func=cmd_decode)
 
     ins = sub.add_parser("inspect", help="show the contents of .dat stores")
@@ -356,7 +453,21 @@ def build_parser() -> argparse.ArgumentParser:
     simp = sub.add_parser("simulate", help="rerun a paper evaluation scenario")
     simp.add_argument("scenario", choices=_SCENARIOS)
     simp.add_argument("--seed", type=int, default=0)
+    simp.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the full SimulationResult as JSON",
+    )
+    _add_obs_flags(simp)
     simp.set_defaults(func=cmd_simulate)
+
+    stats = sub.add_parser(
+        "stats", help="observability: metric/event catalog or a saved snapshot"
+    )
+    stats.add_argument(
+        "snapshot", nargs="?", default=None,
+        help="snapshot JSON written by --metrics-out (omit for the catalog)",
+    )
+    stats.set_defaults(func=cmd_stats)
 
     chan = sub.add_parser("channel", help="Fig. 1 asymmetric-link timing table")
     chan.add_argument("--size", type=int, default=1 << 30, help="bytes to transmit")
@@ -371,4 +482,13 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # `repro stats | head` closes stdout early; that is not an error.
+        import os
+        import sys
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

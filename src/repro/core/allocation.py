@@ -84,6 +84,12 @@ def enforce_feasibility(
     total = out.sum()
     if total > capacity > 0:
         out *= capacity / total
+        if out.sum() > capacity:
+            # Floating-point rounding (e.g. subnormal capacities) can
+            # leave the rescaled sum a few ulps above capacity.
+            # Clamping the running sum guarantees sum(out) <= capacity
+            # exactly; entries only ever shrink (modulo one ulp).
+            out = np.diff(np.minimum(np.cumsum(out), capacity), prepend=0.0)
     elif capacity <= 0:
         out[:] = 0.0
     return out

@@ -33,7 +33,7 @@ class ClmulField(BinaryField):
             modulus = DEFAULT_MODULI.get(p) or find_irreducible(p, primitive=True)
         super().__init__(p, modulus)
 
-    def mul(self, a, b) -> np.ndarray:
+    def _mul(self, a, b) -> np.ndarray:
         a64 = self.asarray(a).astype(np.uint64)
         b64 = self.asarray(b).astype(np.uint64)
         a64, b64 = np.broadcast_arrays(a64, b64)
@@ -50,7 +50,7 @@ class ClmulField(BinaryField):
             acc ^= (mod << np.uint64(i - self.p)) * bit
         return acc.astype(self.dtype)
 
-    def inv(self, a) -> np.ndarray:
+    def _inv(self, a) -> np.ndarray:
         a = self.asarray(a)
         if np.any(a == 0):
             raise FieldError("zero has no multiplicative inverse")

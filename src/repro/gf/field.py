@@ -13,15 +13,25 @@ field fits), and addition is always XOR.
 
 from __future__ import annotations
 
+import time
 from functools import lru_cache
 
 import numpy as np
 
+from ..obs import REGISTRY as _OBS
 from .polynomials import DEFAULT_MODULI, find_irreducible, poly_degree
 
 __all__ = ["BinaryField", "TableField", "GF", "FieldError"]
 
 DTYPE = np.uint32
+
+# Observability handles (recorded only while repro.obs is enabled).  The
+# tower field's mul/inv call back into the base GF(2^16) field, so with
+# observability on, one GF(2^32) product also counts its base-field
+# table lookups — deliberate: the histogram then reflects real work.
+_MUL_CALLS = _OBS.counter("repro.gf.mul.calls", "field mul() invocations")
+_MUL_NS = _OBS.histogram("repro.gf.mul.ns", "nanoseconds per field mul() call")
+_INV_CALLS = _OBS.counter("repro.gf.inv.calls", "field inv() invocations")
 
 
 class FieldError(ValueError):
@@ -52,13 +62,31 @@ class BinaryField:
 
     # -- subclass responsibilities ------------------------------------
 
+    def _mul(self, a, b) -> np.ndarray:
+        """Backend product implementation (see :meth:`mul`)."""
+        raise NotImplementedError
+
+    def _inv(self, a) -> np.ndarray:
+        """Backend inverse implementation (see :meth:`inv`)."""
+        raise NotImplementedError
+
+    # -- instrumented dispatchers --------------------------------------
+
     def mul(self, a, b) -> np.ndarray:
         """Element-wise field product (broadcasts)."""
-        raise NotImplementedError
+        if _OBS.enabled:
+            start = time.perf_counter_ns()
+            out = self._mul(a, b)
+            _MUL_NS.observe(time.perf_counter_ns() - start)
+            _MUL_CALLS.inc()
+            return out
+        return self._mul(a, b)
 
     def inv(self, a) -> np.ndarray:
         """Element-wise multiplicative inverse; raises on zero input."""
-        raise NotImplementedError
+        if _OBS.enabled:
+            _INV_CALLS.inc()
+        return self._inv(a)
 
     def pow(self, a, e: int) -> np.ndarray:
         """Element-wise ``a**e`` for a non-negative integer exponent."""
@@ -200,13 +228,13 @@ class TableField(BinaryField):
         exp[q - 1 :] = exp[: q - 1]  # doubled table avoids a modulo reduction
         return exp, log
 
-    def mul(self, a, b) -> np.ndarray:
+    def _mul(self, a, b) -> np.ndarray:
         a = self.asarray(a)
         b = self.asarray(b)
         prod = self._exp[self._log[a].astype(np.int64) + self._log[b].astype(np.int64)]
         return np.where((a == 0) | (b == 0), self.zeros(()), prod)
 
-    def inv(self, a) -> np.ndarray:
+    def _inv(self, a) -> np.ndarray:
         a = self.asarray(a)
         if np.any(a == 0):
             raise FieldError("zero has no multiplicative inverse")

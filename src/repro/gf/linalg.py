@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import REGISTRY as _OBS
+from ..obs import span as _span
 from .field import BinaryField, FieldError
 
 __all__ = [
@@ -29,11 +31,23 @@ class SingularMatrixError(FieldError):
     """Raised when an inverse or solve is requested for a singular matrix."""
 
 
+_SOLVE_CALLS = _OBS.counter("repro.gf.solve.calls", "solve() invocations")
+_SOLVE_NS = _span("repro.gf.solve.ns", description="nanoseconds per solve()")
+_ROW_REDUCE_NS = _span(
+    "repro.gf.row_reduce.ns", description="nanoseconds per row_reduce()"
+)
+
+
 def row_reduce(field: BinaryField, matrix: np.ndarray) -> tuple[np.ndarray, int]:
     """Return the reduced row-echelon form of ``matrix`` and its rank.
 
     The input is not modified.  Works for any rectangular shape.
     """
+    with _ROW_REDUCE_NS:
+        return _row_reduce(field, matrix)
+
+
+def _row_reduce(field: BinaryField, matrix: np.ndarray) -> tuple[np.ndarray, int]:
     A = field.asarray(matrix).copy()
     if A.ndim != 2:
         raise FieldError(f"expected a 2-D matrix, got shape {A.shape}")
@@ -99,6 +113,13 @@ def solve(field: BinaryField, A: np.ndarray, B: np.ndarray) -> np.ndarray:
     matches its shape.  This is exactly the decoding step of the paper:
     ``A`` is the coefficient sub-matrix, ``B`` the stacked payloads.
     """
+    if _OBS.enabled:
+        _SOLVE_CALLS.inc()
+    with _SOLVE_NS:
+        return _solve(field, A, B)
+
+
+def _solve(field: BinaryField, A: np.ndarray, B: np.ndarray) -> np.ndarray:
     A = field.asarray(A)
     B = field.asarray(B)
     vector_rhs = B.ndim == 1

@@ -60,7 +60,7 @@ class TowerField(BinaryField):
     def _join(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
         return (hi.astype(np.uint32) << np.uint32(16)) | lo.astype(np.uint32)
 
-    def mul(self, a, b) -> np.ndarray:
+    def _mul(self, a, b) -> np.ndarray:
         B = self.base
         a1, a0 = self._split(a)
         b1, b0 = self._split(b)
@@ -73,7 +73,7 @@ class TowerField(BinaryField):
         lo = t0 ^ B.mul(t2, self.c)
         return self._join(hi, lo)
 
-    def inv(self, a) -> np.ndarray:
+    def _inv(self, a) -> np.ndarray:
         B = self.base
         a = self.asarray(a)
         if np.any(a == 0):

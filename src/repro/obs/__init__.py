@@ -1,0 +1,97 @@
+"""Observability: metrics, structured tracing and profiling hooks.
+
+This package is dependency-free (standard library only) and sits below
+every other ``repro`` layer — ``gf``/``security`` may import it without
+violating the leaf-layer rule of ``docs/ARCHITECTURE.md``.
+
+Everything is **off by default**: instrumentation sites guard on
+``REGISTRY.enabled`` / ``TRACER.enabled`` (a single attribute read), so
+hot loops pay ~zero cost until :func:`enable` is called.  Instrumented
+code must behave bit-identically either way; only timings, counters and
+trace events may differ.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable(tracing=True)
+    ... run a decode or simulation ...
+    print(obs.render_snapshot(obs.REGISTRY.snapshot()))
+    obs.TRACER.write_jsonl("trace.jsonl")
+    obs.disable()
+
+or scoped::
+
+    with obs.observability(tracing=True):
+        ...
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from . import events
+from .profiling import span, timed
+from .registry import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry, quantile
+from .render import render_catalog, render_snapshot
+from .trace import TRACER, TraceBuffer, TraceEvent, read_jsonl
+
+__all__ = [
+    "REGISTRY",
+    "TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceBuffer",
+    "TraceEvent",
+    "events",
+    "enable",
+    "disable",
+    "enabled",
+    "observability",
+    "quantile",
+    "read_jsonl",
+    "render_catalog",
+    "render_snapshot",
+    "span",
+    "timed",
+]
+
+
+def enable(tracing: bool = False) -> None:
+    """Turn on metrics recording (and optionally trace emission)."""
+    REGISTRY.enabled = True
+    if tracing:
+        TRACER.enabled = True
+
+
+def disable() -> None:
+    """Turn off all recording; registered metrics keep their state."""
+    REGISTRY.enabled = False
+    TRACER.enabled = False
+
+
+def enabled() -> bool:
+    """Whether metrics recording is currently on."""
+    return REGISTRY.enabled
+
+
+@contextmanager
+def observability(tracing: bool = False, reset: bool = False):
+    """Scoped enable/disable, restoring the previous switch state.
+
+    With ``reset=True`` the registry and trace buffer are cleared on
+    entry so the scope observes only its own activity.
+    """
+    prev_metrics = REGISTRY.enabled
+    prev_tracing = TRACER.enabled
+    if reset:
+        REGISTRY.reset()
+        TRACER.clear()
+    enable(tracing=tracing)
+    try:
+        yield REGISTRY
+    finally:
+        REGISTRY.enabled = prev_metrics
+        TRACER.enabled = prev_tracing

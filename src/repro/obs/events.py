@@ -1,0 +1,48 @@
+"""The trace-event taxonomy: every event name emitted by the stack.
+
+Event names are dotted ``<subsystem>.<event>`` strings.  Keeping them as
+module constants (rather than ad-hoc literals at the emit sites) gives
+one place to read the vocabulary and lets tests assert exhaustively.
+
+| event               | emitted by                       | fields |
+|---------------------|----------------------------------|--------|
+| ``rlnc.offer``      | ``ProgressiveDecoder.offer``     | ``file_id``, ``message_id``, ``outcome``, ``rank`` |
+| ``transfer.start``  | ``ParallelDownloader.run``       | ``peers``, ``file_id`` |
+| ``transfer.message``| ``ParallelDownloader`` (per msg) | ``slot``, ``outcome`` |
+| ``transfer.complete``| ``ParallelDownloader``          | ``slot``, ``delivered``, ``dependent``, ``rejected`` |
+| ``transfer.stop``   | ``ParallelDownloader`` (per peer)| ``peer``, ``slot``, ``lag_slots`` |
+| ``sim.slot``        | ``Simulation.step``              | ``t``, ``requesting``, ``allocated_kbps``, ``jain`` |
+| ``sim.feedback``    | ``Simulation.step`` (on flush)   | ``t``, ``credited`` |
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RLNC_OFFER",
+    "TRANSFER_START",
+    "TRANSFER_MESSAGE",
+    "TRANSFER_COMPLETE",
+    "TRANSFER_STOP",
+    "SIM_SLOT",
+    "SIM_FEEDBACK",
+    "ALL_EVENTS",
+]
+
+RLNC_OFFER = "rlnc.offer"
+TRANSFER_START = "transfer.start"
+TRANSFER_MESSAGE = "transfer.message"
+TRANSFER_COMPLETE = "transfer.complete"
+TRANSFER_STOP = "transfer.stop"
+SIM_SLOT = "sim.slot"
+SIM_FEEDBACK = "sim.feedback"
+
+#: Every event name the stack can emit, for exhaustive assertions.
+ALL_EVENTS = (
+    RLNC_OFFER,
+    TRANSFER_START,
+    TRANSFER_MESSAGE,
+    TRANSFER_COMPLETE,
+    TRANSFER_STOP,
+    SIM_SLOT,
+    SIM_FEEDBACK,
+)

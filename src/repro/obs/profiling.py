@@ -1,0 +1,84 @@
+"""Profiling hooks: a ``@timed`` decorator and a ``span()`` timer.
+
+Both record nanosecond durations (``time.perf_counter_ns``) into a
+histogram in the metrics registry and cost one branch when observability
+is disabled — safe to leave on hot paths permanently.
+
+Usage::
+
+    @timed("repro.rlnc.decode.block_ns")
+    def decode(...): ...
+
+    with span("repro.gf.solve.ns"):
+        ...heavy work...
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+
+from .registry import REGISTRY, MetricsRegistry
+
+__all__ = ["timed", "span"]
+
+
+def timed(metric_name: str, registry: MetricsRegistry = REGISTRY):
+    """Decorator recording each call's duration into ``metric_name``.
+
+    The histogram is registered at decoration time so it appears in
+    catalogs/snapshots even before the first call; the disabled path is
+    a single attribute check plus the undecorated call.
+    """
+
+    def decorate(fn):
+        histogram = registry.histogram(
+            metric_name, f"nanoseconds per {fn.__qualname__} call"
+        )
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not registry.enabled:
+                return fn(*args, **kwargs)
+            start = time.perf_counter_ns()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                histogram.observe(time.perf_counter_ns() - start)
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate
+
+
+class span:
+    """Context manager timing a block into a histogram.
+
+    Reusable and re-entrant (each ``with`` creates fresh state is *not*
+    required — a single instance can be nested because start times live
+    on a stack).  When the registry is disabled, enter/exit are no-ops.
+    """
+
+    __slots__ = ("_registry", "_histogram", "_starts")
+
+    def __init__(
+        self, metric_name: str, registry: MetricsRegistry = REGISTRY, description: str = ""
+    ):
+        self._registry = registry
+        self._histogram = registry.histogram(
+            metric_name, description or f"nanoseconds per {metric_name} span"
+        )
+        self._starts: list[int | None] = []
+
+    def __enter__(self) -> "span":
+        if self._registry.enabled:
+            self._starts.append(time.perf_counter_ns())
+        else:
+            self._starts.append(None)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        start = self._starts.pop()
+        if start is not None:
+            self._histogram.observe(time.perf_counter_ns() - start)

@@ -1,0 +1,277 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+Metric names follow the convention ``repro.<subsystem>.<name>`` (see the
+Observability section of ``docs/ARCHITECTURE.md``).  Instrumented
+modules create their metric handles once at import time::
+
+    from ..obs import REGISTRY as _OBS
+    _MULS = _OBS.counter("repro.gf.mul.calls", "field multiplications")
+
+and guard every hot-path recording on the registry's ``enabled``
+attribute::
+
+    if _OBS.enabled:
+        _MULS.inc()
+
+``enabled`` is a plain attribute read, so the disabled fast path costs a
+single branch — the whole subsystem is off by default and instrumented
+code must stay bit-identical either way (``tests/obs/test_neutrality``
+enforces this).
+
+All mutation is lock-protected, so counters can be incremented from
+worker threads; snapshots are taken under the same locks and are
+therefore consistent.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "quantile",
+]
+
+#: Quantiles reported for every histogram snapshot.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data (numpy's default).
+
+    ``q`` is a fraction in ``[0, 1]``; the virtual index is
+    ``q * (n - 1)`` and fractional indices interpolate between the two
+    neighbouring order statistics.
+    """
+    if not sorted_values:
+        raise ValueError("quantile of empty data is undefined")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+class Metric:
+    """Base class: a named, described, lock-protected metric."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self._lock = threading.Lock()
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        """JSON-able state; always includes ``kind`` and ``description``."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing count (floats allowed, e.g. byte totals)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = ""):
+        super().__init__(name, description)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "description": self.description,
+                "value": self._value,
+            }
+
+
+class Gauge(Metric):
+    """A value that goes up and down (e.g. per-slot Jain fairness)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = ""):
+        super().__init__(name, description)
+        self._value = 0.0
+        self._set = False
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            self._set = True
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+            self._set = False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "description": self.description,
+                "value": self._value,
+                "set": self._set,
+            }
+
+
+class Histogram(Metric):
+    """Distribution summary with p50/p90/p99 over a bounded reservoir.
+
+    All observations count toward ``count``/``total``/``min``/``max``;
+    quantiles are computed over a uniform reservoir of at most
+    ``max_samples`` observations (Vitter's algorithm R with a fixed seed,
+    so snapshots are reproducible run-to-run).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, description: str = "", max_samples: int = 65536):
+        super().__init__(name, description)
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.max_samples = max_samples
+        self._rng = random.Random(0x0B5)
+        self._samples: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self._samples) < self.max_samples:
+                self._samples.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self.max_samples:
+                    self._samples[slot] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+            self._count = 0
+            self._total = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            out = {
+                "kind": self.kind,
+                "description": self.description,
+                "count": self._count,
+                "total": self._total,
+            }
+            if self._count:
+                ordered = sorted(self._samples)
+                out["min"] = self._min
+                out["max"] = self._max
+                out["mean"] = self._total / self._count
+                for q in DEFAULT_QUANTILES:
+                    out[f"p{int(q * 100)}"] = quantile(ordered, q)
+            return out
+
+
+class MetricsRegistry:
+    """Create-or-get store of named metrics with a global on/off switch.
+
+    ``enabled`` is the disabled-path gate read by every instrumentation
+    site; flip it via :func:`repro.obs.enable` / :func:`repro.obs.disable`
+    rather than assigning directly.
+    """
+
+    def __init__(self):
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, description: str, **kwargs) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, description, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"not {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(
+        self, name: str, description: str = "", max_samples: int = 65536
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, description, max_samples=max_samples
+        )
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every metric, keeping registrations (and descriptions)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-able state of every registered metric, sorted by name."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in metrics}
+
+
+#: Process-wide default registry; instrumented modules bind handles to it.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,73 @@
+"""Human-readable rendering of registry snapshots for the CLI.
+
+``repro simulate --metrics`` and ``repro stats`` print the output of
+:func:`render_snapshot`; the snapshot itself (a plain dict) is what
+``--metrics-out`` writes as JSON and what benchmarks attach to their
+results.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_snapshot", "render_catalog", "format_number"]
+
+
+def format_number(value: float) -> str:
+    """Compact fixed-width-friendly number formatting."""
+    if value != value:  # NaN
+        return "nan"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return f"{int(value):,}"
+    if abs(value) >= 1000 or (value != 0 and abs(value) < 0.001):
+        return f"{value:.4g}"
+    return f"{value:.3f}"
+
+
+def render_snapshot(snapshot: dict[str, dict], header: str = "metrics") -> str:
+    """Format a :meth:`MetricsRegistry.snapshot` dict as aligned text."""
+    lines = [f"--- {header} " + "-" * max(1, 60 - len(header))]
+    if not snapshot:
+        lines.append("(no metrics registered)")
+        return "\n".join(lines)
+    width = max(len(name) for name in snapshot)
+    for name, state in snapshot.items():
+        kind = state.get("kind", "?")
+        if kind == "counter":
+            detail = format_number(state.get("value", 0.0))
+        elif kind == "gauge":
+            value = format_number(state.get("value", 0.0))
+            detail = value if state.get("set") else f"{value} (unset)"
+        elif kind == "histogram":
+            count = state.get("count", 0)
+            if count:
+                detail = (
+                    f"count={format_number(count)} "
+                    f"mean={format_number(state['mean'])} "
+                    f"p50={format_number(state['p50'])} "
+                    f"p90={format_number(state['p90'])} "
+                    f"p99={format_number(state['p99'])} "
+                    f"max={format_number(state['max'])}"
+                )
+            else:
+                detail = "count=0"
+        else:
+            detail = repr(state)
+        lines.append(f"{name.ljust(width)}  [{kind:9s}] {detail}")
+    return "\n".join(lines)
+
+
+def render_catalog(snapshot: dict[str, dict], events: tuple[str, ...]) -> str:
+    """Format the metric + event inventory (``repro stats`` with no file)."""
+    lines = ["registered metrics:"]
+    if snapshot:
+        width = max(len(name) for name in snapshot)
+        for name, state in snapshot.items():
+            lines.append(
+                f"  {name.ljust(width)}  [{state.get('kind', '?'):9s}] "
+                f"{state.get('description', '')}"
+            )
+    else:
+        lines.append("  (none)")
+    lines.append("trace events:")
+    for event in events:
+        lines.append(f"  {event}")
+    return "\n".join(lines)

@@ -15,11 +15,16 @@ Two decoders are provided:
 
 from __future__ import annotations
 
+import time
 from enum import Enum
 
 import numpy as np
 
 from ..gf import GF, BinaryField, SingularMatrixError, solve
+from ..obs import REGISTRY as _OBS
+from ..obs import TRACER as _TRACER
+from ..obs import span as _span
+from ..obs.events import RLNC_OFFER
 from ..security.integrity import DigestStore
 from .coefficients import CoefficientGenerator
 from .message import EncodedMessage
@@ -27,6 +32,23 @@ from .params import CodingParams
 from .symbols import symbols_to_bytes
 
 __all__ = ["BlockDecoder", "ProgressiveDecoder", "Offer", "DecodeError"]
+
+_DEC_INNOVATIVE = _OBS.counter(
+    "repro.rlnc.decode.innovative", "offered messages that increased rank"
+)
+_DEC_DEPENDENT = _OBS.counter(
+    "repro.rlnc.decode.dependent", "offered messages that were linearly dependent"
+)
+_DEC_REJECTED = _OBS.counter(
+    "repro.rlnc.decode.rejected", "offered messages rejected (auth/shape/forgery)"
+)
+_DEC_ELIM_NS = _OBS.histogram(
+    "repro.rlnc.decode.eliminate_ns",
+    "nanoseconds of Gaussian elimination per offered message",
+)
+_DEC_BLOCK_NS = _span(
+    "repro.rlnc.decode.block_ns", description="nanoseconds per BlockDecoder.decode()"
+)
 
 
 class DecodeError(Exception):
@@ -62,32 +84,33 @@ class BlockDecoder:
         :class:`DecodeError` if fewer are supplied or the coefficient
         sub-matrix is singular (caller should add another message).
         """
-        k = self.params.k
-        unique: dict[int, EncodedMessage] = {}
-        for msg in messages:
-            if msg.file_id != self.coefficients.file_id:
+        with _DEC_BLOCK_NS:
+            k = self.params.k
+            unique: dict[int, EncodedMessage] = {}
+            for msg in messages:
+                if msg.file_id != self.coefficients.file_id:
+                    raise DecodeError(
+                        f"message for file {msg.file_id:#x} offered to decoder for "
+                        f"file {self.coefficients.file_id:#x}"
+                    )
+                unique.setdefault(msg.message_id, msg)
+                if len(unique) == k:
+                    break
+            if len(unique) < k:
                 raise DecodeError(
-                    f"message for file {msg.file_id:#x} offered to decoder for "
-                    f"file {self.coefficients.file_id:#x}"
+                    f"need {k} distinct messages to decode, got {len(unique)}"
                 )
-            unique.setdefault(msg.message_id, msg)
-            if len(unique) == k:
-                break
-        if len(unique) < k:
-            raise DecodeError(
-                f"need {k} distinct messages to decode, got {len(unique)}"
-            )
-        chosen = list(unique.values())
-        beta = self.coefficients.matrix(m.message_id for m in chosen)
-        payloads = np.stack([m.payload for m in chosen])
-        try:
-            source = solve(self.field, beta, payloads)
-        except SingularMatrixError as exc:
-            raise DecodeError(
-                "coefficient sub-matrix is singular; supply a different message"
-            ) from exc
-        data = symbols_to_bytes(source.reshape(-1), self.params.p)
-        return data[: length if length is not None else self.params.file_bytes]
+            chosen = list(unique.values())
+            beta = self.coefficients.matrix(m.message_id for m in chosen)
+            payloads = np.stack([m.payload for m in chosen])
+            try:
+                source = solve(self.field, beta, payloads)
+            except SingularMatrixError as exc:
+                raise DecodeError(
+                    "coefficient sub-matrix is singular; supply a different message"
+                ) from exc
+            data = symbols_to_bytes(source.reshape(-1), self.params.p)
+            return data[: length if length is not None else self.params.file_bytes]
 
 
 class ProgressiveDecoder:
@@ -134,6 +157,27 @@ class ProgressiveDecoder:
 
     def offer(self, message: EncodedMessage) -> Offer:
         """Feed one received message; returns what happened to it."""
+        if not (_OBS.enabled or _TRACER.enabled):
+            return self._offer(message)
+        rank_before = self.rank
+        outcome = self._offer(message)
+        if _OBS.enabled:
+            if self.rank > rank_before:
+                _DEC_INNOVATIVE.inc()
+            elif outcome is Offer.DEPENDENT:
+                _DEC_DEPENDENT.inc()
+            elif outcome is Offer.REJECTED:
+                _DEC_REJECTED.inc()
+        _TRACER.emit(
+            RLNC_OFFER,
+            file_id=int(message.file_id),
+            message_id=int(message.message_id),
+            outcome=outcome.value,
+            rank=self.rank,
+        )
+        return outcome
+
+    def _offer(self, message: EncodedMessage) -> Offer:
         if self.is_complete:
             return Offer.COMPLETE
         if message.file_id != self.coefficients.file_id:
@@ -153,33 +197,38 @@ class ProgressiveDecoder:
 
         field = self.field
         k = self.params.k
-        row = np.concatenate(
-            [self.coefficients.row(message.message_id), message.payload]
-        ).astype(field.dtype)
-        for kept, pivot in zip(self._rows, self._pivots):
-            if row[pivot]:
-                row ^= field.mul(row[pivot], kept)
-        coeff_part = row[:k]
-        nonzero = np.nonzero(coeff_part)[0]
-        if nonzero.size == 0:
+        elim_start = time.perf_counter_ns() if _OBS.enabled else None
+        try:
+            row = np.concatenate(
+                [self.coefficients.row(message.message_id), message.payload]
+            ).astype(field.dtype)
+            for kept, pivot in zip(self._rows, self._pivots):
+                if row[pivot]:
+                    row ^= field.mul(row[pivot], kept)
+            coeff_part = row[:k]
+            nonzero = np.nonzero(coeff_part)[0]
+            if nonzero.size == 0:
+                self._seen_ids.add(message.message_id)
+                if np.any(row[k:]):
+                    # Authentic rows can never contradict the span; this
+                    # message was forged in a way the digests did not catch.
+                    self.rejected += 1
+                    return Offer.REJECTED
+                self.dependent += 1
+                return Offer.DEPENDENT
+            pivot = int(nonzero[0])
+            row = field.mul(field.inv(row[pivot]), row)
+            for idx, kept in enumerate(self._rows):
+                if kept[pivot]:
+                    self._rows[idx] = kept ^ field.mul(kept[pivot], row)
+            self._rows.append(row)
+            self._pivots.append(pivot)
             self._seen_ids.add(message.message_id)
-            if np.any(row[k:]):
-                # Authentic rows can never contradict the span; this
-                # message was forged in a way the digests did not catch.
-                self.rejected += 1
-                return Offer.REJECTED
-            self.dependent += 1
-            return Offer.DEPENDENT
-        pivot = int(nonzero[0])
-        row = field.mul(field.inv(row[pivot]), row)
-        for idx, kept in enumerate(self._rows):
-            if kept[pivot]:
-                self._rows[idx] = kept ^ field.mul(kept[pivot], row)
-        self._rows.append(row)
-        self._pivots.append(pivot)
-        self._seen_ids.add(message.message_id)
-        self.accepted += 1
-        return Offer.COMPLETE if self.is_complete else Offer.ACCEPTED
+            self.accepted += 1
+            return Offer.COMPLETE if self.is_complete else Offer.ACCEPTED
+        finally:
+            if elim_start is not None:
+                _DEC_ELIM_NS.observe(time.perf_counter_ns() - elim_start)
 
     def result(self, length: int | None = None) -> bytes:
         """The decoded file bytes; valid once :attr:`is_complete`."""

@@ -29,6 +29,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..gf import GF, BinaryField, IncrementalRank
+from ..obs import REGISTRY as _OBS
+from ..obs import span as _span
 from ..security.integrity import DigestStore
 from .coefficients import CoefficientGenerator
 from .message import EncodedMessage
@@ -36,6 +38,9 @@ from .params import CodingParams
 from .symbols import reshape_file_matrix
 
 __all__ = ["FileEncoder", "EncodedFile"]
+
+_ENC_MESSAGES = _OBS.counter("repro.rlnc.encode.messages", "coded messages produced")
+_ENC_NS = _span("repro.rlnc.encode.ns", description="nanoseconds per encoded message")
 
 
 @dataclass(frozen=True)
@@ -91,8 +96,11 @@ class FileEncoder:
 
     def encode_message(self, source: np.ndarray, message_id: int) -> EncodedMessage:
         """Produce ``Y_i`` for one message id from the source matrix."""
-        beta = self.coefficients.row(message_id)
-        payload = self.field.dot(beta, source)
+        with _ENC_NS:
+            beta = self.coefficients.row(message_id)
+            payload = self.field.dot(beta, source)
+        if _OBS.enabled:
+            _ENC_MESSAGES.inc()
         return EncodedMessage(
             file_id=self.file_id,
             message_id=message_id,

@@ -11,16 +11,33 @@ changing the fixed-point of Equation (2).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 import numpy as np
 
 from ..core.allocation import enforce_feasibility
+from ..core.fairness import jain_index
 from ..core.ledger import DEFAULT_INITIAL_CREDIT
+from ..obs import REGISTRY as _OBS
+from ..obs import TRACER as _TRACER
+from ..obs.events import SIM_FEEDBACK, SIM_SLOT
 from .metrics import SimulationResult
 from .peer import PeerConfig, PeerState
 
 __all__ = ["Simulation"]
+
+_SIM_SLOTS = _OBS.counter("repro.sim.slots", "simulation slots stepped")
+_SIM_ALLOC_NS = _OBS.histogram(
+    "repro.sim.alloc_ns", "nanoseconds per slot spent in allocation + feasibility"
+)
+_SIM_JAIN = _OBS.gauge(
+    "repro.sim.jain_fairness",
+    "Jain fairness index of requesting users' rates, latest slot",
+)
+_SIM_FEEDBACK_FLUSHES = _OBS.counter(
+    "repro.sim.feedback.flushes", "batched ledger-credit (feedback) flushes"
+)
 
 
 class Simulation:
@@ -101,12 +118,15 @@ class Simulation:
         declared = np.fromiter(
             (peer.declared_at(t) for peer in self.peers), dtype=float, count=self.n
         )
+        alloc_start = time.perf_counter_ns() if _OBS.enabled else None
         alloc = np.zeros((self.n, self.n))
         for i, peer in enumerate(self.peers):
             proposal = peer.config.allocator.allocate(
                 i, capacities[i], requesting, peer.ledger, declared, t
             )
             alloc[i] = enforce_feasibility(proposal, capacities[i], requesting)
+        if alloc_start is not None:
+            _SIM_ALLOC_NS.observe(time.perf_counter_ns() - alloc_start)
         # Credit every receiving peer's local ledger.  Credits accumulate
         # bandwidth x time, so coarser slots weigh proportionally more.
         # With delayed feedback, each user's measurements buffer locally
@@ -115,11 +135,30 @@ class Simulation:
         weight = self.slot_seconds
         self._pending_feedback += alloc.T * weight  # row j = user j's view
         if (t + 1) % self.feedback_interval == 0:
+            credited = float(self._pending_feedback.sum())
             for j, peer in enumerate(self.peers):
                 peer.ledger.record_received(self._pending_feedback[j])
             self._pending_feedback[:] = 0.0
+            if _OBS.enabled:
+                _SIM_FEEDBACK_FLUSHES.inc()
+            _TRACER.emit(SIM_FEEDBACK, t=t, credited=credited)
         for peer in self.peers:
             peer.config.allocator.on_slot_end(t)
+        if _OBS.enabled or _TRACER.enabled:
+            rates = alloc.sum(axis=0)
+            jain = (
+                jain_index(rates[requesting]) if bool(requesting.any()) else 1.0
+            )
+            if _OBS.enabled:
+                _SIM_SLOTS.inc()
+                _SIM_JAIN.set(jain)
+            _TRACER.emit(
+                SIM_SLOT,
+                t=t,
+                requesting=int(requesting.sum()),
+                allocated_kbps=float(alloc.sum()),
+                jain=jain,
+            )
         self._t += 1
         return alloc, requesting, capacities
 

@@ -107,3 +107,38 @@ class SimulationResult:
         if self.labels and index < len(self.labels):
             return self.labels[index]
         return f"peer {index}"
+
+    def to_dict(self, include_history: bool = True) -> dict:
+        """JSON-able representation (``repro simulate --json`` output).
+
+        Arrays become nested lists; ``include_history=False`` drops the
+        (potentially large) full allocation tensor even when recorded.
+        """
+        out = {
+            "rates": self.rates.tolist(),
+            "requesting": self.requesting.tolist(),
+            "capacities": self.capacities.tolist(),
+            "mean_alloc": self.mean_alloc.tolist(),
+            "slot_seconds": self.slot_seconds,
+            "labels": list(self.labels),
+            "alloc_history": None,
+        }
+        if include_history and self.alloc_history is not None:
+            out["alloc_history"] = self.alloc_history.tolist()
+        return out
+
+    @classmethod
+    def from_dict(cls, blob: dict) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`; round-trips bit-exactly via JSON."""
+        history = blob.get("alloc_history")
+        return cls(
+            rates=np.asarray(blob["rates"], dtype=float),
+            requesting=np.asarray(blob["requesting"], dtype=bool),
+            capacities=np.asarray(blob["capacities"], dtype=float),
+            mean_alloc=np.asarray(blob["mean_alloc"], dtype=float),
+            slot_seconds=float(blob.get("slot_seconds", 1.0)),
+            alloc_history=(
+                np.asarray(history, dtype=float) if history is not None else None
+            ),
+            labels=tuple(blob.get("labels", ())),
+        )

@@ -15,11 +15,34 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
+from ..obs import REGISTRY as _OBS
+from ..obs import TRACER as _TRACER
+from ..obs.events import (
+    TRANSFER_COMPLETE,
+    TRANSFER_MESSAGE,
+    TRANSFER_START,
+    TRANSFER_STOP,
+)
 from ..rlnc.decoder import ProgressiveDecoder
 from .protocol import StopTransmission
 from .session import ServingSession
 
 __all__ = ["ParallelDownloader", "DownloadReport", "kbps_to_bytes"]
+
+_XFER_BYTES = _OBS.counter(
+    "repro.transfer.bytes_received", "payload bytes granted across all peers"
+)
+_XFER_WASTED = _OBS.counter(
+    "repro.transfer.wasted_bytes",
+    "bytes transmitted after decode completion, before the stop arrived",
+)
+_XFER_MESSAGES = _OBS.counter(
+    "repro.transfer.messages", "completed messages offered to the decoder"
+)
+_XFER_STOP_LAG = _OBS.histogram(
+    "repro.transfer.stop_latency_slots",
+    "slots between decode completion and a peer honouring the stop",
+)
 
 
 def kbps_to_bytes(kbps: float, seconds: float = 1.0) -> float:
@@ -112,6 +135,11 @@ class ParallelDownloader:
         delay, in-flight message delay, and the stop-transmission lag
         (bytes sent meanwhile are reported as ``wasted_bytes``).
         """
+        _TRACER.emit(
+            TRANSFER_START,
+            peers=len(self.sessions),
+            file_id=file_id if file_id is not None else -1,
+        )
         if self.latency is not None:
             return self._run_with_latency(max_slots, file_id)
         per_peer = [0.0] * len(self.sessions)
@@ -137,11 +165,16 @@ class ParallelDownloader:
                 budget = kbps_to_bytes(rate, self.slot_seconds)
                 per_peer[i] += budget
                 total_bytes += budget
+                if _OBS.enabled:
+                    _XFER_BYTES.inc(budget)
                 for data in session.serve(budget):
                     if self.decoder.is_complete:
                         break  # already decodable; surplus is ignored
                     outcome = self.decoder.offer(data.message)
                     name = getattr(outcome, "name", str(outcome))
+                    if _OBS.enabled:
+                        _XFER_MESSAGES.inc()
+                    _TRACER.emit(TRANSFER_MESSAGE, slot=t, peer=i, outcome=name)
                     if name in ("ACCEPTED", "COMPLETE"):
                         delivered += 1
                     elif name == "DEPENDENT":
@@ -150,9 +183,20 @@ class ParallelDownloader:
                         rejected += 1
             if self.decoder.is_complete:
                 # Step 5: tell every peer to stop transmitting.
+                _TRACER.emit(
+                    TRANSFER_COMPLETE,
+                    slot=t,
+                    delivered=delivered,
+                    dependent=dependent,
+                    rejected=rejected,
+                )
                 stop = StopTransmission(file_id=file_id if file_id is not None else -1)
-                for session in self.sessions:
+                for i, session in enumerate(self.sessions):
                     session.stop(stop)
+                    # Without a latency model the stop is heard instantly.
+                    if _OBS.enabled:
+                        _XFER_STOP_LAG.observe(0)
+                    _TRACER.emit(TRANSFER_STOP, peer=i, slot=t, lag_slots=0)
                 break
         return DownloadReport(
             complete=self.decoder.is_complete,
@@ -196,6 +240,9 @@ class ParallelDownloader:
                     continue
                 outcome = self.decoder.offer(message)
                 name = getattr(outcome, "name", str(outcome))
+                if _OBS.enabled:
+                    _XFER_MESSAGES.inc()
+                _TRACER.emit(TRANSFER_MESSAGE, slot=t, outcome=name)
                 if name in ("ACCEPTED", "COMPLETE"):
                     delivered += 1
                 elif name == "DEPENDENT":
@@ -206,11 +253,26 @@ class ParallelDownloader:
 
             if self.decoder.is_complete and complete_slot is None:
                 complete_slot = t
+                _TRACER.emit(
+                    TRANSFER_COMPLETE,
+                    slot=t,
+                    delivered=delivered,
+                    dependent=dependent,
+                    rejected=rejected,
+                )
                 stop = StopTransmission(
                     file_id=file_id if file_id is not None else -1
                 )
                 for i, session in enumerate(self.sessions):
                     stop_deadline[i] = t + self.latency.stop_slots(i)
+                    if _OBS.enabled:
+                        _XFER_STOP_LAG.observe(self.latency.stop_slots(i))
+                    _TRACER.emit(
+                        TRANSFER_STOP,
+                        peer=i,
+                        slot=stop_deadline[i],
+                        lag_slots=self.latency.stop_slots(i),
+                    )
 
             rates = [self.rate_fn(i, t) for i in range(n)]
             total = sum(rates)
@@ -236,6 +298,8 @@ class ParallelDownloader:
                     if session.active and rate > 0:
                         budget = kbps_to_bytes(rate, self.slot_seconds)
                         wasted += budget
+                        if _OBS.enabled:
+                            _XFER_WASTED.inc(budget)
                         session.serve(budget)
                         everyone_stopped = False
                     continue
@@ -244,6 +308,8 @@ class ParallelDownloader:
                 budget = kbps_to_bytes(rate, self.slot_seconds)
                 per_peer[i] += budget
                 total_bytes += budget
+                if _OBS.enabled:
+                    _XFER_BYTES.inc(budget)
                 if first_data_slot is None:
                     first_data_slot = t
                 for data in session.serve(budget):

@@ -13,6 +13,7 @@ bytes have arrived (TCP-like in-order delivery of the serial stream).
 
 from __future__ import annotations
 
+from ..obs import REGISTRY as _OBS
 from ..security.auth import Prover, Verifier
 from ..security.keys import KeyPair, PublicKey
 from ..storage.store import MessageStore, ServingCursor
@@ -27,6 +28,13 @@ from .protocol import (
 )
 
 __all__ = ["ServingSession", "DownloadSession"]
+
+_SERVE_MESSAGES = _OBS.counter(
+    "repro.transfer.serve.messages", "complete messages streamed by serving peers"
+)
+_SERVE_BYTES = _OBS.counter(
+    "repro.transfer.serve.bytes", "byte budget consumed by serving peers"
+)
 
 
 class ServingSession:
@@ -99,6 +107,10 @@ class ServingSession:
         # it is only retained while there is something left to send.
         self._partial_bytes = budget if not self._cursor.exhausted else 0.0
         self.bytes_sent += byte_budget
+        if _OBS.enabled:
+            _SERVE_BYTES.inc(byte_budget)
+            if delivered:
+                _SERVE_MESSAGES.inc(len(delivered))
         return delivered
 
     def stop(self, message: StopTransmission) -> None:

@@ -1,7 +1,6 @@
 """Unit tests for the baseline allocators (Eq. 3, isolation, equal split)."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     ContributionLedger,

@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.gf import (
-    GF,
     FieldError,
     IncrementalRank,
     SingularMatrixError,

@@ -1,0 +1,19 @@
+"""Observability tests touch process-global state; always restore it."""
+
+import pytest
+
+from repro.obs import REGISTRY, TRACER
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Reset switches and recorded data around every test in this package."""
+    prev_metrics = REGISTRY.enabled
+    prev_tracing = TRACER.enabled
+    REGISTRY.reset()
+    TRACER.clear()
+    yield
+    REGISTRY.enabled = prev_metrics
+    TRACER.enabled = prev_tracing
+    REGISTRY.reset()
+    TRACER.clear()

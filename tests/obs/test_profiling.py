@@ -1,0 +1,99 @@
+"""Profiling hooks: @timed, span(), and the disabled no-op path."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, span, timed
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestTimed:
+    def test_registers_histogram_at_decoration_time(self, registry):
+        @timed("t.ns", registry=registry)
+        def fn():
+            return 1
+
+        assert "t.ns" in registry.names()
+        assert registry.get("t.ns").count == 0
+
+    def test_records_when_enabled(self, registry):
+        @timed("t.ns", registry=registry)
+        def fn(x):
+            return x * 2
+
+        registry.enabled = True
+        assert fn(21) == 42
+        snap = registry.get("t.ns").snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] >= 0
+
+    def test_noop_when_disabled(self, registry):
+        @timed("t.ns", registry=registry)
+        def fn(x):
+            return x + 1
+
+        assert fn(1) == 2
+        assert registry.get("t.ns").count == 0
+
+    def test_records_even_when_function_raises(self, registry):
+        @timed("t.ns", registry=registry)
+        def boom():
+            raise RuntimeError("boom")
+
+        registry.enabled = True
+        with pytest.raises(RuntimeError):
+            boom()
+        assert registry.get("t.ns").count == 1
+
+    def test_preserves_metadata_and_wrapped(self, registry):
+        @timed("t.ns", registry=registry)
+        def documented():
+            """Docstring."""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "Docstring."
+        assert documented.__wrapped__ is not None
+
+
+class TestSpan:
+    def test_records_duration_when_enabled(self, registry):
+        s = span("s.ns", registry=registry)
+        registry.enabled = True
+        with s:
+            pass
+        assert registry.get("s.ns").count == 1
+
+    def test_noop_when_disabled(self, registry):
+        s = span("s.ns", registry=registry)
+        with s:
+            pass
+        assert registry.get("s.ns").count == 0
+
+    def test_nesting_one_instance(self, registry):
+        s = span("s.ns", registry=registry)
+        registry.enabled = True
+        with s:
+            with s:
+                pass
+        assert registry.get("s.ns").count == 2
+
+    def test_records_on_exception(self, registry):
+        s = span("s.ns", registry=registry)
+        registry.enabled = True
+        with pytest.raises(ValueError):
+            with s:
+                raise ValueError
+        assert registry.get("s.ns").count == 1
+
+    def test_toggle_mid_flight_does_not_crash(self, registry):
+        """Enabling/disabling while a span is open must stay balanced."""
+        s = span("s.ns", registry=registry)
+        with s:  # opened disabled -> nothing recorded even if enabled now
+            registry.enabled = True
+        assert registry.get("s.ns").count == 0
+        with s:  # opened enabled -> recorded even if disabled at exit
+            registry.enabled = False
+        assert registry.get("s.ns").count == 1

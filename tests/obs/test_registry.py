@@ -1,0 +1,148 @@
+"""Metrics registry: counters, gauges, histogram quantiles, threading."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, quantile
+from repro.obs.registry import DEFAULT_QUANTILES
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_thread_safety_of_increments(self):
+        """8 threads x 10k increments must land exactly, no lost updates."""
+        c = Counter("c")
+        threads, per_thread = 8, 10_000
+
+        def worker():
+            for _ in range(per_thread):
+                c.inc()
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert c.value == threads * per_thread
+
+    def test_reset(self):
+        c = Counter("c")
+        c.inc(7)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_and_snapshot(self):
+        g = Gauge("g", "desc")
+        assert not g.snapshot()["set"]
+        g.set(0.75)
+        snap = g.snapshot()
+        assert snap["value"] == 0.75 and snap["set"]
+
+
+class TestHistogramQuantiles:
+    def test_matches_numpy_linear_interpolation(self):
+        h = Histogram("h")
+        values = list(range(100))
+        for v in values:
+            h.observe(v)
+        snap = h.snapshot()
+        for q in DEFAULT_QUANTILES:
+            expected = float(np.quantile(values, q))
+            assert snap[f"p{int(q * 100)}"] == pytest.approx(expected), q
+
+    def test_single_observation(self):
+        h = Histogram("h")
+        h.observe(42.0)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] == snap["max"] == snap["p50"] == snap["p99"] == 42.0
+
+    def test_summary_stats(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 10.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["total"] == 16.0
+        assert snap["mean"] == 4.0
+        assert snap["min"] == 1.0 and snap["max"] == 10.0
+
+    def test_reservoir_bounds_memory_but_not_count(self):
+        h = Histogram("h", max_samples=64)
+        for v in range(1000):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 1000
+        assert len(h._samples) == 64
+        # min/max are exact even though quantiles are sampled.
+        assert snap["min"] == 0.0 and snap["max"] == 999.0
+        # The reservoir is uniform: the sampled median must land in the
+        # bulk of the distribution, not at an extreme.
+        assert 100 < snap["p50"] < 900
+
+    def test_quantile_helper_validates(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+        assert quantile([1.0, 2.0], 0.5) == 1.5
+
+
+class TestRegistry:
+    def test_create_or_get_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "first")
+        b = reg.counter("x", "second description ignored")
+        assert a is b
+        assert a.description == "first"
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_snapshot_includes_zero_valued_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("a.count")
+        reg.histogram("a.ns")
+        snap = reg.snapshot()
+        assert snap["a.count"]["value"] == 0
+        assert snap["a.ns"]["count"] == 0
+
+    def test_snapshot_sorted_and_json_able(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.gauge("z")
+        reg.counter("a")
+        h = reg.histogram("m")
+        h.observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must not raise
+
+    def test_reset_keeps_registrations(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        c.inc(5)
+        reg.reset()
+        assert reg.get("a") is c
+        assert c.value == 0
+
+    def test_disabled_by_default(self):
+        assert not MetricsRegistry().enabled

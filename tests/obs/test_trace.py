@@ -1,0 +1,89 @@
+"""Trace events: gating, ring-buffer bounds, ordering, JSONL round-trip."""
+
+import io
+
+import pytest
+
+from repro.obs import TraceBuffer, TraceEvent, read_jsonl
+from repro.obs.events import ALL_EVENTS
+
+
+class TestEmitGating:
+    def test_disabled_by_default_and_emits_nothing(self):
+        buf = TraceBuffer()
+        buf.emit("x.y", a=1)
+        assert len(buf) == 0
+
+    def test_enabled_records_name_fields_and_timestamps(self):
+        buf = TraceBuffer()
+        buf.enabled = True
+        buf.emit("rlnc.offer", outcome="accepted", rank=3)
+        (event,) = buf.events()
+        assert event.name == "rlnc.offer"
+        assert event.fields == {"outcome": "accepted", "rank": 3}
+        assert event.wall > 0 and event.mono_ns > 0
+
+
+class TestRingBuffer:
+    def test_drops_oldest_at_capacity(self):
+        buf = TraceBuffer(capacity=3)
+        buf.enabled = True
+        for i in range(5):
+            buf.emit("e", i=i)
+        assert [e.fields["i"] for e in buf.events()] == [2, 3, 4]
+        assert buf.dropped == 2
+
+    def test_clear(self):
+        buf = TraceBuffer(capacity=2)
+        buf.enabled = True
+        buf.emit("e")
+        buf.emit("e")
+        buf.emit("e")
+        buf.clear()
+        assert len(buf) == 0 and buf.dropped == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+
+class TestOrdering:
+    def test_mono_ns_is_nondecreasing_in_buffer_order(self):
+        buf = TraceBuffer()
+        buf.enabled = True
+        for i in range(200):
+            buf.emit("e", i=i)
+        stamps = [e.mono_ns for e in buf.events()]
+        assert stamps == sorted(stamps)
+
+
+class TestJsonlRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        buf = TraceBuffer()
+        buf.enabled = True
+        buf.emit("transfer.start", peers=4, file_id=-1)
+        buf.emit("transfer.complete", slot=9, delivered=12)
+        path = tmp_path / "trace.jsonl"
+        assert buf.write_jsonl(path) == 2
+        events = read_jsonl(path)
+        assert events == buf.events()
+
+    def test_stream_round_trip(self):
+        buf = TraceBuffer()
+        buf.enabled = True
+        buf.emit("sim.slot", t=0, jain=1.0)
+        sink = io.StringIO()
+        buf.write_jsonl(sink)
+        events = read_jsonl(io.StringIO(sink.getvalue()))
+        assert events == buf.events()
+
+    def test_event_dict_round_trip(self):
+        event = TraceEvent(name="e", wall=1.5, mono_ns=7, fields={"k": "v"})
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+
+def test_event_taxonomy_names_are_dotted_and_unique():
+    assert len(set(ALL_EVENTS)) == len(ALL_EVENTS)
+    for name in ALL_EVENTS:
+        subsystem, _, event = name.partition(".")
+        assert subsystem and event, name

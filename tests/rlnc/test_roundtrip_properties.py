@@ -5,7 +5,6 @@ all-0xFF and short inputs), field choices and message mixes.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

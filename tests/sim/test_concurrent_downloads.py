@@ -1,6 +1,5 @@
 """Tests for concurrent multi-user downloads over one allocation timeline."""
 
-import numpy as np
 import pytest
 
 from repro.rlnc import CodingParams

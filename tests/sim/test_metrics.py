@@ -1,5 +1,7 @@
 """Unit tests for simulation result metrics."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -88,3 +90,52 @@ class TestIsolationComparisons:
         gains = r.gains_over_isolation()
         assert gains[0] == pytest.approx(75.0)  # 175 - 100
         assert gains[1] == pytest.approx(-25.0)  # 75 - 100
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_is_bit_exact(self):
+        r = make_result()
+        blob = json.loads(json.dumps(r.to_dict()))
+        restored = SimulationResult.from_dict(blob)
+        assert np.array_equal(restored.rates, r.rates)
+        assert np.array_equal(restored.requesting, r.requesting)
+        assert restored.requesting.dtype == np.bool_
+        assert np.array_equal(restored.capacities, r.capacities)
+        assert np.array_equal(restored.mean_alloc, r.mean_alloc)
+        assert restored.slot_seconds == r.slot_seconds
+        assert restored.labels == r.labels
+        assert restored.alloc_history is None
+
+    def test_round_trip_with_history(self):
+        r = make_result()
+        history = np.arange(4 * 2 * 2, dtype=float).reshape(4, 2, 2)
+        r = SimulationResult(
+            rates=r.rates,
+            requesting=r.requesting,
+            capacities=r.capacities,
+            mean_alloc=r.mean_alloc,
+            alloc_history=history,
+            labels=r.labels,
+        )
+        restored = SimulationResult.from_dict(r.to_dict())
+        assert np.array_equal(restored.alloc_history, history)
+
+    def test_include_history_false_drops_tensor(self):
+        r = make_result()
+        r = SimulationResult(
+            rates=r.rates,
+            requesting=r.requesting,
+            capacities=r.capacities,
+            mean_alloc=r.mean_alloc,
+            alloc_history=np.zeros((4, 2, 2)),
+        )
+        assert r.to_dict(include_history=False)["alloc_history"] is None
+
+    def test_derived_metrics_survive_round_trip(self):
+        r = make_result()
+        restored = SimulationResult.from_dict(r.to_dict())
+        assert np.allclose(restored.empirical_gamma(), r.empirical_gamma())
+        assert np.allclose(
+            restored.mean_rate_while_requesting(),
+            r.mean_rate_while_requesting(),
+        )

@@ -1,6 +1,5 @@
 """Integration tests for the full-stack file-sharing network."""
 
-import numpy as np
 import pytest
 
 from repro.core import FreeRiderAllocator

@@ -1,6 +1,5 @@
 """Integration tests for versioned updates through the full network."""
 
-import numpy as np
 import pytest
 
 from repro.rlnc import CodingParams

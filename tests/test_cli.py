@@ -300,3 +300,99 @@ class TestParser:
                     "y",
                 ]
             )
+
+
+class TestObservabilityFlags:
+    def _decode_args(self, out, dest):
+        return [
+            "decode",
+            str(out / "peer0"),
+            str(out / "peer1"),
+            str(out / "peer2"),
+            "--manifest",
+            str(out / "manifest.json"),
+            "--secret",
+            "s3cret",
+            "--digests",
+            str(out / "digests.json"),
+            "--out",
+            str(dest),
+        ]
+
+    def test_simulate_metrics_prints_snapshot(self, capsys):
+        code = main(["simulate", "fig5b", "--metrics"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "repro.sim.slots" in stdout
+        # Every registered metric appears, even ones this run never hit.
+        assert "repro.rlnc.decode.innovative" in stdout
+        assert "repro.gf.mul.ns" in stdout
+
+    def test_simulate_trace_writes_monotonic_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(["simulate", "fig5b", "--trace", str(trace)])
+        assert code == 0
+        lines = trace.read_text().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        stamps = [e["mono_ns"] for e in events]
+        assert stamps == sorted(stamps)
+        assert any(e["name"] == "sim.slot" for e in events)
+
+    def test_simulate_metrics_out_readable_by_stats(self, tmp_path, capsys):
+        snap_file = tmp_path / "metrics.json"
+        code = main(["simulate", "fig5b", "--metrics-out", str(snap_file)])
+        assert code == 0
+        snap = json.loads(snap_file.read_text())
+        assert snap["repro.sim.slots"]["value"] > 0
+        capsys.readouterr()
+        assert main(["stats", str(snap_file)]) == 0
+        assert "repro.sim.slots" in capsys.readouterr().out
+
+    def test_simulate_json_round_trips(self, tmp_path, capsys):
+        from repro.sim import SimulationResult
+
+        out = tmp_path / "result.json"
+        code = main(["simulate", "fig5b", "--json", str(out)])
+        assert code == 0
+        result = SimulationResult.from_dict(json.loads(out.read_text()))
+        assert result.slots > 0 and result.n == 3
+
+    def test_decode_metrics_counts_gf_work(self, workspace, capsys):
+        tmp, src, out = workspace
+        encode(src, out)
+        dest = tmp / "restored.bin"
+        code = main(self._decode_args(out, dest) + ["--metrics"])
+        assert code == 0
+        assert dest.read_bytes() == src.read_bytes()
+        stdout = capsys.readouterr().out
+        assert "repro.gf.mul.calls" in stdout
+        assert "repro.rlnc.decode.innovative" in stdout
+
+    def test_flags_leave_observability_disabled_afterwards(self, capsys):
+        from repro.obs import REGISTRY, TRACER
+
+        assert main(["simulate", "fig5b", "--metrics"]) == 0
+        assert not REGISTRY.enabled
+        assert not TRACER.enabled
+
+
+class TestStats:
+    def test_catalog_lists_metrics_and_events(self, capsys):
+        code = main(["stats"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "repro.gf.mul.calls" in stdout
+        assert "repro.sim.alloc_ns" in stdout
+        assert "rlnc.offer" in stdout
+        assert "transfer.stop" in stdout
+
+    def test_missing_snapshot_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stats", str(tmp_path / "nope.json")])
+
+    def test_non_snapshot_json_rejected(self, tmp_path):
+        odd = tmp_path / "odd.json"
+        odd.write_text('{"weird": 1}')
+        with pytest.raises(SystemExit, match="not a metrics snapshot"):
+            main(["stats", str(odd)])
