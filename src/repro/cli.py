@@ -7,9 +7,14 @@ Turns the library into the tool a home user would actually run:
   user carries (Sections III-A, III-C, III-D);
 * ``repro decode``  — access phase: reassemble the file from any
   sufficient collection of ``.dat`` stores (Section III-B);
+* ``repro download``— access phase over the *session* stack: drive the
+  robust parallel downloader against per-peer stores, optionally with
+  deterministic fault injection (``--faults``), and print the failure
+  taxonomy;
 * ``repro inspect`` — show what a ``.dat`` store holds;
 * ``repro simulate``— rerun one of the paper's evaluation scenarios and
-  print its summary series (Section V);
+  print its summary series (Section V); the ``faults`` scenario takes
+  ``--faults SPEC`` to knock peers out on a fault-driven schedule;
 * ``repro channel`` — the Fig. 1 asymmetric-link timing table;
 * ``repro stats``   — the observability catalog, or a saved snapshot.
 
@@ -245,14 +250,12 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def cmd_decode(args: argparse.Namespace) -> int:
-    return _with_obs(args, lambda: _decode(args))
+def _load_coding(args: argparse.Namespace):
+    """Read the manifest and rebuild the generator source from the secret.
 
-
-def _decode(args: argparse.Namespace) -> int:
-    # Validate the sources first so a typo'd path gives a clean error
-    # before any decoding state is built.
-    dat_paths = _collect_dat_paths(args.sources)
+    Returns ``(manifest, generator_source)``; shared by ``decode`` and
+    ``download``.
+    """
     try:
         with open(args.manifest) as fh:
             blob = json.load(fh)
@@ -275,6 +278,18 @@ def _decode(args: argparse.Namespace) -> int:
         generator_source = ChunkedEncoder(
             params, _secret_bytes(args.secret), manifest.base_file_id
         )
+    return manifest, generator_source
+
+
+def cmd_decode(args: argparse.Namespace) -> int:
+    return _with_obs(args, lambda: _decode(args))
+
+
+def _decode(args: argparse.Namespace) -> int:
+    # Validate the sources first so a typo'd path gives a clean error
+    # before any decoding state is built.
+    dat_paths = _collect_dat_paths(args.sources)
+    manifest, generator_source = _load_coding(args)
     digest_store = _load_digests(args.digests) if args.digests else None
     decoder = StreamingDecoder(
         manifest, generator_source, digest_store=digest_store
@@ -315,6 +330,148 @@ def _decode(args: argparse.Namespace) -> int:
     return 0
 
 
+class _ChunkTarget:
+    """One chunk of a streaming decoder, as a ParallelDownloader target."""
+
+    def __init__(self, streaming: StreamingDecoder, index: int):
+        self._streaming = streaming
+        self._index = index
+
+    @property
+    def is_complete(self) -> bool:
+        return self._streaming.needed_for_chunk(self._index) == 0
+
+    def offer(self, message):
+        return self._streaming.offer(message)
+
+
+def cmd_download(args: argparse.Namespace) -> int:
+    return _with_obs(args, lambda: _download(args))
+
+
+def _download(args: argparse.Namespace) -> int:
+    """Robust parallel download: one serving session per source argument.
+
+    Unlike ``decode`` (which trusts its local stores), this drives the
+    full session stack — handshake with bounded retry, slot-stepped
+    serving, digest verification before the decoder, quarantine — and
+    prints the failure taxonomy.  ``--faults`` wraps peers with the
+    deterministic injectors, so misbehaviour is reproducible end to end.
+    Each chunk opens fresh sessions, so fault schedules restart per chunk.
+    """
+    from .faults import FaultPlan, FaultSpecError, FaultyServingSession
+    from .security.keys import generate_keypair
+    from .transfer import (
+        DownloadSession,
+        ParallelDownloader,
+        RobustPolicy,
+        ServingSession,
+    )
+
+    # One source argument = one peer.
+    peer_paths = [_collect_dat_paths([source]) for source in args.sources]
+    manifest, generator_source = _load_coding(args)
+    # The digests guard the transfer path (RobustPolicy), not the
+    # decoder: polluted messages must be discarded before they are seen.
+    digest_store = _load_digests(args.digests) if args.digests else None
+    plan = None
+    if args.faults:
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except FaultSpecError as exc:
+            raise SystemExit(f"bad --faults spec: {exc}") from exc
+        if plan.peers and max(plan.peers) >= len(args.sources):
+            raise SystemExit(
+                f"--faults names peer {max(plan.peers)} but only "
+                f"{len(args.sources)} source(s) were given"
+            )
+
+    stores = []
+    for paths in peer_paths:
+        store = MessageStore()
+        for path in paths:
+            store.load_dat(path, p=manifest.p, m=manifest.m)
+        stores.append(store)
+
+    decoder = StreamingDecoder(manifest, generator_source)
+    policy = RobustPolicy(
+        digest_store=digest_store, stall_timeout_slots=args.stall_timeout
+    )
+    keys = generate_keypair(bits=512, seed=args.seed)
+    total_slots = 0
+    total_bytes = 0.0
+    failures: dict[int, object] = {}  # original peer index -> PeerFailure
+    for index, chunk_id in enumerate(manifest.chunk_ids):
+        holders = [pi for pi, s in enumerate(stores) if s.has_file(chunk_id)]
+        if not holders:
+            print(f"chunk {index}: no source holds messages", file=sys.stderr)
+            return 1
+        sessions = []
+        for pi in holders:
+            serving = ServingSession(stores[pi], keys.public)
+            if plan is not None and plan.faults_for(pi):
+                # Wrap by *original* peer index (holders of a later chunk
+                # may be a sparse subset, so plan.wrap's positional keying
+                # does not apply here).
+                serving = FaultyServingSession(
+                    serving, plan.faults_for(pi), plan.rng_for(pi), peer=pi
+                )
+            DownloadSession(keys).handshake_with_retry(
+                serving,
+                chunk_id,
+                attempts=policy.max_handshake_attempts,
+                backoff_slots=policy.backoff_slots,
+                peer=pi,
+            )
+            sessions.append(serving)
+        report = ParallelDownloader(
+            sessions,
+            _ChunkTarget(decoder, index),
+            lambda i, t: args.rate,
+            policy=policy,
+        ).run(args.max_slots, file_id=chunk_id)
+        total_slots += report.slots
+        total_bytes += report.bytes_received
+        for f in report.failures:
+            failures.setdefault(holders[f.peer], f)
+        state = "complete" if report.complete else "INCOMPLETE"
+        print(
+            f"chunk {index} ({chunk_id:#x}): {state} in {report.slots} slot(s), "
+            f"{report.bytes_received:.0f} bytes from {len(holders)} peer(s)"
+        )
+        if not report.complete:
+            break
+
+    for pi in sorted(failures):
+        f = failures[pi]
+        cost = (
+            f" ({f.bytes_discarded:.0f} bytes, {f.messages_discarded} message(s) "
+            "discarded)"
+            if f.bytes_discarded or f.messages_discarded
+            else ""
+        )
+        print(f"  peer {pi} [{args.sources[pi]}]: {f.kind} at slot {f.slot}{cost}")
+
+    if not decoder.is_complete:
+        missing = [
+            i for i in range(manifest.n_chunks) if decoder.needed_for_chunk(i) > 0
+        ]
+        print(
+            f"download FAILED: chunks {missing} still need messages",
+            file=sys.stderr,
+        )
+        return 1
+    data = decoder.result()
+    with open(args.out, "wb") as fh:
+        fh.write(data)
+    print(
+        f"downloaded {len(data)} bytes -> {args.out} "
+        f"({total_slots} slot(s), {total_bytes:.0f} wire bytes, "
+        f"{len(failures)} faulty peer(s))"
+    )
+    return 0
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     store = MessageStore()
     for path in _collect_dat_paths(args.sources):
@@ -331,7 +488,12 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-_SCENARIOS = ("fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b")
+_SCENARIOS = ("fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "faults")
+
+#: Default fault schedule for ``repro simulate faults`` when no
+#: ``--faults`` spec is given: one permanent crash, one long stall, one
+#: refusal among six peers.
+_DEFAULT_SIM_FAULTS = "0:crash@32000000;1:stall@1000+800;2:refuse"
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -339,7 +501,31 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _simulate(args: argparse.Namespace) -> int:
-    from .sim import figure_5a, figure_5b, figure_6, figure_7, figure_8a, figure_8b
+    from .sim import (
+        faulty_network,
+        figure_5a,
+        figure_5b,
+        figure_6,
+        figure_7,
+        figure_8a,
+        figure_8b,
+    )
+
+    if args.faults and args.scenario != "faults":
+        raise SystemExit("--faults only applies to the 'faults' scenario")
+
+    def _run_faults():
+        from .faults import FaultPlan, FaultSpecError
+
+        spec = args.faults if args.faults else _DEFAULT_SIM_FAULTS
+        try:
+            plan = FaultPlan.parse(f"seed={args.seed};{spec}")
+        except FaultSpecError as exc:
+            raise SystemExit(f"bad --faults spec: {exc}") from exc
+        try:
+            return faulty_network(plan=plan, seed=args.seed)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
 
     runners = {
         "fig5a": lambda: figure_5a(seed=args.seed),
@@ -348,6 +534,7 @@ def _simulate(args: argparse.Namespace) -> int:
         "fig7": lambda: figure_7(seed=args.seed),
         "fig8a": lambda: figure_8a(seed=args.seed),
         "fig8b": lambda: figure_8b(seed=args.seed),
+        "faults": _run_faults,
     }
     result = runners[args.scenario]()
     final = result.window_mean_rates(result.slots - result.slots // 10, result.slots)
@@ -444,6 +631,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(dec)
     dec.set_defaults(func=cmd_decode)
 
+    dl = sub.add_parser(
+        "download",
+        help="robust parallel download over the session stack "
+        "(one peer per source; optional fault injection)",
+    )
+    dl.add_argument(
+        "sources", nargs="+",
+        help="one .dat file or peer directory per serving peer",
+    )
+    dl.add_argument("--manifest", required=True)
+    dl.add_argument("--secret", required=True)
+    dl.add_argument("--out", required=True)
+    dl.add_argument(
+        "--digests", default=None,
+        help="digests.json; enables verification/quarantine of polluted peers",
+    )
+    dl.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault plan, e.g. 'seed=7;0:pollute;1:crash@1500;2:stall@10+6'",
+    )
+    dl.add_argument(
+        "--rate", type=float, default=512.0,
+        help="granted kbps per peer per slot (default 512)",
+    )
+    dl.add_argument(
+        "--max-slots", type=int, default=100_000,
+        help="give up on a chunk after this many slots",
+    )
+    dl.add_argument(
+        "--stall-timeout", type=int, default=12, metavar="SLOTS",
+        help="quarantine a peer silent for this many consecutive slots",
+    )
+    dl.add_argument("--seed", type=int, default=0, help="keypair/auth seed")
+    _add_obs_flags(dl)
+    dl.set_defaults(func=cmd_download)
+
     ins = sub.add_parser("inspect", help="show the contents of .dat stores")
     ins.add_argument("sources", nargs="+")
     ins.add_argument("--p", type=int, required=True, choices=(4, 8, 16, 32))
@@ -453,6 +676,11 @@ def build_parser() -> argparse.ArgumentParser:
     simp = sub.add_parser("simulate", help="rerun a paper evaluation scenario")
     simp.add_argument("scenario", choices=_SCENARIOS)
     simp.add_argument("--seed", type=int, default=0)
+    simp.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault plan for the 'faults' scenario "
+        "(e.g. '0:crash@32000000;1:stall@1000+800;2:refuse')",
+    )
     simp.add_argument(
         "--json", default=None, metavar="FILE",
         help="write the full SimulationResult as JSON",

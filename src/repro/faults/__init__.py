@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the transfer stack.
+
+The paper's threat model has peers that are *untrusted and unreliable*:
+they crash mid-stream, go silent, refuse service, or inject bogus coded
+messages.  This package makes those failure modes first-class and
+reproducible:
+
+* :class:`~repro.faults.plan.FaultPlan` — a seeded assignment of faults
+  to peer indices, with a compact spec-string form for the CLI and a
+  capacity-profile view for the slot simulator;
+* :class:`~repro.faults.injector.FaultyServingSession` — a decorator
+  around :class:`~repro.transfer.session.ServingSession` that actually
+  injects the failures.
+
+The robust download path in :mod:`repro.transfer.scheduler` is the
+counterpart: digest verification, quarantine, stall timeouts and
+handshake retries that turn these faults into graceful degradation.
+"""
+
+from .injector import FaultyServingSession
+from .plan import FAULT_KINDS, FaultPlan, FaultSpecError, PeerFault
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpecError",
+    "FaultyServingSession",
+    "PeerFault",
+]

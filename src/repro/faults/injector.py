@@ -1,0 +1,150 @@
+"""Fault-injecting decorator around a serving session.
+
+:class:`FaultyServingSession` wraps a real
+:class:`~repro.transfer.session.ServingSession` and presents the same
+interface to the downloader, but misbehaves according to its
+:class:`~repro.faults.plan.PeerFault` specs.  All randomness (which
+message to pollute, which symbol to flip) comes from the generator the
+:class:`~repro.faults.plan.FaultPlan` derives from ``(seed, peer)``, so
+the injected failure stream is bit-stable across runs.
+
+The wrapper keeps its own *local slot clock*: one :meth:`serve` call is
+one slot, which is exactly how :class:`~repro.transfer.scheduler.\
+ParallelDownloader` drives sessions.  Stalls are therefore expressed in
+the same units the scheduler's stall-timeout thinks in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..transfer.protocol import (
+    AuthChallenge,
+    AuthResponse,
+    DataMessage,
+    FileAccept,
+    FileRequest,
+    SessionCrashed,
+    StopTransmission,
+)
+
+__all__ = ["FaultyServingSession"]
+
+
+class FaultyServingSession:
+    """A serving session that crashes, stalls, corrupts, pollutes or refuses.
+
+    Parameters
+    ----------
+    inner:
+        The honest :class:`~repro.transfer.session.ServingSession`.
+    faults:
+        The :class:`~repro.faults.plan.PeerFault` specs for this peer.
+    rng:
+        Deterministic generator from :meth:`FaultPlan.rng_for`.
+    peer:
+        Peer index, used only for diagnostics.
+    """
+
+    def __init__(self, inner, faults, rng: np.random.Generator, peer: int = -1):
+        self._inner = inner
+        self._faults = tuple(faults)
+        self._rng = rng
+        self.peer = peer
+        self._slot = 0  # local clock: one serve() call per slot
+        self._streamed = 0.0
+        self._crashed = False
+        self._refuse = any(f.kind == "refuse" for f in self._faults)
+        self._crash = next((f for f in self._faults if f.kind == "crash"), None)
+        self._stalls = tuple(f for f in self._faults if f.kind == "stall")
+        self._corrupt = next((f for f in self._faults if f.kind == "corrupt"), None)
+        self._pollute = next((f for f in self._faults if f.kind == "pollute"), None)
+
+    # -- handshake (delegated, possibly refused) ------------------------
+
+    def begin_auth(self) -> AuthChallenge:
+        return self._inner.begin_auth()
+
+    def complete_auth(self, response: AuthResponse) -> bool:
+        if self._refuse:
+            # The peer drops every response on the floor: authentication
+            # never completes, whatever the user signs.
+            return False
+        return self._inner.complete_auth(response)
+
+    def accept_request(self, request: FileRequest) -> FileAccept:
+        return self._inner.accept_request(request)
+
+    @property
+    def authenticated(self) -> bool:
+        return not self._refuse and self._inner.authenticated
+
+    # -- data plane ------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return not self._crashed and self._inner.active
+
+    @property
+    def bytes_sent(self) -> float:
+        return self._inner.bytes_sent
+
+    @property
+    def messages_sent(self) -> int:
+        return self._inner.messages_sent
+
+    def _stalling(self, slot: int) -> bool:
+        return any(
+            f.at_slot <= slot < f.at_slot + f.duration for f in self._stalls
+        )
+
+    def _tamper(self, message):
+        """Apply corruption/pollution to one encoded message."""
+        if self._pollute is not None and self._rng.random() < self._pollute.rate:
+            # Wholesale garbage payload under the valid header: classic
+            # RLNC pollution.  Symbols stay in range so the message
+            # parses everywhere; only the digest can tell.
+            garbage = self._rng.integers(
+                0, 1 << message.p, size=message.m, dtype=np.uint64
+            ).astype(np.uint32)
+            return message.with_payload(garbage)
+        if self._corrupt is not None and self._rng.random() < self._corrupt.rate:
+            payload = np.asarray(message.payload).copy()
+            idx = int(self._rng.integers(0, message.m))
+            payload[idx] ^= int(self._rng.integers(1, 1 << message.p))
+            return message.with_payload(payload)
+        return message
+
+    def serve(self, byte_budget: float) -> list[DataMessage]:
+        """Stream like the real session, subject to the fault specs."""
+        slot = self._slot
+        self._slot += 1
+        if self._crashed:
+            raise SessionCrashed(
+                f"peer {self.peer} already crashed after "
+                f"{self._streamed:.0f} bytes"
+            )
+        if self._stalling(slot):
+            # The link is wedged: the granted budget buys nothing and no
+            # bytes flow into the stream (the inner cursor stays put).
+            return []
+        if (
+            self._crash is not None
+            and self._streamed + byte_budget >= self._crash.at_byte
+        ):
+            remaining = max(self._crash.at_byte - self._streamed, 0.0)
+            delivered = self._inner.serve(remaining)
+            self._streamed = self._crash.at_byte
+            self._crashed = True
+            raise SessionCrashed(
+                f"peer {self.peer} crashed at byte {self._crash.at_byte:g}",
+                delivered=tuple(
+                    DataMessage(self._tamper(d.message)) for d in delivered
+                ),
+            )
+        delivered = self._inner.serve(byte_budget)
+        self._streamed += byte_budget
+        return [DataMessage(self._tamper(d.message)) for d in delivered]
+
+    def stop(self, message: StopTransmission) -> None:
+        self._inner.stop(message)

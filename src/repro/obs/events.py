@@ -8,9 +8,12 @@ one place to read the vocabulary and lets tests assert exhaustively.
 |---------------------|----------------------------------|--------|
 | ``rlnc.offer``      | ``ProgressiveDecoder.offer``     | ``file_id``, ``message_id``, ``outcome``, ``rank`` |
 | ``transfer.start``  | ``ParallelDownloader.run``       | ``peers``, ``file_id`` |
-| ``transfer.message``| ``ParallelDownloader`` (per msg) | ``slot``, ``outcome`` |
+| ``transfer.message``| ``ParallelDownloader`` (per msg) | ``slot``, ``peer``, ``outcome`` |
 | ``transfer.complete``| ``ParallelDownloader``          | ``slot``, ``delivered``, ``dependent``, ``rejected`` |
 | ``transfer.stop``   | ``ParallelDownloader`` (per peer)| ``peer``, ``slot``, ``lag_slots`` |
+| ``transfer.discard``| robust download path (per msg)   | ``slot``, ``peer``, ``message_id`` |
+| ``transfer.fault``  | robust download path (per peer)  | ``peer``, ``kind``, ``slot`` |
+| ``transfer.retry``  | ``DownloadSession`` handshakes   | ``peer``, ``attempt``, ``backoff_slots`` |
 | ``sim.slot``        | ``Simulation.step``              | ``t``, ``requesting``, ``allocated_kbps``, ``jain`` |
 | ``sim.feedback``    | ``Simulation.step`` (on flush)   | ``t``, ``credited`` |
 """
@@ -23,6 +26,9 @@ __all__ = [
     "TRANSFER_MESSAGE",
     "TRANSFER_COMPLETE",
     "TRANSFER_STOP",
+    "TRANSFER_DISCARD",
+    "TRANSFER_FAULT",
+    "TRANSFER_RETRY",
     "SIM_SLOT",
     "SIM_FEEDBACK",
     "ALL_EVENTS",
@@ -33,6 +39,9 @@ TRANSFER_START = "transfer.start"
 TRANSFER_MESSAGE = "transfer.message"
 TRANSFER_COMPLETE = "transfer.complete"
 TRANSFER_STOP = "transfer.stop"
+TRANSFER_DISCARD = "transfer.discard"
+TRANSFER_FAULT = "transfer.fault"
+TRANSFER_RETRY = "transfer.retry"
 SIM_SLOT = "sim.slot"
 SIM_FEEDBACK = "sim.feedback"
 
@@ -43,6 +52,9 @@ ALL_EVENTS = (
     TRANSFER_MESSAGE,
     TRANSFER_COMPLETE,
     TRANSFER_STOP,
+    TRANSFER_DISCARD,
+    TRANSFER_FAULT,
+    TRANSFER_RETRY,
     SIM_SLOT,
     SIM_FEEDBACK,
 )

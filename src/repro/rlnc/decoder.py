@@ -42,6 +42,11 @@ _DEC_DEPENDENT = _OBS.counter(
 _DEC_REJECTED = _OBS.counter(
     "repro.rlnc.decode.rejected", "offered messages rejected (auth/shape/forgery)"
 )
+_DEC_INCONSISTENT = _OBS.counter(
+    "repro.rlnc.decode.inconsistent",
+    "rejected rows that contradicted the span of authentic rows (pollution "
+    "that slipped past digest checks)",
+)
 _DEC_ELIM_NS = _OBS.histogram(
     "repro.rlnc.decode.eliminate_ns",
     "nanoseconds of Gaussian elimination per offered message",
@@ -141,6 +146,9 @@ class ProgressiveDecoder:
         self.accepted = 0
         self.dependent = 0
         self.rejected = 0
+        #: Rejected rows that *contradicted* the span of authentic rows —
+        #: pollution that digests did not catch.  Always <= ``rejected``.
+        self.inconsistent = 0
 
     @property
     def rank(self) -> int:
@@ -212,7 +220,12 @@ class ProgressiveDecoder:
                 if np.any(row[k:]):
                     # Authentic rows can never contradict the span; this
                     # message was forged in a way the digests did not catch.
+                    # The decoder survives: the row is dropped, state is
+                    # untouched, and the inconsistency is counted.
                     self.rejected += 1
+                    self.inconsistent += 1
+                    if _OBS.enabled:
+                        _DEC_INCONSISTENT.inc()
                     return Offer.REJECTED
                 self.dependent += 1
                 return Offer.DEPENDENT

@@ -15,6 +15,7 @@ store also supports SHA-256 for the "modern deployment" configuration.
 from __future__ import annotations
 
 import hashlib
+import hmac
 from dataclasses import dataclass, field
 
 __all__ = ["DigestStore", "IntegrityError", "DIGEST_ALGORITHMS"]
@@ -60,9 +61,19 @@ class DigestStore:
         Unknown ``(file_id, message_id)`` pairs verify as ``False`` —
         an attacker must not be able to slip in ids the owner never
         published.
+
+        The comparison is constant-time (:func:`hmac.compare_digest`).
+        On the *owner's* verification path a peer submits candidate
+        payloads and observes response timing; a short-circuiting
+        ``==`` would leak how many digest bytes matched, turning the
+        owner into a byte-at-a-time oracle for digests it has not
+        published yet.  Digest-length inputs are cheap, so the
+        constant-time discipline costs nothing.
         """
         expected = self._digests.get((file_id, message_id))
-        return expected is not None and self._digest(payload) == expected
+        return expected is not None and hmac.compare_digest(
+            self._digest(payload), expected
+        )
 
     def require(self, file_id: int, message_id: int, payload: bytes) -> None:
         if not self.verify(file_id, message_id, payload):

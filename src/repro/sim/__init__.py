@@ -31,7 +31,9 @@ from .scenarios import (
     FIG5B_CAPACITIES,
     FIG6_CAPACITIES,
     bernoulli_network,
+    churn_configs,
     churn_network,
+    faulty_network,
     figure_5a,
     figure_5b,
     figure_6,
@@ -76,7 +78,9 @@ __all__ = [
     "figure_8a",
     "figure_8b",
     "bernoulli_network",
+    "churn_configs",
     "churn_network",
+    "faulty_network",
     "FIG5A_CAPACITIES",
     "FIG5B_CAPACITIES",
     "FIG6_CAPACITIES",

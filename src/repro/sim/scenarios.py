@@ -32,7 +32,9 @@ __all__ = [
     "figure_8a",
     "figure_8b",
     "bernoulli_network",
+    "churn_configs",
     "churn_network",
+    "faulty_network",
     "FIG5A_CAPACITIES",
     "FIG5B_CAPACITIES",
     "FIG6_CAPACITIES",
@@ -176,7 +178,7 @@ def figure_8b(slots: int = 10000, n: int = 10, seed: int = 0) -> SimulationResul
     return Simulation(configs, seed=seed).run(slots)
 
 
-def churn_network(
+def churn_configs(
     n: int = 8,
     kbps: float = 512.0,
     gamma: float = 0.6,
@@ -184,16 +186,12 @@ def churn_network(
     slots: int = 20_000,
     mean_session: int = 1500,
     seed: int = 0,
-) -> SimulationResult:
-    """A dynamic network where some peers repeatedly leave and rejoin.
+) -> list[PeerConfig]:
+    """Peer configs for the churn scenario (see :func:`churn_network`).
 
-    The paper's future work asks about "a dynamic real-time environment
-    ... tradeoffs between fairness and quick adaptation".  Here the
-    first ``churners`` peers alternate between online (full capacity)
-    and offline (zero capacity) sessions of geometric length around
-    ``mean_session`` slots; the rest are stable.  Departure while owing
-    credit and rejoining with stale ledgers are exactly the dynamics the
-    cumulative rule handles slowly — measured by the churn benchmarks.
+    Exposed separately so callers that need the live
+    :class:`~repro.sim.engine.Simulation` (ledger inspection, fault
+    overlays) can build it themselves.
     """
     if churners is None:
         churners = n // 2
@@ -217,6 +215,75 @@ def churn_network(
         configs.append(
             PeerConfig(capacity=capacity, demand=BernoulliDemand(gamma), label=label)
         )
+    return configs
+
+
+def churn_network(
+    n: int = 8,
+    kbps: float = 512.0,
+    gamma: float = 0.6,
+    churners: int | None = None,
+    slots: int = 20_000,
+    mean_session: int = 1500,
+    seed: int = 0,
+) -> SimulationResult:
+    """A dynamic network where some peers repeatedly leave and rejoin.
+
+    The paper's future work asks about "a dynamic real-time environment
+    ... tradeoffs between fairness and quick adaptation".  Here the
+    first ``churners`` peers alternate between online (full capacity)
+    and offline (zero capacity) sessions of geometric length around
+    ``mean_session`` slots; the rest are stable.  Departure while owing
+    credit and rejoining with stale ledgers are exactly the dynamics the
+    cumulative rule handles slowly — measured by the churn benchmarks.
+    """
+    configs = churn_configs(
+        n=n,
+        kbps=kbps,
+        gamma=gamma,
+        churners=churners,
+        slots=slots,
+        mean_session=mean_session,
+        seed=seed,
+    )
+    return Simulation(configs, seed=seed).run(slots)
+
+
+def faulty_network(
+    plan=None,
+    n: int = 6,
+    kbps: float = 512.0,
+    gamma: float = 0.6,
+    slots: int = 5000,
+    seed: int = 0,
+) -> SimulationResult:
+    """Bandwidth sharing under a transfer-level :class:`FaultPlan`.
+
+    Reuses the churn scenario's config builder (all peers stable) and
+    overlays each faulty peer's capacity with the profile the plan
+    derives: ``refuse`` never comes online, ``crash`` goes dark for
+    good once its byte budget is spent, ``stall`` is a temporary
+    outage.  ``pollute``/``corrupt`` peers keep full capacity — they
+    still consume upload bandwidth; the goodput loss they cause is a
+    transfer-layer effect (see ``bench_goodput_under_faults``).
+    """
+    from ..faults.plan import FaultPlan
+
+    if plan is None:
+        plan = FaultPlan(seed=seed)
+    if plan.peers and max(plan.peers) >= n:
+        raise ValueError(
+            f"fault plan names peer {max(plan.peers)} but the network has {n} peers"
+        )
+    configs = churn_configs(
+        n=n, kbps=kbps, gamma=gamma, churners=0, slots=slots, seed=seed
+    )
+    for peer in plan.peers:
+        steps = plan.capacity_profile(peer, kbps, slots)
+        if steps is not None:
+            configs[peer].capacity = StepCapacity(steps)
+        kinds = ",".join(f.kind for f in plan.faults_for(peer))
+        configs[peer].label = f"Peer {peer} (faulty: {kinds})"
     return Simulation(configs, seed=seed).run(slots)
 
 

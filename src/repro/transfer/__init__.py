@@ -11,8 +11,15 @@ from .protocol import (
     ProtocolError,
     StopTransmission,
 )
+from .protocol import SessionCrashed
 from .latency import LatencyModel
-from .scheduler import DownloadReport, ParallelDownloader, kbps_to_bytes
+from .scheduler import (
+    DownloadReport,
+    ParallelDownloader,
+    PeerFailure,
+    RobustPolicy,
+    kbps_to_bytes,
+)
 from .session import DownloadSession, ServingSession
 from .wire import WireFormatError, decode_frame, encode_frame
 
@@ -25,10 +32,13 @@ __all__ = [
     "StopTransmission",
     "FeedbackUpdate",
     "ProtocolError",
+    "SessionCrashed",
     "ServingSession",
     "DownloadSession",
     "ParallelDownloader",
     "DownloadReport",
+    "PeerFailure",
+    "RobustPolicy",
     "kbps_to_bytes",
     "LatencyModel",
     "encode_frame",

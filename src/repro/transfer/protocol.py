@@ -28,11 +28,26 @@ __all__ = [
     "StopTransmission",
     "FeedbackUpdate",
     "ProtocolError",
+    "SessionCrashed",
 ]
 
 
 class ProtocolError(Exception):
     """Protocol violation: wrong state, unauthenticated request, etc."""
+
+
+class SessionCrashed(ProtocolError):
+    """The serving peer's connection died mid-stream.
+
+    Raised by a serving session whose underlying peer crashed (in
+    production: the TCP connection reset).  ``delivered`` carries the
+    messages whose final byte arrived before the cut — they are valid
+    and the downloader should still consume them.
+    """
+
+    def __init__(self, reason: str, delivered: tuple[DataMessage, ...] = ()):
+        super().__init__(reason)
+        self.delivered = tuple(delivered)
 
 
 @dataclass(frozen=True)

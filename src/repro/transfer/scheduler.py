@@ -8,6 +8,16 @@ function says how many kbps every peer granted this user (in the full
 stack this is the Equation (2) allocation), bytes flow, completed
 messages feed the progressive decoder, and a stop transmission is
 issued the moment decoding completes.
+
+With a :class:`RobustPolicy` the downloader additionally assumes peers
+are *untrusted and unreliable* (the paper's actual threat model): every
+received message is digest-verified before it may reach the decoder,
+peers whose messages fail verification are quarantined and their slot
+budget re-scaled across the healthy peers, silent peers trip a stall
+timeout, crashed connections are survived, and the outcome report names
+every faulty peer with a failure taxonomy (crashed / stalled / polluted
+/ refused) plus the bytes their misbehaviour cost.  Without a policy
+the behaviour — and the report — is bit-identical to the trusting path.
 """
 
 from __future__ import annotations
@@ -19,15 +29,24 @@ from ..obs import REGISTRY as _OBS
 from ..obs import TRACER as _TRACER
 from ..obs.events import (
     TRANSFER_COMPLETE,
+    TRANSFER_DISCARD,
+    TRANSFER_FAULT,
     TRANSFER_MESSAGE,
     TRANSFER_START,
     TRANSFER_STOP,
 )
 from ..rlnc.decoder import ProgressiveDecoder
-from .protocol import StopTransmission
+from ..security.integrity import DigestStore
+from .protocol import SessionCrashed, StopTransmission
 from .session import ServingSession
 
-__all__ = ["ParallelDownloader", "DownloadReport", "kbps_to_bytes"]
+__all__ = [
+    "ParallelDownloader",
+    "DownloadReport",
+    "PeerFailure",
+    "RobustPolicy",
+    "kbps_to_bytes",
+]
 
 _XFER_BYTES = _OBS.counter(
     "repro.transfer.bytes_received", "payload bytes granted across all peers"
@@ -43,11 +62,111 @@ _XFER_STOP_LAG = _OBS.histogram(
     "repro.transfer.stop_latency_slots",
     "slots between decode completion and a peer honouring the stop",
 )
+_XFER_DISCARDED = _OBS.counter(
+    "repro.transfer.discarded_bytes",
+    "bytes of received messages discarded by digest verification",
+)
+_XFER_POLLUTED = _OBS.counter(
+    "repro.transfer.polluted_messages",
+    "received messages that failed digest verification (never offered)",
+)
+_FAULT_COUNTERS = {
+    kind: _OBS.counter(
+        f"repro.transfer.peers_{kind}",
+        f"peers classified as {kind} by the robust download path",
+    )
+    for kind in ("crashed", "stalled", "polluted", "refused")
+}
 
 
 def kbps_to_bytes(kbps: float, seconds: float = 1.0) -> float:
     """Bytes carried by a ``kbps`` stream over ``seconds`` (1 kb = 1000 b)."""
     return kbps * 1000.0 / 8.0 * seconds
+
+
+@dataclass(frozen=True)
+class PeerFailure:
+    """One faulty peer's entry in the download's failure taxonomy.
+
+    ``kind`` is one of ``crashed`` (connection died mid-stream),
+    ``stalled`` (granted budget but silent past the stall timeout),
+    ``polluted`` (messages failed digest verification; quarantined) or
+    ``refused`` (handshake never completed despite retries).
+    ``bytes_discarded`` is what the misbehaviour cost: digest-rejected
+    wire bytes plus budget wasted on a silent peer.
+    """
+
+    peer: int
+    kind: str
+    slot: int
+    bytes_discarded: float = 0.0
+    messages_discarded: int = 0
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "peer": self.peer,
+            "kind": self.kind,
+            "slot": self.slot,
+            "bytes_discarded": self.bytes_discarded,
+            "messages_discarded": self.messages_discarded,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class RobustPolicy:
+    """Failure handling knobs for the robust download path.
+
+    Parameters
+    ----------
+    digest_store:
+        The user's carried digest slice (Section III-C).  When set,
+        every received message is verified *before* it may reach the
+        decoder; failures are discarded and counted.  ``None`` disables
+        pollution filtering (crash/stall/refusal handling still works).
+    stall_timeout_slots:
+        Quarantine a peer after this many consecutive slots in which it
+        was granted budget but completed no message.  Must exceed the
+        worst-case slots-per-message at the granted rate, or slow honest
+        peers will be misclassified.
+    quarantine_after:
+        Digest failures tolerated before the peer is quarantined.  The
+        default of 1 is the paper's stance: one provably bogus message
+        is proof enough.
+    max_handshake_attempts / backoff_slots:
+        Bounded retry for failed handshakes (used by
+        :meth:`~repro.transfer.session.DownloadSession.handshake_with_retry`).
+    redistribute:
+        Re-scale quarantined peers' slot budget across the remaining
+        healthy peers so the download degrades instead of slowing by
+        the faulty peers' share.
+    """
+
+    digest_store: DigestStore | None = None
+    stall_timeout_slots: int = 12
+    quarantine_after: int = 1
+    max_handshake_attempts: int = 3
+    backoff_slots: int = 1
+    redistribute: bool = True
+
+    def __post_init__(self):
+        if self.stall_timeout_slots < 1:
+            raise ValueError(
+                f"stall_timeout_slots must be >= 1, got {self.stall_timeout_slots}"
+            )
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+        if self.max_handshake_attempts < 1:
+            raise ValueError(
+                f"max_handshake_attempts must be >= 1, got {self.max_handshake_attempts}"
+            )
+        if self.backoff_slots < 0:
+            raise ValueError(
+                f"backoff_slots cannot be negative: {self.backoff_slots}"
+            )
 
 
 @dataclass(frozen=True)
@@ -57,7 +176,9 @@ class DownloadReport:
     ``wasted_bytes`` counts bytes peers transmitted after decoding
     completed but before the stop transmission reached them (nonzero
     only under a latency model); ``first_data_slot`` is when the first
-    payload byte arrived (after handshakes).
+    payload byte arrived (after handshakes).  ``failures`` is the
+    per-peer failure taxonomy collected by the robust path (empty when
+    no :class:`RobustPolicy` was given or every peer behaved).
     """
 
     complete: bool
@@ -69,16 +190,176 @@ class DownloadReport:
     per_peer_bytes: tuple[float, ...]
     wasted_bytes: float = 0.0
     first_data_slot: int | None = None
+    slot_seconds: float = 1.0
+    failures: tuple[PeerFailure, ...] = ()
 
     @property
     def seconds(self) -> float:
-        return float(self.slots)
+        """Wall-clock duration: slots scaled by the slot length."""
+        return self.slots * self.slot_seconds
 
-    def effective_rate_kbps(self, slot_seconds: float = 1.0) -> float:
-        """Average goodput over the whole download."""
+    @property
+    def bytes_discarded(self) -> float:
+        """Total bytes lost to faulty peers, across the taxonomy."""
+        return sum(f.bytes_discarded for f in self.failures)
+
+    @property
+    def failed_peers(self) -> tuple[int, ...]:
+        return tuple(f.peer for f in self.failures)
+
+    def failure_of(self, peer: int) -> PeerFailure | None:
+        for f in self.failures:
+            if f.peer == peer:
+                return f
+        return None
+
+    def effective_rate_kbps(self, slot_seconds: float | None = None) -> float:
+        """Average goodput over the whole download.
+
+        ``slot_seconds`` defaults to the report's own slot length (the
+        explicit parameter is kept for callers that re-scale).
+        """
         if self.slots == 0:
             return 0.0
-        return self.bytes_received * 8.0 / 1000.0 / (self.slots * slot_seconds)
+        seconds = self.slots * (
+            self.slot_seconds if slot_seconds is None else slot_seconds
+        )
+        return self.bytes_received * 8.0 / 1000.0 / seconds
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, failure taxonomy included."""
+        return {
+            "complete": self.complete,
+            "slots": self.slots,
+            "seconds": self.seconds,
+            "slot_seconds": self.slot_seconds,
+            "bytes_received": self.bytes_received,
+            "messages_delivered": self.messages_delivered,
+            "messages_rejected": self.messages_rejected,
+            "messages_dependent": self.messages_dependent,
+            "per_peer_bytes": list(self.per_peer_bytes),
+            "wasted_bytes": self.wasted_bytes,
+            "first_data_slot": self.first_data_slot,
+            "bytes_discarded": self.bytes_discarded,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+class _RobustState:
+    """Per-peer health book-keeping for the failure-aware paths.
+
+    Owns the failure taxonomy: who is dead (no further budget), why,
+    and what their misbehaviour cost.  The same instance serves both
+    the plain and the latency run loops.
+    """
+
+    def __init__(self, n: int, policy: RobustPolicy, sessions: Sequence):
+        self.policy = policy
+        self.n = n
+        self.dead = [False] * n
+        self._failed: dict[int, tuple[str, int, str]] = {}
+        self._discard_bytes = [0.0] * n
+        self._discard_msgs = [0] * n
+        self._stall_run = [0] * n
+        self._stall_bytes = [0.0] * n
+        for i, session in enumerate(sessions):
+            if not getattr(session, "authenticated", True):
+                self._fail(
+                    i, "refused", 0,
+                    "authentication never completed (after bounded retries)",
+                )
+
+    def _fail(self, peer: int, kind: str, slot: int, detail: str) -> None:
+        if peer in self._failed:
+            return
+        self._failed[peer] = (kind, slot, detail)
+        self.dead[peer] = True
+        if _OBS.enabled:
+            _FAULT_COUNTERS[kind].inc()
+        _TRACER.emit(TRANSFER_FAULT, peer=peer, kind=kind, slot=slot)
+
+    def adjust_rates(self, rates: list[float], sessions: Sequence) -> list[float]:
+        """Zero dead peers' shares; re-scale them across healthy peers."""
+        out = list(rates)
+        lost = 0.0
+        for i in range(self.n):
+            if self.dead[i]:
+                lost += max(out[i], 0.0)
+                out[i] = 0.0
+        if lost > 0.0 and self.policy.redistribute:
+            healthy = [
+                i
+                for i in range(self.n)
+                if not self.dead[i] and sessions[i].active and out[i] > 0
+            ]
+            healthy_total = sum(out[i] for i in healthy)
+            if healthy_total > 0:
+                scale = 1.0 + lost / healthy_total
+                for i in healthy:
+                    out[i] *= scale
+        return out
+
+    def verify(self, peer: int, message, slot: int) -> bool:
+        """Digest-check one received message; quarantine on failure."""
+        store = self.policy.digest_store
+        if store is None:
+            return True
+        if store.verify(message.file_id, message.message_id, message.payload_bytes()):
+            return True
+        wire = message.wire_size()
+        self._discard_msgs[peer] += 1
+        self._discard_bytes[peer] += wire
+        if _OBS.enabled:
+            _XFER_POLLUTED.inc()
+            _XFER_DISCARDED.inc(wire)
+        _TRACER.emit(
+            TRANSFER_DISCARD,
+            slot=slot,
+            peer=peer,
+            message_id=int(message.message_id),
+        )
+        if self._discard_msgs[peer] >= self.policy.quarantine_after:
+            self._fail(
+                peer, "polluted", slot,
+                "quarantined after failed digest verification",
+            )
+        return False
+
+    def note_served(self, peer: int, delivered: int, budget: float, slot: int) -> None:
+        """Track silence for the stall timeout."""
+        if self.dead[peer]:
+            return
+        if budget > 0 and delivered == 0:
+            self._stall_run[peer] += 1
+            self._stall_bytes[peer] += budget
+            if self._stall_run[peer] >= self.policy.stall_timeout_slots:
+                self._fail(
+                    peer, "stalled", slot,
+                    f"no data for {self._stall_run[peer]} consecutive slots",
+                )
+        else:
+            self._stall_run[peer] = 0
+            self._stall_bytes[peer] = 0.0
+
+    def note_crash(self, peer: int, slot: int, exc: SessionCrashed) -> None:
+        self._fail(peer, "crashed", slot, str(exc))
+
+    def failures(self) -> tuple[PeerFailure, ...]:
+        out = []
+        for peer in sorted(self._failed):
+            kind, slot, detail = self._failed[peer]
+            out.append(
+                PeerFailure(
+                    peer=peer,
+                    kind=kind,
+                    slot=slot,
+                    bytes_discarded=self._discard_bytes[peer]
+                    + self._stall_bytes[peer],
+                    messages_discarded=self._discard_msgs[peer],
+                    detail=detail,
+                )
+            )
+        return tuple(out)
 
 
 class ParallelDownloader:
@@ -88,6 +369,9 @@ class ParallelDownloader:
     ----------
     sessions:
         Authenticated, request-accepted serving sessions, one per peer.
+        With a ``policy``, sessions whose handshake never completed may
+        also be passed — they are classified as ``refused`` and granted
+        no budget.
     decoder:
         The user's :class:`~repro.rlnc.decoder.ProgressiveDecoder` (or a
         :class:`~repro.rlnc.chunking.StreamingDecoder`-compatible object
@@ -101,6 +385,9 @@ class ParallelDownloader:
         are scaled down proportionally when the sum exceeds it).
     slot_seconds:
         Wall-clock length of one slot.
+    policy:
+        Optional :class:`RobustPolicy` enabling the failure-aware path.
+        ``None`` (the default) preserves the trusting behaviour exactly.
     """
 
     def __init__(
@@ -111,6 +398,7 @@ class ParallelDownloader:
         download_cap_kbps: float = float("inf"),
         slot_seconds: float = 1.0,
         latency=None,
+        policy: RobustPolicy | None = None,
     ):
         if not sessions:
             raise ValueError("need at least one serving session")
@@ -127,6 +415,7 @@ class ParallelDownloader:
         self.download_cap_kbps = download_cap_kbps
         self.slot_seconds = float(slot_seconds)
         self.latency = latency
+        self.policy = policy
 
     def run(self, max_slots: int, file_id: int | None = None) -> DownloadReport:
         """Step until decode completes or ``max_slots`` elapse.
@@ -142,6 +431,8 @@ class ParallelDownloader:
         )
         if self.latency is not None:
             return self._run_with_latency(max_slots, file_id)
+        if self.policy is not None:
+            return self._run_robust(max_slots, file_id)
         per_peer = [0.0] * len(self.sessions)
         delivered = rejected = dependent = 0
         total_bytes = 0.0
@@ -206,6 +497,90 @@ class ParallelDownloader:
             messages_rejected=rejected,
             messages_dependent=dependent,
             per_peer_bytes=tuple(per_peer),
+            slot_seconds=self.slot_seconds,
+        )
+
+    def _run_robust(self, max_slots: int, file_id: int | None) -> DownloadReport:
+        """Failure-aware variant of the plain path (``policy`` set).
+
+        Differences from the trusting loop: every message is digest
+        verified before it may reach the decoder, peers are quarantined
+        on pollution / stall / crash, and dead peers' slot budget is
+        re-scaled across the healthy ones.
+        """
+        n = len(self.sessions)
+        state = _RobustState(n, self.policy, self.sessions)
+        per_peer = [0.0] * n
+        delivered = rejected = dependent = 0
+        total_bytes = 0.0
+        slots = 0
+        for t in range(max_slots):
+            if self.decoder.is_complete:
+                break
+            rates = state.adjust_rates(
+                [self.rate_fn(i, t) for i in range(n)], self.sessions
+            )
+            total = sum(rates)
+            if total > self.download_cap_kbps > 0:
+                scale = self.download_cap_kbps / total
+                rates = [r * scale for r in rates]
+            slots += 1
+            for i, (session, rate) in enumerate(zip(self.sessions, rates)):
+                if state.dead[i] or not session.active or rate <= 0:
+                    continue
+                budget = kbps_to_bytes(rate, self.slot_seconds)
+                per_peer[i] += budget
+                total_bytes += budget
+                if _OBS.enabled:
+                    _XFER_BYTES.inc(budget)
+                try:
+                    served = session.serve(budget)
+                except SessionCrashed as exc:
+                    # Messages completed before the cut still count.
+                    served = list(exc.delivered)
+                    state.note_crash(i, t, exc)
+                state.note_served(i, len(served), budget, t)
+                for data in served:
+                    if self.decoder.is_complete:
+                        break  # already decodable; surplus is ignored
+                    if not state.verify(i, data.message, t):
+                        continue  # discarded; never reaches the decoder
+                    outcome = self.decoder.offer(data.message)
+                    name = getattr(outcome, "name", str(outcome))
+                    if _OBS.enabled:
+                        _XFER_MESSAGES.inc()
+                    _TRACER.emit(TRANSFER_MESSAGE, slot=t, peer=i, outcome=name)
+                    if name in ("ACCEPTED", "COMPLETE"):
+                        delivered += 1
+                    elif name == "DEPENDENT":
+                        dependent += 1
+                    else:
+                        rejected += 1
+            if self.decoder.is_complete:
+                _TRACER.emit(
+                    TRANSFER_COMPLETE,
+                    slot=t,
+                    delivered=delivered,
+                    dependent=dependent,
+                    rejected=rejected,
+                )
+                stop = StopTransmission(file_id=file_id if file_id is not None else -1)
+                for i, session in enumerate(self.sessions):
+                    session.stop(stop)
+                    if _OBS.enabled:
+                        _XFER_STOP_LAG.observe(0)
+                    _TRACER.emit(TRANSFER_STOP, peer=i, slot=t, lag_slots=0)
+                break
+        return DownloadReport(
+            complete=self.decoder.is_complete,
+            slots=slots,
+            bytes_received=total_bytes,
+            messages_delivered=delivered,
+            messages_rejected=rejected,
+            messages_dependent=dependent,
+            per_peer_bytes=tuple(per_peer),
+            slot_seconds=self.slot_seconds,
+            failures=state.failures(),
         )
 
     def _run_with_latency(
@@ -217,15 +592,22 @@ class ParallelDownloader:
         completed messages spend half an RTT in flight before reaching
         the decoder; and after decoding completes, each peer keeps
         transmitting until the stop message arrives — those bytes are
-        accounted separately as waste.
+        accounted separately as waste.  With a ``policy`` the robust
+        book-keeping (verification, quarantine, stall timeouts, crash
+        survival, budget re-scaling) applies on top.
         """
         n = len(self.sessions)
+        state = (
+            _RobustState(n, self.policy, self.sessions)
+            if self.policy is not None
+            else None
+        )
         per_peer = [0.0] * n
         delivered = rejected = dependent = 0
         total_bytes = 0.0
         wasted = 0.0
         first_data_slot = None
-        inflight: list[tuple[int, object]] = []  # (arrival slot, message)
+        inflight: list[tuple[int, int, object]] = []  # (arrival, peer, message)
         complete_slot: int | None = None
         stop_deadline = [None] * n  # slot at which peer i hears the stop
         slots = 0
@@ -234,15 +616,17 @@ class ParallelDownloader:
             slots += 1
             # Deliver in-flight messages that have arrived.
             still_flying = []
-            for arrival, message in inflight:
+            for arrival, peer, message in inflight:
                 if arrival > t or self.decoder.is_complete:
-                    still_flying.append((arrival, message))
+                    still_flying.append((arrival, peer, message))
                     continue
+                if state is not None and not state.verify(peer, message, t):
+                    continue  # discarded; never reaches the decoder
                 outcome = self.decoder.offer(message)
                 name = getattr(outcome, "name", str(outcome))
                 if _OBS.enabled:
                     _XFER_MESSAGES.inc()
-                _TRACER.emit(TRANSFER_MESSAGE, slot=t, outcome=name)
+                _TRACER.emit(TRANSFER_MESSAGE, slot=t, peer=peer, outcome=name)
                 if name in ("ACCEPTED", "COMPLETE"):
                     delivered += 1
                 elif name == "DEPENDENT":
@@ -260,9 +644,6 @@ class ParallelDownloader:
                     dependent=dependent,
                     rejected=rejected,
                 )
-                stop = StopTransmission(
-                    file_id=file_id if file_id is not None else -1
-                )
                 for i, session in enumerate(self.sessions):
                     stop_deadline[i] = t + self.latency.stop_slots(i)
                     if _OBS.enabled:
@@ -275,6 +656,8 @@ class ParallelDownloader:
                     )
 
             rates = [self.rate_fn(i, t) for i in range(n)]
+            if state is not None:
+                rates = state.adjust_rates(rates, self.sessions)
             total = sum(rates)
             if total > self.download_cap_kbps > 0:
                 scale = self.download_cap_kbps / total
@@ -282,6 +665,8 @@ class ParallelDownloader:
 
             everyone_stopped = complete_slot is not None
             for i, (session, rate) in enumerate(zip(self.sessions, rates)):
+                if state is not None and state.dead[i]:
+                    continue
                 if t < self.latency.handshake_slots(i):
                     everyone_stopped = False
                     continue
@@ -300,7 +685,12 @@ class ParallelDownloader:
                         wasted += budget
                         if _OBS.enabled:
                             _XFER_WASTED.inc(budget)
-                        session.serve(budget)
+                        try:
+                            session.serve(budget)
+                        except SessionCrashed as exc:
+                            if state is None:
+                                raise
+                            state.note_crash(i, t, exc)
                         everyone_stopped = False
                     continue
                 if not session.active or rate <= 0:
@@ -312,9 +702,18 @@ class ParallelDownloader:
                     _XFER_BYTES.inc(budget)
                 if first_data_slot is None:
                     first_data_slot = t
-                for data in session.serve(budget):
+                try:
+                    served = session.serve(budget)
+                except SessionCrashed as exc:
+                    if state is None:
+                        raise
+                    served = list(exc.delivered)
+                    state.note_crash(i, t, exc)
+                if state is not None:
+                    state.note_served(i, len(served), budget, t)
+                for data in served:
                     inflight.append(
-                        (t + self.latency.delivery_slots(i), data.message)
+                        (t + self.latency.delivery_slots(i), i, data.message)
                     )
             if complete_slot is not None and everyone_stopped and not inflight:
                 break
@@ -334,4 +733,6 @@ class ParallelDownloader:
             per_peer_bytes=tuple(per_peer),
             wasted_bytes=wasted,
             first_data_slot=first_data_slot,
+            slot_seconds=self.slot_seconds,
+            failures=state.failures() if state is not None else (),
         )

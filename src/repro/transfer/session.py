@@ -14,6 +14,8 @@ bytes have arrived (TCP-like in-order delivery of the serial stream).
 from __future__ import annotations
 
 from ..obs import REGISTRY as _OBS
+from ..obs import TRACER as _TRACER
+from ..obs.events import TRANSFER_RETRY
 from ..security.auth import Prover, Verifier
 from ..security.keys import KeyPair, PublicKey
 from ..storage.store import MessageStore, ServingCursor
@@ -34,6 +36,9 @@ _SERVE_MESSAGES = _OBS.counter(
 )
 _SERVE_BYTES = _OBS.counter(
     "repro.transfer.serve.bytes", "byte budget consumed by serving peers"
+)
+_HANDSHAKE_RETRIES = _OBS.counter(
+    "repro.transfer.handshake.retries", "handshake attempts that failed and were retried"
 )
 
 
@@ -70,6 +75,11 @@ class ServingSession:
         )
 
     # -- data plane ------------------------------------------------------
+
+    @property
+    def authenticated(self) -> bool:
+        """Whether challenge-response authentication has succeeded."""
+        return self._authenticated
 
     @property
     def active(self) -> bool:
@@ -142,3 +152,39 @@ class DownloadSession:
         self.authenticated = True
         self.accepted = serving.accept_request(FileRequest(file_id))
         return self.accepted
+
+    def handshake_with_retry(
+        self,
+        serving: ServingSession,
+        file_id: int,
+        attempts: int = 3,
+        backoff_slots: int = 1,
+        peer: int = -1,
+    ) -> tuple[FileAccept | None, int, int]:
+        """Bounded handshake retry with linear backoff.
+
+        Returns ``(accept, attempts_used, waited_slots)`` where
+        ``accept`` is ``None`` if every attempt was rejected.
+        ``waited_slots`` is the cumulative backoff (``backoff_slots``
+        after the first failure, twice that after the second, ...) a
+        slot-stepped caller should charge before data can flow.
+        """
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if backoff_slots < 0:
+            raise ValueError(f"backoff_slots cannot be negative: {backoff_slots}")
+        waited = 0
+        for attempt in range(1, attempts + 1):
+            try:
+                return self.handshake(serving, file_id), attempt, waited
+            except ProtocolError:
+                if _OBS.enabled:
+                    _HANDSHAKE_RETRIES.inc()
+                _TRACER.emit(
+                    TRANSFER_RETRY,
+                    peer=peer,
+                    attempt=attempt,
+                    backoff_slots=backoff_slots * attempt,
+                )
+                waited += backoff_slots * attempt
+        return None, attempts, waited

@@ -1,0 +1,147 @@
+"""Unit tests for FaultPlan / PeerFault parsing and derivations."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpecError, PeerFault
+
+SPEC = "seed=7;0:pollute;1:crash@1500;2:stall@10+6;3:refuse;4:corrupt@0.3"
+
+
+class TestPeerFault:
+    def test_kinds_are_validated(self):
+        with pytest.raises(FaultSpecError):
+            PeerFault("meltdown")
+        for kind in FAULT_KINDS:
+            PeerFault(kind)  # all documented kinds construct
+
+    def test_parameter_validation(self):
+        with pytest.raises(FaultSpecError):
+            PeerFault("crash", at_byte=-1)
+        with pytest.raises(FaultSpecError):
+            PeerFault("stall", at_slot=-1)
+        with pytest.raises(FaultSpecError):
+            PeerFault("stall", duration=0)
+        with pytest.raises(FaultSpecError):
+            PeerFault("pollute", rate=0.0)
+        with pytest.raises(FaultSpecError):
+            PeerFault("corrupt", rate=1.5)
+
+
+class TestParse:
+    def test_full_spec(self):
+        plan = FaultPlan.parse(SPEC)
+        assert plan.seed == 7
+        assert plan.peers == (0, 1, 2, 3, 4)
+        assert plan.faults_for(0) == (PeerFault("pollute"),)
+        assert plan.faults_for(1) == (PeerFault("crash", at_byte=1500),)
+        assert plan.faults_for(2) == (PeerFault("stall", at_slot=10, duration=6),)
+        assert plan.faults_for(3) == (PeerFault("refuse"),)
+        assert plan.faults_for(4) == (PeerFault("corrupt", rate=0.3),)
+        assert plan.faults_for(99) == ()
+
+    def test_round_trip(self):
+        plan = FaultPlan.parse(SPEC)
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    def test_multiple_faults_per_peer(self):
+        plan = FaultPlan.parse("0:pollute@0.5;0:crash@2000")
+        assert len(plan.faults_for(0)) == 2
+
+    def test_later_seed_entry_wins(self):
+        # The CLI prepends its own seed; an explicit seed= in the user's
+        # spec must override it.
+        assert FaultPlan.parse("seed=1;seed=9;0:refuse").seed == 9
+
+    def test_empty_spec_is_empty_plan(self):
+        plan = FaultPlan.parse("")
+        assert plan.peers == ()
+        assert len(plan) == 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "nonsense",
+            "x:refuse",
+            "-1:refuse",
+            "0:meltdown",
+            "0:crash@abc",
+            "0:stall@x+y",
+            "0:refuse@1",
+            "seed=abc;0:refuse",
+        ],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(bad)
+
+
+class TestDeterminism:
+    def test_rng_depends_on_seed_and_peer(self):
+        plan = FaultPlan(seed=3)
+        a = plan.rng_for(0).integers(0, 1 << 30, size=8)
+        b = plan.rng_for(0).integers(0, 1 << 30, size=8)
+        c = plan.rng_for(1).integers(0, 1 << 30, size=8)
+        d = FaultPlan(seed=4).rng_for(0).integers(0, 1 << 30, size=8)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert not np.array_equal(a, d)
+
+
+class TestCapacityProfile:
+    def test_refuse_is_never_online(self):
+        plan = FaultPlan(seed=0, faults={0: PeerFault("refuse")})
+        assert plan.capacity_profile(0, 512.0, 100) == [(0, 0.0)]
+
+    def test_crash_goes_dark_for_good(self):
+        # 512 kbps = 64000 B/slot; crash at byte 128000 -> offline from slot 2.
+        plan = FaultPlan(seed=0, faults={0: PeerFault("crash", at_byte=128_000)})
+        assert plan.capacity_profile(0, 512.0, 100) == [(0, 512.0), (2, 0.0)]
+
+    def test_stall_is_a_temporary_outage(self):
+        plan = FaultPlan(
+            seed=0, faults={0: PeerFault("stall", at_slot=10, duration=5)}
+        )
+        assert plan.capacity_profile(0, 512.0, 100) == [
+            (0, 512.0),
+            (10, 0.0),
+            (15, 512.0),
+        ]
+
+    def test_pollute_leaves_capacity_unchanged(self):
+        plan = FaultPlan(seed=0, faults={0: PeerFault("pollute")})
+        assert plan.capacity_profile(0, 512.0, 100) is None
+
+    def test_overlapping_windows_merge(self):
+        plan = FaultPlan(
+            seed=0,
+            faults={
+                0: [
+                    PeerFault("stall", at_slot=10, duration=10),
+                    PeerFault("stall", at_slot=15, duration=10),
+                ]
+            },
+        )
+        assert plan.capacity_profile(0, 512.0, 100) == [
+            (0, 512.0),
+            (10, 0.0),
+            (25, 512.0),
+        ]
+
+    def test_invalid_kbps(self):
+        plan = FaultPlan(seed=0, faults={0: PeerFault("refuse")})
+        with pytest.raises(FaultSpecError):
+            plan.capacity_profile(0, 0.0, 100)
+
+
+class TestWrap:
+    def test_only_faulty_indices_are_wrapped(self):
+        from repro.faults import FaultyServingSession
+
+        plan = FaultPlan.parse("1:refuse")
+        sessions = [object(), object(), object()]
+        wrapped = plan.wrap(sessions)
+        assert wrapped[0] is sessions[0]
+        assert wrapped[2] is sessions[2]
+        assert isinstance(wrapped[1], FaultyServingSession)
+        assert wrapped[1].peer == 1

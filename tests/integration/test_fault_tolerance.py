@@ -1,0 +1,147 @@
+"""The acceptance scenario for failure-aware downloads.
+
+A fault plan injecting at least one polluting peer and one mid-stream
+crash among four or more peers must leave the robust downloader able to
+complete the decode with a bit-identical payload, with zero polluted
+messages reaching the decoder, and with a report whose taxonomy names
+the faulty peers.
+
+``REPRO_FAULT_SEED`` overrides the plan seed (the CI fault matrix runs
+three of them); ``REPRO_FAULT_TRACE`` names a JSONL file to dump the
+structured trace into, which CI uploads when the job fails.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.faults import FaultPlan
+from repro.rlnc import CodingParams, FileEncoder, ProgressiveDecoder
+from repro.security import DigestStore, generate_keypair
+from repro.storage import MessageStore
+from repro.transfer import (
+    DownloadSession,
+    ParallelDownloader,
+    RobustPolicy,
+    ServingSession,
+)
+
+PARAMS = CodingParams(p=16, m=32, file_bytes=512)  # k = 8
+FILE_ID = 0xACCE
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "7"))
+
+#: The acceptance plan: 5 peers — one polluter, one mid-stream crash,
+#: one permanent stall, two honest.  At 2 kbps (250 B/slot) and a wire
+#: size of 80 B (p=16, m=32), the crash at byte 150 cuts peer 2 off
+#: after exactly one whole message — a genuine mid-stream death.
+PLAN_SPEC = f"seed={SEED};1:pollute;2:crash@150;3:stall@0+10000"
+N_PEERS = 5
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_keypair(bits=512, seed=SEED)
+
+
+def build(plan, keys, data_seed=0xC0FFEE):
+    rng = np.random.default_rng(data_seed)
+    data = rng.bytes(500)
+    digests = DigestStore()
+    encoder = FileEncoder(PARAMS, b"owner", file_id=FILE_ID)
+    encoded = encoder.encode_bundles(data, n_peers=N_PEERS, digest_store=digests)
+    sessions = []
+    for p in range(N_PEERS):
+        store = MessageStore()
+        store.add_messages(encoded.bundles[p])
+        sessions.append(ServingSession(store, keys.public))
+    sessions = plan.wrap(sessions)
+    for p, session in enumerate(sessions):
+        DownloadSession(keys).handshake_with_retry(session, FILE_ID, peer=p)
+    decoder = ProgressiveDecoder(PARAMS, encoder.coefficients, digests)
+    return data, sessions, decoder, digests
+
+
+def download(plan, keys, stall_timeout=2):
+    data, sessions, decoder, digests = build(plan, keys)
+    policy = RobustPolicy(digest_store=digests, stall_timeout_slots=stall_timeout)
+    dl = ParallelDownloader(sessions, decoder, lambda i, t: 2.0, policy=policy)
+    report = dl.run(10_000, file_id=FILE_ID)
+    return data, decoder, report
+
+
+@pytest.fixture()
+def traced():
+    """Run the body under tracing; dump JSONL if REPRO_FAULT_TRACE is set."""
+    path = os.environ.get("REPRO_FAULT_TRACE")
+    with obs.observability(tracing=True, reset=True):
+        yield
+        if path:
+            obs.TRACER.write_jsonl(path)
+
+
+class TestAcceptance:
+    def test_decode_completes_bit_identical(self, keys, traced):
+        plan = FaultPlan.parse(PLAN_SPEC)
+        data, decoder, report = download(plan, keys)
+        assert report.complete
+        assert decoder.result(len(data)) == data
+
+    def test_zero_polluted_messages_reach_decoder(self, keys, traced):
+        plan = FaultPlan.parse(PLAN_SPEC)
+        data, decoder, report = download(plan, keys)
+        # Digest verification happens upstream of the decoder: the
+        # decoder never saw a forged row, so it never rejected one.
+        assert decoder.rejected == 0
+        assert decoder.inconsistent == 0
+        assert report.messages_rejected == 0
+        assert report.failure_of(1).messages_discarded >= 1
+
+    def test_taxonomy_names_every_faulty_peer(self, keys, traced):
+        plan = FaultPlan.parse(PLAN_SPEC)
+        data, decoder, report = download(plan, keys)
+        kinds = {f.peer: f.kind for f in report.failures}
+        assert kinds[1] == "polluted"
+        assert kinds[2] == "crashed"
+        assert kinds[3] == "stalled"
+        assert 0 not in kinds and 4 not in kinds  # honest peers unnamed
+        assert report.bytes_discarded > 0
+
+    def test_trace_records_faults_and_discards(self, keys):
+        with obs.observability(tracing=True, reset=True):
+            plan = FaultPlan.parse(PLAN_SPEC)
+            download(plan, keys)
+            events = [e.to_dict() for e in obs.TRACER.events()]
+        names = {e["name"] for e in events}
+        assert "transfer.fault" in names
+        assert "transfer.discard" in names
+        faults = [e for e in events if e["name"] == "transfer.fault"]
+        assert {f["fields"]["kind"] for f in faults} >= {"polluted", "crashed"}
+        # Every event round-trips through JSON (the CI artifact format).
+        for e in events:
+            json.dumps(e)
+
+    def test_same_seed_same_outcome(self, keys):
+        plan = FaultPlan.parse(PLAN_SPEC)
+        a = download(plan, keys)
+        b = download(plan, keys)
+        assert a[2].to_dict() == b[2].to_dict()
+        assert a[0] == b[0]
+
+    def test_refusal_joins_the_taxonomy(self, keys):
+        plan = FaultPlan.parse(PLAN_SPEC + ";4:refuse")
+        data, decoder, report = download(plan, keys)
+        assert report.complete
+        assert decoder.result(len(data)) == data
+        assert report.failure_of(4).kind == "refused"
+        assert report.per_peer_bytes[4] == 0.0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_robust_across_seeds(self, keys, seed):
+        plan = FaultPlan.parse(f"seed={seed};1:pollute@0.7;2:crash@300")
+        data, decoder, report = download(plan, keys)
+        assert report.complete
+        assert decoder.result(len(data)) == data
+        assert decoder.rejected == 0

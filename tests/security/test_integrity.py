@@ -89,3 +89,47 @@ class TestOverhead:
         for mid in range(8):
             store.record(1, mid, bytes([mid]))
         assert store.overhead_bytes(1) == 256
+
+
+class TestConstantTimeComparison:
+    def test_verify_uses_compare_digest(self, monkeypatch):
+        """The digest comparison must go through hmac.compare_digest so
+        the owner's verify path cannot become a byte-at-a-time timing
+        oracle (see the verify docstring)."""
+        from repro.security import integrity
+
+        real_compare = integrity.hmac.compare_digest
+        calls = []
+
+        def spy(a, b):
+            calls.append((bytes(a), bytes(b)))
+            return real_compare(a, b)
+
+        monkeypatch.setattr(integrity.hmac, "compare_digest", spy)
+        store = DigestStore()
+        store.record(1, 0, b"payload")
+        assert store.verify(1, 0, b"payload")
+        assert not store.verify(1, 0, b"forged!")
+        assert len(calls) == 2
+
+    def test_unknown_pair_short_circuits_without_comparison(self, monkeypatch):
+        """Unknown (file, message) ids fail closed before any digest is
+        compared — there is nothing secret to leak about absent entries."""
+        from repro.security import integrity
+
+        def boom(a, b):  # pragma: no cover - must not be reached
+            raise AssertionError("compare_digest called for unknown id")
+
+        monkeypatch.setattr(integrity.hmac, "compare_digest", boom)
+        store = DigestStore()
+        assert not store.verify(1, 0, b"payload")
+
+    def test_near_miss_digest_rejected(self):
+        """A forged payload whose digest shares a long prefix with the
+        real one is still rejected (equality is exact, not prefix)."""
+        store = DigestStore()
+        digest = store.record(1, 0, b"payload")
+        # Plant an almost-identical digest under another id and check
+        # the true payload does not verify against it.
+        store._digests[(1, 1)] = digest[:-1] + bytes([digest[-1] ^ 1])
+        assert not store.verify(1, 1, b"payload")

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import check_theorem1
-from repro.sim import churn_network
+from repro.sim import Simulation, churn_configs, churn_network
 
 
 class TestChurnScenario:
@@ -52,3 +52,59 @@ class TestChurnScenario:
         a = churn_network(n=4, slots=2_000, seed=7)
         b = churn_network(n=4, slots=2_000, seed=7)
         assert np.array_equal(a.rates, b.rates)
+
+    def test_configs_match_network(self):
+        """churn_network must be a pure delegation to churn_configs."""
+        configs = churn_configs(n=4, slots=2_000, seed=7)
+        via_configs = Simulation(configs, seed=7).run(2_000)
+        direct = churn_network(n=4, slots=2_000, seed=7)
+        assert np.array_equal(via_configs.rates, direct.rates)
+        assert np.array_equal(via_configs.capacities, direct.capacities)
+
+
+class TestLedgerRecovery:
+    """End-to-end through Simulation.run: a churner's standing in other
+    peers' ledgers freezes while it is offline and resumes growing once
+    it rejoins — the dynamics the paper's future-work section asks about.
+    """
+
+    def test_churner_ledger_recovers_after_rejoin(self):
+        slots = 3_000
+        configs = churn_configs(n=6, churners=1, slots=slots, seed=2)
+        caps = [configs[0].capacity.value(t) for t in range(slots)]
+        off_start = next(
+            t for t in range(1, slots) if caps[t - 1] > 0 and caps[t] == 0
+        )
+        off_end = next(t for t in range(off_start, slots) if caps[t] > 0)
+        on_end = next((t for t in range(off_end, slots) if caps[t] == 0), slots)
+
+        sim = Simulation(configs, seed=2)
+        stable = sim.peers[5]  # any stable peer's view of churner 0
+
+        sim.run(off_start)
+        credit_before_offline = stable.ledger.credit_of(0)
+        assert credit_before_offline > 0  # it contributed while online
+
+        sim.run(off_end - off_start)
+        credit_after_offline = stable.ledger.credit_of(0)
+        # Offline the churner uploads nothing: its credit is frozen.
+        assert credit_after_offline == pytest.approx(credit_before_offline)
+
+        rejoined = sim.run(on_end - off_end)
+        credit_after_rejoin = stable.ledger.credit_of(0)
+        # Back online, contributions resume and the ledger recovers.
+        assert credit_after_rejoin > credit_after_offline
+        # ... and so does the churner's own download service.
+        requested = rejoined.requesting[:, 0]
+        assert rejoined.rates[requested, 0].mean() > 0.0
+
+    def test_every_churner_ledger_grows_by_the_end(self):
+        slots = 10_000
+        configs = churn_configs(n=6, churners=3, slots=slots, seed=4)
+        sim = Simulation(configs, seed=4)
+        initial = sim.peers[5].ledger.credit_of(0)  # Equation (2) seed credit
+        sim.run(slots)
+        for churner in range(3):
+            # Each churner was online long enough to out-earn its
+            # initialisation credit at the stable peers.
+            assert sim.peers[5].ledger.credit_of(churner) > initial

@@ -115,3 +115,56 @@ class TestBernoulliNetwork:
     def test_validation(self):
         with pytest.raises(ValueError):
             bernoulli_network([100], [0.5, 0.5])
+
+
+class TestFaultyNetwork:
+    def _plan(self, spec):
+        from repro.faults import FaultPlan
+
+        return FaultPlan.parse(spec)
+
+    def test_refused_peer_never_contributes(self):
+        from repro.sim import faulty_network
+
+        result = faulty_network(plan=self._plan("0:refuse"), slots=1000)
+        assert np.all(result.capacities[:, 0] == 0.0)
+        assert "faulty: refuse" in result.label_of(0)
+
+    def test_crash_goes_dark_and_stays_dark(self):
+        from repro.sim import faulty_network
+
+        # 512 kbps = 64 kB/slot; crash at 6.4 MB -> offline from slot 100.
+        result = faulty_network(plan=self._plan("0:crash@6400000"), slots=1000)
+        assert np.all(result.capacities[:100, 0] == 512.0)
+        assert np.all(result.capacities[100:, 0] == 0.0)
+
+    def test_stall_is_temporary(self):
+        from repro.sim import faulty_network
+
+        result = faulty_network(plan=self._plan("0:stall@100+50"), slots=300)
+        assert np.all(result.capacities[:100, 0] == 512.0)
+        assert np.all(result.capacities[100:150, 0] == 0.0)
+        assert np.all(result.capacities[150:, 0] == 512.0)
+
+    def test_pollute_keeps_capacity(self):
+        from repro.sim import faulty_network
+
+        polluted = faulty_network(plan=self._plan("0:pollute"), slots=500, seed=3)
+        clean = faulty_network(slots=500, seed=3)
+        # Pollution is a transfer-layer fault: the bandwidth-sharing
+        # dynamics are untouched (same capacities, same rates).
+        assert np.array_equal(polluted.capacities, clean.capacities)
+        assert np.array_equal(polluted.rates, clean.rates)
+
+    def test_healthy_peers_keep_earning(self):
+        from repro.sim import faulty_network
+
+        result = faulty_network(plan=self._plan("0:refuse;1:refuse"), slots=2000)
+        rates = result.mean_download_bandwidth()
+        assert all(rates[i] > 0 for i in range(2, 6))
+
+    def test_plan_out_of_range_rejected(self):
+        from repro.sim import faulty_network
+
+        with pytest.raises(ValueError):
+            faulty_network(plan=self._plan("9:refuse"), n=6, slots=100)

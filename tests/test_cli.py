@@ -247,6 +247,101 @@ class TestUpdate:
             )
 
 
+class TestDownload:
+    def _download(self, out, dest, *sources, extra=()):
+        return main(
+            [
+                "download",
+                *[str(s) for s in sources],
+                "--manifest",
+                str(out / "manifest.json"),
+                "--secret",
+                "s3cret",
+                "--digests",
+                str(out / "digests.json"),
+                "--out",
+                str(dest),
+                *extra,
+            ]
+        )
+
+    def test_roundtrip_without_faults(self, workspace, capsys):
+        tmp, src, out = workspace
+        encode(src, out)
+        dest = tmp / "restored.bin"
+        code = self._download(out, dest, out / "peer0", out / "peer1")
+        assert code == 0
+        assert dest.read_bytes() == src.read_bytes()
+        stdout = capsys.readouterr().out
+        assert "0 faulty peer(s)" in stdout
+
+    def test_faulty_peers_survived_and_named(self, workspace, capsys):
+        tmp, src, out = workspace
+        encode(src, out)
+        dest = tmp / "restored.bin"
+        code = self._download(
+            out,
+            dest,
+            out / "peer0",
+            out / "peer1",
+            out / "peer2",
+            extra=["--rate", "4", "--faults", "seed=7;1:pollute;2:crash@900"],
+        )
+        assert code == 0
+        assert dest.read_bytes() == src.read_bytes()
+        stdout = capsys.readouterr().out
+        assert "peer 1" in stdout and "polluted" in stdout
+        assert "peer 2" in stdout and "crashed" in stdout
+
+    def test_all_peers_refuse_fails_cleanly(self, workspace, capsys):
+        tmp, src, out = workspace
+        encode(src, out)
+        dest = tmp / "restored.bin"
+        code = self._download(
+            out,
+            dest,
+            out / "peer0",
+            extra=["--faults", "0:refuse", "--max-slots", "50"],
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().err
+        assert not dest.exists()
+
+    def test_fault_peer_out_of_range_rejected(self, workspace):
+        tmp, src, out = workspace
+        encode(src, out)
+        with pytest.raises(SystemExit, match="peer 5"):
+            self._download(
+                out, tmp / "x.bin", out / "peer0", extra=["--faults", "5:refuse"]
+            )
+
+    def test_bad_fault_spec_rejected(self, workspace):
+        tmp, src, out = workspace
+        encode(src, out)
+        with pytest.raises(SystemExit, match="bad --faults"):
+            self._download(
+                out, tmp / "x.bin", out / "peer0", extra=["--faults", "0:meltdown"]
+            )
+
+    def test_trace_records_fault_events(self, workspace, tmp_path):
+        tmp, src, out = workspace
+        encode(src, out)
+        trace = tmp_path / "trace.jsonl"
+        dest = tmp / "restored.bin"
+        code = self._download(
+            out,
+            dest,
+            out / "peer0",
+            out / "peer1",
+            extra=["--rate", "4", "--faults", "1:pollute", "--trace", str(trace)],
+        )
+        assert code == 0
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {e["name"] for e in events}
+        assert "transfer.discard" in names
+        assert "transfer.fault" in names
+
+
 class TestInspect:
     def test_lists_stores(self, workspace, capsys):
         tmp, src, out = workspace
@@ -265,6 +360,29 @@ class TestSimulate:
         stdout = capsys.readouterr().out
         assert "3 peers" in stdout
         assert "1024" in stdout
+
+    def test_faults_scenario_default_plan(self, capsys):
+        code = main(["simulate", "faults"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "6 peers" in stdout
+        assert "faulty: crash" in stdout
+        assert "faulty: refuse" in stdout
+
+    def test_faults_scenario_custom_plan(self, capsys):
+        code = main(["simulate", "faults", "--faults", "0:stall@100+200"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "faulty: stall" in stdout
+        assert "faulty: crash" not in stdout  # default plan replaced
+
+    def test_faults_flag_requires_faults_scenario(self):
+        with pytest.raises(SystemExit, match="faults"):
+            main(["simulate", "fig5b", "--faults", "0:refuse"])
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(SystemExit, match="bad --faults"):
+            main(["simulate", "faults", "--faults", "0:meltdown"])
 
 
 class TestChannel:

@@ -134,3 +134,16 @@ class TestReport:
         report = dl.run(10_000)
         assert report.effective_rate_kbps() <= 64.0 * 1.01
         assert report.seconds == report.slots
+
+    def test_seconds_honours_slot_length(self, rng, keys):
+        # Regression: `seconds` used to assume 1-second slots regardless
+        # of the downloader's actual slot_seconds.
+        data, sessions, decoder = build(rng, 1, keys)
+        dl = ParallelDownloader(
+            sessions, decoder, lambda i, t: 64.0, slot_seconds=0.5
+        )
+        report = dl.run(10_000)
+        assert report.slot_seconds == 0.5
+        assert report.seconds == report.slots * 0.5
+        # effective_rate_kbps defaults to the report's own slot length.
+        assert report.effective_rate_kbps() == report.effective_rate_kbps(0.5)
