@@ -9,6 +9,9 @@ differ from the authors' 2006 NTL/C++ testbed.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.obs import REGISTRY
 
 __all__ = [
@@ -17,7 +20,40 @@ __all__ = [
     "format_seconds",
     "attach_obs_snapshot",
     "metered",
+    "median",
+    "write_bench_json",
+    "REPO_ROOT",
 ]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def median(samples) -> float:
+    """Median of a non-empty sample list (lower middle for even counts)."""
+    ordered = sorted(samples)
+    return ordered[(len(ordered) - 1) // 2]
+
+
+def write_bench_json(filename: str, results: dict, merge: bool = True) -> Path:
+    """Write (or merge into) a machine-readable results file at repo root.
+
+    ``results`` maps point keys (e.g. ``"decode_p8_k64"``) to dicts with
+    at least ``ns_per_op``.  With ``merge`` (the default) existing keys
+    in the file are updated and unrelated keys preserved, so several
+    benchmark modules can contribute to one trajectory file.
+    """
+    path = REPO_ROOT / filename
+    payload: dict = {"schema": 1, "results": {}}
+    if merge and path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing.get("results"), dict):
+                payload["results"] = existing["results"]
+        except (ValueError, OSError):
+            pass
+    payload["results"].update(results)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def attach_obs_snapshot(benchmark, key: str = "obs") -> dict:

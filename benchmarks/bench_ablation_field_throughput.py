@@ -12,6 +12,7 @@ import pytest
 
 from repro.gf import GF, ClmulField
 
+from _util import write_bench_json
 
 SIZE = 1 << 18
 
@@ -29,6 +30,21 @@ def test_field_mul_throughput(benchmark, p):
     elems_per_sec = SIZE / benchmark.stats["mean"]
     print(f"\nGF(2^{p}) [{type(field).__name__}]: "
           f"{elems_per_sec / 1e6:.1f} M mul/s")
+
+    # Contribute the raw kernel throughput to the encode trajectory file
+    # (one vectorised mul over 2^18 elements is the encode inner loop).
+    write_bench_json(
+        "BENCH_encode.json",
+        {
+            f"field_mul_p{p}": {
+                "p": p,
+                "size": SIZE,
+                "op": "field_mul",
+                "ns_per_op": int(benchmark.stats["median"] * 1e9),
+                "backend": type(field).__name__,
+            }
+        },
+    )
 
 
 def test_clmul_reference_is_slower_but_agrees(benchmark):

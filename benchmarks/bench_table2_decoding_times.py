@@ -25,7 +25,14 @@ from repro.rlnc import (
     FileEncoder,
 )
 
-from _util import attach_obs_snapshot, metered, print_header, print_table
+from _util import (
+    attach_obs_snapshot,
+    median,
+    metered,
+    print_header,
+    print_table,
+    write_bench_json,
+)
 
 #: Table II as printed (seconds, authors' 2006 testbed) for reference.
 PAPER_TABLE2 = {
@@ -37,8 +44,14 @@ PAPER_TABLE2 = {
 
 _DATA = os.urandom(1 << 20)
 
-# Module-level accumulator so the summary test can assert across rows.
+#: Repetitions per cell; the machine-readable output records the median.
+REPS = 3
+
+# Module-level accumulators so the summary test can assert across rows
+# and write the BENCH_*.json trajectory files.
 _MEASURED: dict[tuple[int, int], float] = {}
+_DECODE_SAMPLES: dict[tuple[int, int], list[float]] = {}
+_ENCODE_SAMPLES: dict[tuple[int, int], list[float]] = {}
 
 
 def decode_cell(p: int, m: int) -> float:
@@ -47,13 +60,31 @@ def decode_cell(p: int, m: int) -> float:
     encoder = FileEncoder(params, secret=b"bench", file_id=p * 1000 + m)
     source = encoder.source_matrix(_DATA)
     ids = encoder.independent_ids(1)[0]
+    start = time.perf_counter()
     messages = encoder.encode_ids(source, ids)
+    _ENCODE_SAMPLES.setdefault((p, m), []).append(time.perf_counter() - start)
     decoder = BlockDecoder(params, encoder.coefficients)
     start = time.perf_counter()
     out = decoder.decode(messages)
     elapsed = time.perf_counter() - start
     assert out == _DATA
+    _DECODE_SAMPLES.setdefault((p, m), []).append(elapsed)
     return elapsed
+
+
+def _bench_points(samples: dict[tuple[int, int], list[float]], op: str) -> dict:
+    points = {}
+    for (p, m), ts in sorted(samples.items()):
+        k = CodingParams(p=p, m=m).k
+        points[f"{op}_p{p}_k{k}"] = {
+            "p": p,
+            "k": k,
+            "m": m,
+            "op": f"{op}_1MB",
+            "ns_per_op": int(median(ts) * 1e9),
+            "samples": len(ts),
+        }
+    return points
 
 
 @pytest.mark.parametrize("p", TABLE1_FIELD_BITS)
@@ -61,7 +92,7 @@ def test_table2_row(benchmark, p):
     def run_row():
         times = []
         for m in TABLE1_MESSAGE_LENGTHS:
-            elapsed = decode_cell(p, m)
+            elapsed = median([decode_cell(p, m) for _ in range(REPS)])
             _MEASURED[(p, m)] = elapsed
             times.append(elapsed)
         return times
@@ -117,6 +148,12 @@ def test_table2_cross_field_shape_and_realtime(benchmark):
     print(f"\nGF(2^32), m=2^15 (k=8): {point:.3f}s -> {throughput:.1f} MB/s "
           "(paper: 1.0 MB/s real-time threshold)")
     assert throughput >= 1.0
+
+    # Machine-readable perf trajectory: median ns/op per (k, p) point,
+    # committed at the repo root so future PRs can diff the numbers.
+    decode_path = write_bench_json("BENCH_decode.json", _bench_points(_DECODE_SAMPLES, "decode"))
+    encode_path = write_bench_json("BENCH_encode.json", _bench_points(_ENCODE_SAMPLES, "encode"))
+    print(f"\nwrote {decode_path.name} and {encode_path.name}")
 
     # After the timing-sensitive work: re-run one representative cell
     # with observability on and attach the counters to the bench JSON,

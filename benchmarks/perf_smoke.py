@@ -1,0 +1,88 @@
+"""CI perf-smoke: one small Table II point vs the committed baseline.
+
+Standalone (numpy only, no pytest): measures the decode median at a
+single cheap operating point, compares ns/op against the committed
+``BENCH_decode.json``, and fails when the regression exceeds the budget
+(a generous 3x, so CI noise on shared runners does not flap the job).
+A fresh ``BENCH_decode.smoke.json`` is always written next to the
+baseline for upload as a CI artifact.
+
+Usage: ``PYTHONPATH=src python benchmarks/perf_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The measured point: p=8, m=2^15 -> k=32 for the 1 MB payload.
+P, M = 8, 1 << 15
+REPS = 5
+BUDGET = 3.0
+
+
+def measure() -> float:
+    from repro.rlnc import BlockDecoder, CodingParams, FileEncoder
+
+    data = os.urandom(1 << 20)
+    params = CodingParams(p=P, m=M)
+    encoder = FileEncoder(params, secret=b"bench", file_id=1)
+    source = encoder.source_matrix(data)
+    ids = encoder.independent_ids(1)[0]
+    messages = encoder.encode_ids(source, ids)
+    decoder = BlockDecoder(params, encoder.coefficients)
+    samples = []
+    for _ in range(REPS):
+        start = time.perf_counter()
+        out = decoder.decode(messages)
+        samples.append(time.perf_counter() - start)
+        assert out == data
+    samples.sort()
+    return samples[(len(samples) - 1) // 2]
+
+
+def main() -> int:
+    from repro.rlnc import CodingParams
+
+    k = CodingParams(p=P, m=M).k
+    key = f"decode_p{P}_k{k}"
+    seconds = measure()
+    ns_per_op = int(seconds * 1e9)
+    fresh = {
+        "schema": 1,
+        "results": {
+            key: {"p": P, "k": k, "m": M, "op": "decode_1MB",
+                  "ns_per_op": ns_per_op, "samples": REPS}
+        },
+    }
+    out_path = REPO_ROOT / "BENCH_decode.smoke.json"
+    out_path.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+    print(f"measured {key}: {ns_per_op} ns/op ({seconds * 1e3:.1f} ms); "
+          f"wrote {out_path.name}")
+
+    baseline_path = REPO_ROOT / "BENCH_decode.json"
+    if not baseline_path.exists():
+        print("no committed BENCH_decode.json baseline; skipping comparison")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    point = baseline.get("results", {}).get(key)
+    if point is None:
+        print(f"baseline has no point {key}; skipping comparison")
+        return 0
+    ratio = ns_per_op / point["ns_per_op"]
+    print(f"baseline {key}: {point['ns_per_op']} ns/op -> ratio {ratio:.2f}x "
+          f"(budget {BUDGET:.1f}x)")
+    if ratio > BUDGET:
+        print(f"FAIL: decode regressed {ratio:.2f}x > {BUDGET:.1f}x budget")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -344,6 +344,16 @@ class _ChunkTarget:
     def offer(self, message):
         return self._streaming.offer(message)
 
+    def offer_many(self, messages):
+        # Same contract as ProgressiveDecoder.offer_many: consume until
+        # this chunk completes, one outcome per consumed message.
+        outcomes = []
+        for message in messages:
+            if self.is_complete:
+                break
+            outcomes.append(self._streaming.offer(message))
+        return outcomes
+
 
 def cmd_download(args: argparse.Namespace) -> int:
     return _with_obs(args, lambda: _download(args))

@@ -1,0 +1,201 @@
+"""Bit-packed ``GF(2^p)`` matrix multiplication (the decode hot kernel).
+
+``X = C @ P`` over ``GF(2^p)`` is ``GF(2)``-linear in the bits of ``P``:
+``bit_r(c * x) = XOR_b bit_b(x) * bit_r(c * y^b)``.  Expanding every
+symbol into its ``p`` bit-planes turns the field product into a boolean
+matrix product ``Xbits = G @ Pbits`` over GF(2), which this module
+evaluates on 64-bit words with the method of four Russians: inner bit
+columns are grouped in eights, each group's 256 possible row
+combinations are tabulated once (by doubling, so the table costs one
+row-XOR per entry), and every output row then consumes one table gather
+plus one word-XOR per group.
+
+Packing between the symbol and bit domains is done with carry-free SWAR
+arithmetic on ``uint64`` words — a multiply by ``0x0102040810204080``
+gathers one bit from each of eight bytes into a single byte (the
+distinct-power positions cannot collide, so no carries corrupt the
+result), and a 256-entry spread table inverts it — so no per-symbol
+Python or fancy-index transposes appear anywhere.
+
+The engine is exact: results are bit-identical to evaluating
+``field.mul`` per element, for every supported field (the generator
+matrix ``G`` is built from ``field._mul`` itself, so tower and clmul
+backends work unchanged).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs import REGISTRY as _OBS
+
+__all__ = ["bit_matmul", "use_bit_engine"]
+
+_BITMM_CALLS = _OBS.counter(
+    "repro.gf.matmul.bitpacked", "matmul calls routed through the bit-packed engine"
+)
+
+# Multiplying the masked byte-lanes of a word by this constant sums
+# shifted copies whose set bits land at pairwise-distinct positions, so
+# the top byte of the product collects bit b of each of the 8 byte lanes
+# (carry-free "gather one bit per byte" — see module docstring).
+_GATHER = np.uint64(0x0102040810204080)
+_LANE_LSB = np.uint64(0x0101010101010101)
+_TOP = np.uint64(56)
+
+# SPREAD[v] places bit c of the byte v at bit position 8c: the exact
+# inverse of the gather multiply, used to turn eight bit-plane bytes
+# back into eight adjacent symbols with shifted ORs.
+_SPREAD = np.zeros(256, dtype=np.uint64)
+for _v in range(256):
+    _SPREAD[_v] = sum(1 << (8 * _c) for _c in range(8) if _v >> _c & 1)
+del _v
+
+#: Minimum number of field products before the fixed pack/unpack cost of
+#: the engine amortises; below this the fused-gather fallback wins.
+_MIN_WORK = 1 << 18
+
+
+def use_bit_engine(r: int, n: int, m: int, p: int) -> bool:
+    """Whether the packed engine beats the gather kernels for this shape."""
+    if p > 32 or r < 2 or n < 8 or m < 64:
+        return False
+    return r * n * m >= _MIN_WORK
+
+
+def _pack_bit_rows(mat8: np.ndarray, nbits: int) -> np.ndarray:
+    """Bit-plane and pack a byte matrix.
+
+    ``mat8`` is ``(n, m)`` uint8 with ``m % 64 == 0``; the result is
+    ``(n, nbits, m // 64)`` uint64 where word ``w`` of plane ``b`` holds
+    bit ``b`` of symbols ``64w .. 64w+63`` (LSB = lowest column).
+    """
+    n, m = mat8.shape
+    words = np.ascontiguousarray(mat8).view(np.uint64).reshape(n, m // 8)
+    planes = np.empty((n, nbits, m // 64), dtype=np.uint64)
+    tmp = np.empty_like(words)
+    for b in range(nbits):
+        np.right_shift(words, np.uint64(b), out=tmp)
+        np.bitwise_and(tmp, _LANE_LSB, out=tmp)
+        np.multiply(tmp, _GATHER, out=tmp)
+        np.right_shift(tmp, _TOP, out=tmp)
+        gathered = tmp.astype(np.uint8)
+        planes[:, b, :] = gathered.reshape(n, m // 64, 8).view(np.uint64).reshape(n, -1)
+    return planes
+
+
+def _unpack_bit_rows(planes: np.ndarray, nbits: int) -> np.ndarray:
+    """Inverse of :func:`_pack_bit_rows`: ``(r, nbits, W)`` -> ``(r, 64W)`` uint8."""
+    r = planes.shape[0]
+    plane_bytes = planes.view(np.uint8).reshape(r, nbits, -1)
+    out = _SPREAD.take(plane_bytes[:, 0, :])
+    tmp = np.empty_like(out)
+    for b in range(1, nbits):
+        _SPREAD.take(plane_bytes[:, b, :], out=tmp)
+        np.left_shift(tmp, np.uint64(b), out=tmp)
+        np.bitwise_or(out, tmp, out=out)
+    return out.view(np.uint8).reshape(r, -1)
+
+
+def _byte_groups(p: int) -> list[tuple[int, int]]:
+    """Split ``p`` bits into byte-lane groups ``(first_bit, nbits)``."""
+    return [(c, min(8, p - c)) for c in range(0, p, 8)]
+
+
+def _build_generator(field, C: np.ndarray) -> np.ndarray:
+    """Packed GF(2) generator for left-multiplication by ``C``.
+
+    Returns ``(r*p, ceil(n*p/8))`` uint8: row ``(i, rr)`` column-group
+    bytes of the boolean matrix ``G[(i,rr), (j,b)] = bit_rr(C_ij * y^b)``.
+    """
+    p = field.p
+    r, n = C.shape
+    basis = (np.uint64(1) << np.arange(p, dtype=np.uint64)).astype(C.dtype)
+    rows = np.empty((r * p, n * p), dtype=np.uint8)
+    # Build in row blocks to bound the (rows, n, p) product scratch.
+    block = max(1, (1 << 22) // max(1, n * p))
+    nbytes = (p + 7) // 8
+    for r0 in range(0, r, block):
+        sub = C[r0 : r0 + block]
+        prods = field._mul(sub[:, :, None], basis[None, None, :])
+        by = np.ascontiguousarray(
+            prods.astype(np.uint32).view(np.uint8).reshape(sub.shape[0], n, p, 4)[
+                :, :, :, :nbytes
+            ]
+        )
+        bits = np.unpackbits(by, axis=3, bitorder="little")[:, :, :, :p]
+        # (i, j, b, rr) -> rows (i, rr), cols (j, b)
+        blk = np.ascontiguousarray(bits.transpose(0, 3, 1, 2))
+        rows[r0 * p : (r0 + sub.shape[0]) * p] = blk.reshape(sub.shape[0] * p, n * p)
+    return np.packbits(rows, axis=1, bitorder="little")
+
+
+def bit_matmul(field, C: np.ndarray, P: np.ndarray) -> np.ndarray:
+    """``C @ P`` over the field via the packed GF(2) engine.
+
+    ``C`` is ``(r, n)``, ``P`` is ``(n, m)``, both canonical uint32;
+    returns ``(r, m)`` uint32 bit-identical to the per-element product.
+    """
+    if _OBS.enabled:
+        _BITMM_CALLS.inc()
+    p = field.p
+    r, n = C.shape
+    m = P.shape[1]
+    mpad = -(-m // 64) * 64
+    W = mpad // 64
+    nbytes = (p + 7) // 8
+
+    # Symbol matrix -> packed bit rows (n*p, W).
+    P8 = np.zeros((n, mpad, nbytes), dtype=np.uint8)
+    P8[:, :m, :] = np.ascontiguousarray(P).view(np.uint8).reshape(n, m, 4)[:, :, :nbytes]
+    Pw = np.empty((n, p, W), dtype=np.uint64)
+    for first, nbits in _byte_groups(p):
+        Pw[:, first : first + nbits, :] = _pack_bit_rows(
+            np.ascontiguousarray(P8[:, :, first // 8]), nbits
+        )
+    Pw = Pw.reshape(n * p, W)
+
+    Gb = _build_generator(field, C)
+    ngroups = Gb.shape[1]
+
+    # Four-Russians accumulation: one doubling-built table per group of
+    # eight inner bit-rows, then a row gather + XOR for every group.
+    # Tables are precomputed in bounded chunks and the output is walked
+    # in row blocks, so the accumulated slice of ``X`` stays
+    # cache-resident across all groups of a chunk instead of streaming
+    # the whole output matrix through memory once per group.
+    X = np.zeros((r * p, W), dtype=np.uint64)
+    rows_out = r * p
+    inner = n * p
+    group_bytes = 256 * W * 8
+    gchunk = max(1, min(ngroups, (1 << 23) // group_bytes))
+    rblock = max(64, min(rows_out, (1 << 19) // (W * 8)))
+    tables = np.empty((gchunk, 256, W), dtype=np.uint64)
+    buf = np.empty((rblock, W), dtype=np.uint64)
+    for g0 in range(0, ngroups, gchunk):
+        gn = min(gchunk, ngroups - g0)
+        for gi in range(gn):
+            table = tables[gi]
+            table[0] = 0
+            size = 1
+            for b in range(min(8, inner - 8 * (g0 + gi))):
+                table[size : 2 * size] = table[:size] ^ Pw[8 * (g0 + gi) + b]
+                size *= 2
+            # Entries >= size are never indexed: a partial trailing group
+            # is zero-padded by packbits, so its indices stay below size.
+        for r0 in range(0, rows_out, rblock):
+            rn = min(rblock, rows_out - r0)
+            xb = X[r0 : r0 + rn]
+            bb = buf[:rn]
+            for gi in range(gn):
+                np.take(tables[gi], Gb[r0 : r0 + rn, g0 + gi], axis=0, out=bb)
+                xb ^= bb
+
+    # Packed bit rows -> symbol matrix.
+    Xp = X.reshape(r, p, W)
+    out = np.zeros((r, m, 4), dtype=np.uint8)
+    for first, nbits in _byte_groups(p):
+        out[:, :, first // 8] = _unpack_bit_rows(
+            np.ascontiguousarray(Xp[:, first : first + nbits, :]), nbits
+        )[:, :m]
+    return np.ascontiguousarray(out).view(np.uint32).reshape(r, m)

@@ -32,6 +32,12 @@ DTYPE = np.uint32
 _MUL_CALLS = _OBS.counter("repro.gf.mul.calls", "field mul() invocations")
 _MUL_NS = _OBS.histogram("repro.gf.mul.ns", "nanoseconds per field mul() call")
 _INV_CALLS = _OBS.counter("repro.gf.inv.calls", "field inv() invocations")
+_ADDMUL_CALLS = _OBS.counter(
+    "repro.gf.addmul.calls", "fused addmul kernel invocations"
+)
+_SCALE_CALLS = _OBS.counter(
+    "repro.gf.scale_rows.calls", "fused scale_rows kernel invocations"
+)
 
 
 class FieldError(ValueError):
@@ -89,17 +95,26 @@ class BinaryField:
         return self._inv(a)
 
     def pow(self, a, e: int) -> np.ndarray:
-        """Element-wise ``a**e`` for a non-negative integer exponent."""
+        """Element-wise ``a**e`` for a non-negative integer exponent.
+
+        Counts as one multiplicative operation in the observability
+        registry regardless of how many internal squarings it performs
+        (it calls the ``_mul`` backend directly, so ``_MUL_CALLS`` is
+        not inflated by the square-and-multiply ladder).
+        """
         base = self.asarray(a)
         result = np.full_like(base, 1)
         e = int(e)
         if e < 0:
             raise FieldError("negative exponents are not supported; use inv()")
+        if e and _OBS.enabled:
+            _MUL_CALLS.inc()
         while e:
             if e & 1:
-                result = self.mul(result, base)
-            base = self.mul(base, base)
+                result = self._mul(result, base)
             e >>= 1
+            if e:
+                base = self._mul(base, base)
         return result
 
     # -- shared operations ---------------------------------------------
@@ -112,6 +127,19 @@ class BinaryField:
                 f"element {int(arr.max())} out of range for GF(2^{self.p})"
             )
         return arr.astype(self.dtype)
+
+    def _canon(self, a) -> np.ndarray:
+        """Trusted coercion for internally-produced arrays.
+
+        Arrays that already carry the canonical dtype are passed through
+        without the ``asarray`` range-scan (their elements were produced
+        by this field's own tables/kernels and cannot be out of range);
+        anything else falls back to the validating path.
+        """
+        arr = np.asarray(a)
+        if arr.dtype == self.dtype:
+            return arr
+        return self.asarray(a)
 
     def add(self, a, b) -> np.ndarray:
         """Field addition, which in characteristic 2 is XOR."""
@@ -139,6 +167,36 @@ class BinaryField:
         rng = rng if rng is not None else np.random.default_rng()
         return rng.integers(1, self.q, size=shape, dtype=np.uint64).astype(self.dtype)
 
+    # -- fused kernels (trusted operands) ------------------------------
+
+    def addmul(self, y: np.ndarray, a, x) -> np.ndarray:
+        """Fused in-place axpy: ``y ^= a * x`` over the field.
+
+        This is the elimination/encoding inner kernel.  Operands are
+        *trusted*: they must already be canonical-dtype arrays of valid
+        field elements (internally produced), with ``a`` and ``x``
+        broadcastable against ``y``.  ``y`` is updated in place and
+        returned.  Use :meth:`mul`/:meth:`add` for validated arithmetic.
+        """
+        if _OBS.enabled:
+            _ADDMUL_CALLS.inc()
+            _MUL_CALLS.inc()
+        y ^= self._mul(a, x)
+        return y
+
+    def scale_rows(self, rows: np.ndarray, factors) -> np.ndarray:
+        """In-place ``rows = factors * rows`` over the field (trusted).
+
+        ``factors`` must broadcast against ``rows`` as given (pass
+        ``f[:, None]`` to scale each row of a 2-D block by its own
+        factor).  ``rows`` is updated in place and returned.
+        """
+        if _OBS.enabled:
+            _SCALE_CALLS.inc()
+            _MUL_CALLS.inc()
+        rows[...] = self._mul(factors, rows)
+        return rows
+
     def dot(self, coeffs: np.ndarray, vectors: np.ndarray) -> np.ndarray:
         """Linear combination ``sum_j coeffs[j] * vectors[j]`` over the field.
 
@@ -147,29 +205,45 @@ class BinaryField:
         operation of the paper's Equation (1).
         """
         coeffs = self.asarray(coeffs)
-        vectors = self.asarray(vectors)
+        vectors = self._canon(vectors)
         if coeffs.ndim != 1 or vectors.ndim != 2 or coeffs.shape[0] != vectors.shape[0]:
             raise FieldError(
                 f"shape mismatch for dot: {coeffs.shape} vs {vectors.shape}"
             )
         acc = self.zeros(vectors.shape[1])
         for j in range(coeffs.shape[0]):
-            if coeffs[j]:
-                acc ^= self.mul(coeffs[j], vectors[j])
+            c = coeffs[j]
+            if c:
+                self.addmul(acc, c, vectors[j])
         return acc
 
     def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
-        """Matrix product over the field; ``A`` is ``(r, k)``, ``B`` is ``(k, m)``."""
+        """Matrix product over the field; ``A`` is ``(r, k)``, ``B`` is ``(k, m)``.
+
+        Large products are routed through the bit-packed GF(2) engine
+        (:mod:`repro.gf.bitmatmul`), which rewrites the product as XOR
+        word operations with method-of-four-Russians lookup tables;
+        small products fall back to one fused :meth:`addmul` per inner
+        index.  Both paths produce bit-identical results.
+        """
         A = self.asarray(A)
-        B = self.asarray(B)
+        B = self._canon(B)
         if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
             raise FieldError(f"shape mismatch for matmul: {A.shape} x {B.shape}")
-        out = self.zeros((A.shape[0], B.shape[1]))
-        for j in range(A.shape[1]):
+        if _OBS.enabled:
+            _MUL_CALLS.inc()
+        from .bitmatmul import bit_matmul, use_bit_engine
+
+        r, n = A.shape
+        m = B.shape[1]
+        if use_bit_engine(r, n, m, self.p):
+            return bit_matmul(self, A, B)
+        out = self.zeros((r, m))
+        for j in range(n):
             col = A[:, j]
-            nz = col != 0
-            if nz.any():
-                out[nz] ^= self.mul(col[nz, None], B[j][None, :])
+            if col.any():
+                y = self._mul(col[:, None], B[j][None, :])
+                out ^= y
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -207,6 +281,25 @@ class TableField(BinaryField):
             modulus = DEFAULT_MODULI.get(p) or find_irreducible(p, primitive=True)
         super().__init__(p, modulus)
         self._exp, self._log = self._build_tables()
+        # Branch-free zero handling: ``logz[0]`` maps to the sentinel
+        # ``Z = 2(q-1)-1`` so any log-sum involving a zero operand lands
+        # at index >= Z, where the extended antilog table ``expz`` is
+        # zero-padded.  Legitimate sums max out at 2(q-1)-2 = Z-1, so a
+        # single gather computes the product with no ``np.where`` pass.
+        q = self.q
+        zero_log = 2 * (q - 1) - 1
+        self._logz = np.empty(q, dtype=np.intp)
+        self._logz[0] = zero_log
+        self._logz[1:] = self._log[1:]
+        self._expz = np.zeros(2 * zero_log + 1, dtype=self.dtype)
+        self._expz[:zero_log] = self._exp[:zero_log]
+        # GF(2^8) additionally gets the full 256x256 product table: one
+        # row of it is an L1-resident lookup table for scalar * vector,
+        # the hottest shape in Gaussian elimination.
+        if p == 8:
+            self._mul_table = self._expz[self._logz[:, None] + self._logz[None, :]]
+        else:
+            self._mul_table = None
 
     def _build_tables(self) -> tuple[np.ndarray, np.ndarray]:
         q = self.q
@@ -231,8 +324,7 @@ class TableField(BinaryField):
     def _mul(self, a, b) -> np.ndarray:
         a = self.asarray(a)
         b = self.asarray(b)
-        prod = self._exp[self._log[a].astype(np.int64) + self._log[b].astype(np.int64)]
-        return np.where((a == 0) | (b == 0), self.zeros(()), prod)
+        return self._expz[self._logz[a] + self._logz[b]]
 
     def _inv(self, a) -> np.ndarray:
         a = self.asarray(a)
@@ -248,9 +340,42 @@ class TableField(BinaryField):
             raise FieldError("negative exponents are not supported; use inv()")
         if e == 0:
             return np.full_like(a, 1)
+        if _OBS.enabled:
+            _MUL_CALLS.inc()  # same one-op accounting as BinaryField.pow
         le = (self._log[a].astype(np.int64) * e) % (self.q - 1)
         out = self._exp[le]
         return np.where(a == 0, self.zeros(()), out)
+
+    # -- fused kernel overrides (single-gather log-domain paths) -------
+
+    def addmul(self, y: np.ndarray, a, x) -> np.ndarray:
+        if _OBS.enabled:
+            _ADDMUL_CALLS.inc()
+            _MUL_CALLS.inc()
+        a = np.asarray(a)
+        if a.ndim == 0:
+            av = int(a)
+            if av == 0:
+                return y
+            if self._mul_table is not None:
+                # GF(2^8): gather straight from the scalar's 256-entry
+                # product-table row (L1-resident, no index arithmetic).
+                y ^= self._mul_table[av][x]
+                return y
+            idx = self._logz[x]
+            idx += self._logz[av]
+            y ^= self._expz[idx]
+            return y
+        y ^= self._expz[self._logz[a] + self._logz[x]]
+        return y
+
+    def scale_rows(self, rows: np.ndarray, factors) -> np.ndarray:
+        if _OBS.enabled:
+            _SCALE_CALLS.inc()
+            _MUL_CALLS.inc()
+        idx = self._logz[np.asarray(factors)] + self._logz[rows]
+        np.take(self._expz, idx, out=rows)
+        return rows
 
 
 @lru_cache(maxsize=None)

@@ -9,11 +9,13 @@ row updates so the inner loops stay in numpy.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..obs import REGISTRY as _OBS
 from ..obs import span as _span
-from .field import BinaryField, FieldError
+from .field import DTYPE, BinaryField, FieldError
 
 __all__ = [
     "SingularMatrixError",
@@ -36,6 +38,20 @@ _SOLVE_NS = _span("repro.gf.solve.ns", description="nanoseconds per solve()")
 _ROW_REDUCE_NS = _span(
     "repro.gf.row_reduce.ns", description="nanoseconds per row_reduce()"
 )
+
+
+@lru_cache(maxsize=64)
+def _identity(n: int) -> np.ndarray:
+    """Shared read-only ``n x n`` identity (every field uses one dtype).
+
+    Cached because ``inv_matrix``/``solve`` rebuild it on every call in
+    the decode loop; callers must copy before mutating (``concatenate``
+    already does).
+    """
+    eye = np.zeros((n, n), dtype=DTYPE)
+    eye[np.arange(n), np.arange(n)] = 1
+    eye.flags.writeable = False
+    return eye
 
 
 def row_reduce(field: BinaryField, matrix: np.ndarray) -> tuple[np.ndarray, int]:
@@ -64,12 +80,14 @@ def _row_reduce(field: BinaryField, matrix: np.ndarray) -> tuple[np.ndarray, int
             A[[pivot_row, src]] = A[[src, pivot_row]]
         pivot = A[pivot_row, col]
         if pivot != 1:
-            A[pivot_row] = field.mul(field.inv(pivot), A[pivot_row])
+            field.scale_rows(A[pivot_row, col:], field.inv(pivot))
         factors = A[:, col].copy()
         factors[pivot_row] = 0
-        elim = factors != 0
-        if elim.any():
-            A[elim] ^= field.mul(factors[elim, None], A[pivot_row][None, :])
+        if factors.any():
+            # One fused kernel op updates the whole trailing submatrix
+            # (columns left of the pivot are already reduced to zero,
+            # and zero factors multiply to zero in the kernel).
+            field.addmul(A[:, col:], factors[:, None], A[pivot_row, col:][None, :])
         pivot_row += 1
     return A, pivot_row
 
@@ -97,8 +115,7 @@ def inv_matrix(field: BinaryField, matrix: np.ndarray) -> np.ndarray:
     if A.ndim != 2 or A.shape[0] != A.shape[1]:
         raise FieldError(f"matrix must be square, got shape {A.shape}")
     n = A.shape[0]
-    identity = np.zeros((n, n), dtype=field.dtype)
-    identity[np.arange(n), np.arange(n)] = 1
+    identity = _identity(n)
     augmented = np.concatenate([A, identity], axis=1)
     reduced, r = row_reduce(field, augmented)
     if r < n or np.any(reduced[:, :n] != identity):
@@ -128,10 +145,21 @@ def _solve(field: BinaryField, A: np.ndarray, B: np.ndarray) -> np.ndarray:
     if A.ndim != 2 or A.shape[0] != A.shape[1] or A.shape[0] != B.shape[0]:
         raise FieldError(f"shape mismatch for solve: {A.shape} vs {B.shape}")
     n = A.shape[0]
+    if B.shape[1] >= n and n * B.shape[1] >= (1 << 14):
+        # Wide right-hand side (the decode shape: tiny coefficient
+        # matrix, megabyte payload block): invert the small matrix and
+        # do one engine matmul instead of reducing the huge augmented
+        # matrix.  ``A^-1 B`` is the unique solution either way, so the
+        # result is bit-identical to the augmented path.
+        try:
+            A_inv = inv_matrix(field, A)
+        except SingularMatrixError as exc:
+            raise SingularMatrixError("coefficient matrix is singular") from exc
+        X = field.matmul(A_inv, B)
+        return X[:, 0].copy() if vector_rhs else X
     augmented = np.concatenate([A, B], axis=1)
     reduced, r = row_reduce(field, augmented)
-    identity = np.zeros((n, n), dtype=field.dtype)
-    identity[np.arange(n), np.arange(n)] = 1
+    identity = _identity(n)
     if r < n or np.any(reduced[:, :n] != identity):
         raise SingularMatrixError("coefficient matrix is singular")
     X = reduced[:, n:]
@@ -181,17 +209,22 @@ class IncrementalRank:
         if r.shape != (self.width,):
             raise FieldError(f"expected a row of width {self.width}, got {r.shape}")
         for kept, pivot in zip(self._rows, self._pivots):
-            if r[pivot]:
-                r ^= field.mul(r[pivot], kept)
+            v = r[pivot]
+            if v:
+                # Kept rows lead with their pivot, so only the trailing
+                # slice can change; fused kernel, no temporaries.
+                field.addmul(r[pivot:], v, kept[pivot:])
         nonzero = np.nonzero(r)[0]
         if nonzero.size == 0:
             return False
         pivot = int(nonzero[0])
-        r = field.mul(field.inv(r[pivot]), r)
+        if r[pivot] != 1:
+            field.scale_rows(r[pivot:], field.inv(r[pivot]))
         # Back-substitute into previously kept rows to keep them reduced.
-        for idx, kept in enumerate(self._rows):
-            if kept[pivot]:
-                self._rows[idx] = kept ^ field.mul(kept[pivot], r)
+        for kept in self._rows:
+            v = kept[pivot]
+            if v:
+                field.addmul(kept[pivot:], v, r[pivot:])
         self._rows.append(r)
         self._pivots.append(pivot)
         return True

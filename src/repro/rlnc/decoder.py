@@ -16,6 +16,7 @@ Two decoders are provided:
 from __future__ import annotations
 
 import time
+from bisect import insort
 from enum import Enum
 
 import numpy as np
@@ -50,6 +51,13 @@ _DEC_INCONSISTENT = _OBS.counter(
 _DEC_ELIM_NS = _OBS.histogram(
     "repro.rlnc.decode.eliminate_ns",
     "nanoseconds of Gaussian elimination per offered message",
+)
+_DEC_BATCHES = _OBS.counter(
+    "repro.rlnc.decode.batches", "offer_many() batch elimination passes"
+)
+_DEC_BATCH_NS = _OBS.histogram(
+    "repro.rlnc.decode.batch_ns",
+    "nanoseconds per offer_many() batch pre-reduction pass",
 )
 _DEC_BLOCK_NS = _span(
     "repro.rlnc.decode.block_ns", description="nanoseconds per BlockDecoder.decode()"
@@ -121,12 +129,20 @@ class BlockDecoder:
 class ProgressiveDecoder:
     """Streaming decoder with authentication and dependence detection.
 
-    Internally maintains reduced augmented rows ``[beta_row | payload]``
-    of width ``k + m``.  A row whose coefficient part reduces to zero is
-    *dependent* if its payload part also vanishes, and *corrupt* (it
-    contradicts the span of authentic rows) otherwise — the latter can
-    only happen when authentication is disabled or defeated, and is
-    still caught and rejected here.
+    Internally maintains augmented rows ``[beta_row | payload]`` of
+    width ``k + m`` in one contiguous ``(k, k+m)`` matrix, kept in
+    *echelon* form only: each stored row leads with a 1 at its pivot
+    column, but back-substitution into earlier rows is deferred to
+    :meth:`result` (one batched triangular solve) instead of being paid
+    on every arrival.  Offer outcomes are unaffected by the deferral —
+    dependence and inconsistency of an incoming row against the stored
+    span are basis-independent.
+
+    A row whose coefficient part reduces to zero is *dependent* if its
+    payload part also vanishes, and *corrupt* (it contradicts the span
+    of authentic rows) otherwise — the latter can only happen when
+    authentication is disabled or defeated, and is still caught and
+    rejected here.
     """
 
     def __init__(
@@ -140,9 +156,11 @@ class ProgressiveDecoder:
         self.field = field if field is not None else GF(params.p)
         self.coefficients = coefficients
         self.digest_store = digest_store
-        self._rows: list[np.ndarray] = []
-        self._pivots: list[int] = []
+        self._matrix: np.ndarray | None = None  # (k, k+m), rows in arrival order
+        self._pivots: list[int] = []  # pivot column of stored row i
+        self._order: list[tuple[int, int]] = []  # (pivot, row idx) sorted by pivot
         self._seen_ids: set[int] = set()
+        self._decoded: bytes | None = None
         self.accepted = 0
         self.dependent = 0
         self.rejected = 0
@@ -152,7 +170,7 @@ class ProgressiveDecoder:
 
     @property
     def rank(self) -> int:
-        return len(self._rows)
+        return len(self._pivots)
 
     @property
     def needed(self) -> int:
@@ -165,10 +183,80 @@ class ProgressiveDecoder:
 
     def offer(self, message: EncodedMessage) -> Offer:
         """Feed one received message; returns what happened to it."""
+        return self._offer_one(message, None)
+
+    def offer_many(self, messages) -> list[Offer]:
+        """Drain a batch of arrivals in one elimination pass.
+
+        Consumes messages in order until the decode completes; returns
+        one :class:`Offer` per *consumed* message (so the list may be
+        shorter than the input, and is empty when the decoder is already
+        complete).  Outcomes, counters, traces, and the decoded bytes
+        are bit-identical to calling :meth:`offer` in a loop — the only
+        difference is that the elimination of every batched row against
+        the rows already kept happens as whole-matrix kernel ops instead
+        of per-message Python loops.
+        """
+        msgs = list(messages)
+        prepared = self._prepare_rows(msgs)
+        outcomes: list[Offer] = []
+        for msg, row in zip(msgs, prepared):
+            if self.is_complete:
+                break
+            outcomes.append(self._offer_one(msg, row))
+        return outcomes
+
+    def _prepare_rows(self, msgs) -> list[np.ndarray | None]:
+        """Build augmented rows for batchable messages and pre-reduce them.
+
+        A message is batchable when it passes the stateless checks
+        (file id, shape) and its id was unseen at batch start; others
+        get ``None`` and take the ordinary path in ``_offer_one``.  The
+        pre-reduction against rows kept *before* the batch is exactly
+        the prefix of the sequential elimination each row would undergo
+        anyway (kept rows are never mutated by later arrivals), so
+        outcomes are unchanged.
+        """
+        field = self.field
+        k, m, p = self.params.k, self.params.m, self.params.p
+        file_id = self.coefficients.file_id
+        prepared: list[np.ndarray | None] = [None] * len(msgs)
+        eligible: list[int] = []
+        for j, msg in enumerate(msgs):
+            if (
+                msg.file_id != file_id
+                or msg.m != m
+                or msg.p != p
+                or msg.message_id in self._seen_ids
+            ):
+                continue
+            eligible.append(j)
+        if len(eligible) < 2 or not self._order:
+            return prepared
+        rows = np.empty((len(eligible), k + m), dtype=field.dtype)
+        for i, j in enumerate(eligible):
+            msg = msgs[j]
+            rows[i, :k] = self.coefficients.row(msg.message_id)
+            rows[i, k:] = msg.payload
+        batch_start = time.perf_counter_ns() if _OBS.enabled else None
+        for pivot, ridx in self._order:
+            factors = rows[:, pivot].copy()
+            if factors.any():
+                field.addmul(
+                    rows[:, pivot:], factors[:, None], self._matrix[ridx, pivot:][None, :]
+                )
+        if batch_start is not None:
+            _DEC_BATCHES.inc()
+            _DEC_BATCH_NS.observe(time.perf_counter_ns() - batch_start)
+        for i, j in enumerate(eligible):
+            prepared[j] = rows[i]
+        return prepared
+
+    def _offer_one(self, message: EncodedMessage, prepared_row) -> Offer:
         if not (_OBS.enabled or _TRACER.enabled):
-            return self._offer(message)
+            return self._offer(message, prepared_row)
         rank_before = self.rank
-        outcome = self._offer(message)
+        outcome = self._offer(message, prepared_row)
         if _OBS.enabled:
             if self.rank > rank_before:
                 _DEC_INNOVATIVE.inc()
@@ -185,7 +273,7 @@ class ProgressiveDecoder:
         )
         return outcome
 
-    def _offer(self, message: EncodedMessage) -> Offer:
+    def _offer(self, message: EncodedMessage, prepared_row=None) -> Offer:
         if self.is_complete:
             return Offer.COMPLETE
         if message.file_id != self.coefficients.file_id:
@@ -207,37 +295,51 @@ class ProgressiveDecoder:
         k = self.params.k
         elim_start = time.perf_counter_ns() if _OBS.enabled else None
         try:
-            row = np.concatenate(
-                [self.coefficients.row(message.message_id), message.payload]
-            ).astype(field.dtype)
-            for kept, pivot in zip(self._rows, self._pivots):
-                if row[pivot]:
-                    row ^= field.mul(row[pivot], kept)
-            coeff_part = row[:k]
-            nonzero = np.nonzero(coeff_part)[0]
+            if prepared_row is None:
+                row = np.empty(k + self.params.m, dtype=field.dtype)
+                row[:k] = self.coefficients.row(message.message_id)
+                row[k:] = message.payload
+            else:
+                row = prepared_row
+            # Eliminate against kept rows in pivot order.  Safe to repeat
+            # on pre-reduced batch rows: already-cleared pivots have zero
+            # factors and are skipped.
+            for pivot, ridx in self._order:
+                v = row[pivot]
+                if v:
+                    # Kept rows lead with a 1 at their pivot; only the
+                    # trailing slice of ``row`` can change.
+                    field.addmul(row[pivot:], v, self._matrix[ridx, pivot:])
+            nonzero = np.nonzero(row[:k])[0]
             if nonzero.size == 0:
-                self._seen_ids.add(message.message_id)
                 if np.any(row[k:]):
                     # Authentic rows can never contradict the span; this
                     # message was forged in a way the digests did not catch.
                     # The decoder survives: the row is dropped, state is
-                    # untouched, and the inconsistency is counted.
+                    # untouched (the id stays unseen so the authentic
+                    # message with the same id can still be accepted), and
+                    # the inconsistency is counted.
                     self.rejected += 1
                     self.inconsistent += 1
                     if _OBS.enabled:
                         _DEC_INCONSISTENT.inc()
                     return Offer.REJECTED
+                self._seen_ids.add(message.message_id)
                 self.dependent += 1
                 return Offer.DEPENDENT
             pivot = int(nonzero[0])
-            row = field.mul(field.inv(row[pivot]), row)
-            for idx, kept in enumerate(self._rows):
-                if kept[pivot]:
-                    self._rows[idx] = kept ^ field.mul(kept[pivot], row)
-            self._rows.append(row)
+            v = row[pivot]
+            if v != 1:
+                field.scale_rows(row[pivot:], field.inv(v))
+            if self._matrix is None:
+                self._matrix = np.zeros((k, k + self.params.m), dtype=field.dtype)
+            ridx = len(self._pivots)
+            self._matrix[ridx] = row
             self._pivots.append(pivot)
+            insort(self._order, (pivot, ridx))
             self._seen_ids.add(message.message_id)
             self.accepted += 1
+            self._decoded = None
             return Offer.COMPLETE if self.is_complete else Offer.ACCEPTED
         finally:
             if elim_start is not None:
@@ -249,9 +351,14 @@ class ProgressiveDecoder:
             raise DecodeError(
                 f"decode incomplete: rank {self.rank} of {self.params.k}"
             )
-        k = self.params.k
-        source = np.empty((k, self.params.m), dtype=self.field.dtype)
-        for row, pivot in zip(self._rows, self._pivots):
-            source[pivot] = row[k:]
-        data = symbols_to_bytes(source.reshape(-1), self.params.p)
+        if self._decoded is None:
+            k = self.params.k
+            order = np.argsort(np.asarray(self._pivots, dtype=np.intp))
+            M = self._matrix[order]
+            # Deferred back-substitution: the coefficient block is unit
+            # upper-triangular after the pivot sort, so one engine solve
+            # finishes the Gauss-Jordan reduction in a single pass.
+            source = solve(self.field, M[:, :k], M[:, k:])
+            self._decoded = symbols_to_bytes(source.reshape(-1), self.params.p)
+        data = self._decoded
         return data[: length if length is not None else self.params.file_bytes]

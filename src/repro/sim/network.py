@@ -594,6 +594,17 @@ class _ChunkView:
     def offer(self, message):
         return self._streaming.offer(message)
 
+    def offer_many(self, messages):
+        # Per-message routing: the streaming decoder updates per-chunk
+        # results as each message lands, so the batch contract here is
+        # simply "consume until this chunk completes".
+        outcomes = []
+        for message in messages:
+            if self.is_complete:
+                break
+            outcomes.append(self._streaming.offer(message))
+        return outcomes
+
 
 class _EitherDemand(DemandProcess):
     """Requests when either the manual flag or the background process does."""

@@ -458,10 +458,12 @@ class ParallelDownloader:
                 total_bytes += budget
                 if _OBS.enabled:
                     _XFER_BYTES.inc(budget)
-                for data in session.serve(budget):
-                    if self.decoder.is_complete:
-                        break  # already decodable; surplus is ignored
-                    outcome = self.decoder.offer(data.message)
+                # offer_many consumes arrivals in order until the decode
+                # completes (surplus is ignored, as before) and runs the
+                # elimination of the whole batch in one kernel pass.
+                served = session.serve(budget)
+                outcomes = self.decoder.offer_many(d.message for d in served)
+                for outcome in outcomes:
                     name = getattr(outcome, "name", str(outcome))
                     if _OBS.enabled:
                         _XFER_MESSAGES.inc()
@@ -540,6 +542,9 @@ class ParallelDownloader:
                     served = list(exc.delivered)
                     state.note_crash(i, t, exc)
                 state.note_served(i, len(served), budget, t)
+                # Stays per-message (no offer_many): verification outcomes
+                # feed quarantine decisions that can change mid-batch, so
+                # batching here would reorder verify/offer interleaving.
                 for data in served:
                     if self.decoder.is_complete:
                         break  # already decodable; surplus is ignored
@@ -615,24 +620,51 @@ class ParallelDownloader:
         for t in range(max_slots):
             slots += 1
             # Deliver in-flight messages that have arrived.
-            still_flying = []
-            for arrival, peer, message in inflight:
-                if arrival > t or self.decoder.is_complete:
-                    still_flying.append((arrival, peer, message))
-                    continue
-                if state is not None and not state.verify(peer, message, t):
-                    continue  # discarded; never reaches the decoder
-                outcome = self.decoder.offer(message)
-                name = getattr(outcome, "name", str(outcome))
-                if _OBS.enabled:
-                    _XFER_MESSAGES.inc()
-                _TRACER.emit(TRANSFER_MESSAGE, slot=t, peer=peer, outcome=name)
-                if name in ("ACCEPTED", "COMPLETE"):
-                    delivered += 1
-                elif name == "DEPENDENT":
-                    dependent += 1
-                else:
-                    rejected += 1
+            if state is None:
+                # Trusting path: drain every due arrival in one batched
+                # elimination pass.  offer_many consumes the due prefix
+                # until the decode completes; unconsumed due messages
+                # stay in flight (they were in flight regardless), in
+                # their original queue order.
+                due = [j for j, (arrival, _, _) in enumerate(inflight) if arrival <= t]
+                outcomes = self.decoder.offer_many(inflight[j][2] for j in due)
+                consumed = set(due[: len(outcomes)])
+                still_flying = [
+                    entry for j, entry in enumerate(inflight) if j not in consumed
+                ]
+                for pos, outcome in enumerate(outcomes):
+                    peer = inflight[due[pos]][1]
+                    name = getattr(outcome, "name", str(outcome))
+                    if _OBS.enabled:
+                        _XFER_MESSAGES.inc()
+                    _TRACER.emit(TRANSFER_MESSAGE, slot=t, peer=peer, outcome=name)
+                    if name in ("ACCEPTED", "COMPLETE"):
+                        delivered += 1
+                    elif name == "DEPENDENT":
+                        dependent += 1
+                    else:
+                        rejected += 1
+            else:
+                # Robust path stays per-message: verification outcomes
+                # feed quarantine decisions that can change mid-batch.
+                still_flying = []
+                for arrival, peer, message in inflight:
+                    if arrival > t or self.decoder.is_complete:
+                        still_flying.append((arrival, peer, message))
+                        continue
+                    if not state.verify(peer, message, t):
+                        continue  # discarded; never reaches the decoder
+                    outcome = self.decoder.offer(message)
+                    name = getattr(outcome, "name", str(outcome))
+                    if _OBS.enabled:
+                        _XFER_MESSAGES.inc()
+                    _TRACER.emit(TRANSFER_MESSAGE, slot=t, peer=peer, outcome=name)
+                    if name in ("ACCEPTED", "COMPLETE"):
+                        delivered += 1
+                    elif name == "DEPENDENT":
+                        dependent += 1
+                    else:
+                        rejected += 1
             inflight = still_flying
 
             if self.decoder.is_complete and complete_slot is None:

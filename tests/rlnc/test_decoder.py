@@ -199,3 +199,77 @@ class TestProgressiveDecoder:
         assert prog.result(len(data)) == block.decode(
             encoded.bundles[2], length=len(data)
         )
+
+
+def _find_dependent_id(encoder, absorbed_ids, k):
+    """A fresh id whose coefficient row lies in the span of ``absorbed_ids``."""
+    from repro.gf import IncrementalRank
+
+    for candidate in range(1000, 5000):
+        probe = IncrementalRank(encoder.field, k)
+        for mid in absorbed_ids:
+            probe.offer(encoder.coefficients.row(mid))
+        if not probe.offer(encoder.coefficients.row(candidate)):
+            return candidate
+    raise AssertionError("no dependent id found (small field should yield one)")
+
+
+class TestSeenIdsRegression:
+    """A forged offer must never permanently block its message id.
+
+    Regression for a bug where ``_seen_ids.add`` ran before the
+    inconsistent-row rejection: the polluted message recorded the id, so
+    the authentic message with the same id later returned ``DEPENDENT``
+    without even being eliminated, and re-offers of the forged row were
+    misclassified as authentic-but-dependent.
+    """
+
+    def test_forged_then_authentic_same_id_accepted(self, setup):
+        # Digest-store path: the forged copy is rejected by the digest
+        # check, the authentic copy with the SAME id must still be
+        # accepted, and the decode must finish with the true bytes.
+        data, encoder, encoded, store = setup
+        dec = ProgressiveDecoder(PARAMS, encoder.coefficients, store)
+        for msg in encoded.bundles[0]:
+            forged = msg.with_payload(np.asarray(msg.payload) ^ 1)
+            assert dec.offer(forged) == Offer.REJECTED
+            assert msg.message_id not in dec._seen_ids
+            outcome = dec.offer(msg)
+            assert outcome in (Offer.ACCEPTED, Offer.COMPLETE)
+        assert dec.is_complete
+        assert dec.result(len(data)) == data
+        assert dec.rejected == PARAMS.k
+
+    def test_inconsistent_rejection_leaves_id_unseen(self, rng):
+        # No digest store: the forged row on a dependent id is caught by
+        # the span-consistency check; the id must stay unseen.
+        params = CodingParams(p=4, m=16, file_bytes=32)  # k = 4
+        data = rng.bytes(32)
+        encoder = FileEncoder(params, b"owner", file_id=0x77)
+        source = encoder.source_matrix(data)
+        ids = encoder.independent_ids(1)[0]
+        dec = ProgressiveDecoder(params, encoder.coefficients)
+        for mid in ids[:-1]:
+            assert dec.offer(encoder.encode_message(source, mid)) == Offer.ACCEPTED
+
+        dep_id = _find_dependent_id(encoder, ids[:-1], params.k)
+        honest = encoder.encode_message(source, dep_id)
+        forged = honest.with_payload(np.asarray(honest.payload) ^ 0x5)
+
+        assert dec.offer(forged) == Offer.REJECTED
+        assert dec.inconsistent == 1
+        assert dep_id not in dec._seen_ids
+
+        # Re-offering the forged row is REJECTED again — the buggy
+        # version returned DEPENDENT (as if it were authentic).
+        assert dec.offer(forged) == Offer.REJECTED
+        assert dec.inconsistent == 2
+
+        # The honest message on that id is correctly DEPENDENT (its
+        # row really is in the span) and only now records the id.
+        assert dec.offer(honest) == Offer.DEPENDENT
+        assert dep_id in dec._seen_ids
+
+        # The decode still completes with the true bytes.
+        assert dec.offer(encoder.encode_message(source, ids[-1])) == Offer.COMPLETE
+        assert dec.result(len(data)) == data
