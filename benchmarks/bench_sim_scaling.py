@@ -1,0 +1,93 @@
+"""Slot-loop scaling — batched allocation engine vs the reference loop.
+
+The reference engine walks peers one by one per slot, so its cost grows
+like ``n`` python-level allocator calls plus ``n`` ledger updates; the
+batched engine computes the whole ``n x n`` allocation matrix in a few
+vectorised (or native) passes.  Both produce bit-identical results (the
+equivalence suite in ``tests/sim/test_engine_batched.py`` enforces it);
+this benchmark pins down the speedup across network sizes and records
+the per-slot medians in ``BENCH_sim.json`` so future PRs can diff them.
+
+Shape claims asserted:
+
+* >= 10x per-slot speedup at n=1024 (the tentpole target);
+* no regression at n=16 (the batched engine must not lose on the small
+  networks every paper scenario uses).
+"""
+
+import time
+
+from repro.core.allocation import PeerwiseProportionalAllocator
+from repro.sim import AlwaysOn, PeerConfig, Simulation
+
+from _util import format_seconds, median, print_header, print_table, write_bench_json
+
+SIZES = (16, 128, 1024)
+#: Slots timed per run — scaled down as n grows to keep the reference
+#: engine's wall time reasonable.
+SLOTS = {16: 2000, 128: 300, 1024: 25}
+REPS = 3
+
+
+def _configs(n: int) -> list[PeerConfig]:
+    """Honest saturated network with heterogeneous capacities."""
+    return [
+        PeerConfig(
+            capacity=100.0 + (i % 32) * 25.0,
+            demand=AlwaysOn(),
+            allocator=PeerwiseProportionalAllocator(),
+            label=f"peer {i}",
+        )
+        for i in range(n)
+    ]
+
+
+def seconds_per_slot(n: int, engine: str) -> float:
+    """Median per-slot wall time of the step() loop for one engine."""
+    slots = SLOTS[n]
+    samples = []
+    for _ in range(REPS):
+        sim = Simulation(_configs(n), seed=7, engine=engine)
+        start = time.perf_counter()
+        for _ in range(slots):
+            sim.step()
+        samples.append((time.perf_counter() - start) / slots)
+    return median(samples)
+
+
+def test_batched_engine_scaling(benchmark):
+    def run_grid():
+        return {
+            (n, engine): seconds_per_slot(n, engine)
+            for n in SIZES
+            for engine in ("reference", "batched")
+        }
+
+    timings = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    backend = Simulation(_configs(2), engine="batched").backend
+
+    print_header(f"Slot-loop scaling: reference vs batched ({backend})")
+    rows = []
+    results = {}
+    for n in SIZES:
+        ref, fast = timings[(n, "reference")], timings[(n, "batched")]
+        speedup = ref / fast
+        rows.append(
+            [n, format_seconds(ref), format_seconds(fast), f"{speedup:.1f}x"]
+        )
+        for engine, secs in (("reference", ref), ("batched", fast)):
+            results[f"sim_step_n{n}_{engine}"] = {
+                "n": n,
+                "engine": engine,
+                "op": "sim_step",
+                "ns_per_op": int(secs * 1e9),
+                "samples": REPS,
+            }
+    print_table(["n", "ref/slot", "batched/slot", "speedup"], rows)
+
+    path = write_bench_json("BENCH_sim.json", results)
+    print(f"\nbackend: {backend}; wrote {path.name}")
+
+    assert timings[(1024, "reference")] / timings[(1024, "batched")] >= 10.0
+    # No small-n regression (0.8 leaves margin for timer noise).
+    assert timings[(16, "reference")] / timings[(16, "batched")] >= 0.8

@@ -1,11 +1,13 @@
-"""CI perf-smoke: one small Table II point vs the committed baseline.
+"""CI perf-smoke: cheap probes vs the committed baselines.
 
 Standalone (numpy only, no pytest): measures the decode median at a
-single cheap operating point, compares ns/op against the committed
-``BENCH_decode.json``, and fails when the regression exceeds the budget
-(a generous 3x, so CI noise on shared runners does not flap the job).
-A fresh ``BENCH_decode.smoke.json`` is always written next to the
-baseline for upload as a CI artifact.
+single cheap operating point and the batched simulation engine's
+per-slot time at n=128, compares ns/op against the committed
+``BENCH_decode.json`` / ``BENCH_sim.json``, and fails when a regression
+exceeds the budget (a generous 3x, so CI noise on shared runners does
+not flap the job).  Fresh ``BENCH_decode.smoke.json`` and
+``BENCH_sim.smoke.json`` files are always written next to the baselines
+for upload as CI artifacts.
 
 Usage: ``PYTHONPATH=src python benchmarks/perf_smoke.py``
 """
@@ -46,6 +48,38 @@ def measure() -> float:
     return samples[(len(samples) - 1) // 2]
 
 
+#: Sim probe: per-slot time of the batched engine on the scaling
+#: benchmark's n=128 honest network (same methodology, fewer slots).
+SIM_N = 128
+
+
+def measure_sim() -> tuple[str, float]:
+    import bench_sim_scaling
+
+    key = f"sim_step_n{SIM_N}_batched"
+    return key, bench_sim_scaling.seconds_per_slot(SIM_N, "batched")
+
+
+def _compare(baseline_name: str, key: str, ns_per_op: int) -> int:
+    """Return 1 when ``key`` regressed past BUDGET vs the baseline file."""
+    baseline_path = REPO_ROOT / baseline_name
+    if not baseline_path.exists():
+        print(f"no committed {baseline_name} baseline; skipping comparison")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    point = baseline.get("results", {}).get(key)
+    if point is None:
+        print(f"baseline has no point {key}; skipping comparison")
+        return 0
+    ratio = ns_per_op / point["ns_per_op"]
+    print(f"baseline {key}: {point['ns_per_op']} ns/op -> ratio {ratio:.2f}x "
+          f"(budget {BUDGET:.1f}x)")
+    if ratio > BUDGET:
+        print(f"FAIL: {key} regressed {ratio:.2f}x > {BUDGET:.1f}x budget")
+        return 1
+    return 0
+
+
 def main() -> int:
     from repro.rlnc import CodingParams
 
@@ -64,21 +98,24 @@ def main() -> int:
     out_path.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
     print(f"measured {key}: {ns_per_op} ns/op ({seconds * 1e3:.1f} ms); "
           f"wrote {out_path.name}")
+    failures = _compare("BENCH_decode.json", key, ns_per_op)
 
-    baseline_path = REPO_ROOT / "BENCH_decode.json"
-    if not baseline_path.exists():
-        print("no committed BENCH_decode.json baseline; skipping comparison")
-        return 0
-    baseline = json.loads(baseline_path.read_text())
-    point = baseline.get("results", {}).get(key)
-    if point is None:
-        print(f"baseline has no point {key}; skipping comparison")
-        return 0
-    ratio = ns_per_op / point["ns_per_op"]
-    print(f"baseline {key}: {point['ns_per_op']} ns/op -> ratio {ratio:.2f}x "
-          f"(budget {BUDGET:.1f}x)")
-    if ratio > BUDGET:
-        print(f"FAIL: decode regressed {ratio:.2f}x > {BUDGET:.1f}x budget")
+    sim_key, sim_seconds = measure_sim()
+    sim_ns = int(sim_seconds * 1e9)
+    sim_fresh = {
+        "schema": 1,
+        "results": {
+            sim_key: {"n": SIM_N, "engine": "batched", "op": "sim_step",
+                      "ns_per_op": sim_ns, "samples": 1}
+        },
+    }
+    sim_path = REPO_ROOT / "BENCH_sim.smoke.json"
+    sim_path.write_text(json.dumps(sim_fresh, indent=2, sort_keys=True) + "\n")
+    print(f"measured {sim_key}: {sim_ns} ns/op ({sim_seconds * 1e6:.0f} us/slot); "
+          f"wrote {sim_path.name}")
+    failures += _compare("BENCH_sim.json", sim_key, sim_ns)
+
+    if failures:
         return 1
     print("OK")
     return 0

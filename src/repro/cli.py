@@ -533,17 +533,17 @@ def _simulate(args: argparse.Namespace) -> int:
         except FaultSpecError as exc:
             raise SystemExit(f"bad --faults spec: {exc}") from exc
         try:
-            return faulty_network(plan=plan, seed=args.seed)
+            return faulty_network(plan=plan, seed=args.seed, engine=args.engine)
         except ValueError as exc:
             raise SystemExit(str(exc)) from exc
 
     runners = {
-        "fig5a": lambda: figure_5a(seed=args.seed),
-        "fig5b": lambda: figure_5b(seed=args.seed),
-        "fig6": lambda: figure_6(seed=args.seed),
-        "fig7": lambda: figure_7(seed=args.seed),
-        "fig8a": lambda: figure_8a(seed=args.seed),
-        "fig8b": lambda: figure_8b(seed=args.seed),
+        "fig5a": lambda: figure_5a(seed=args.seed, engine=args.engine),
+        "fig5b": lambda: figure_5b(seed=args.seed, engine=args.engine),
+        "fig6": lambda: figure_6(seed=args.seed, engine=args.engine),
+        "fig7": lambda: figure_7(seed=args.seed, engine=args.engine),
+        "fig8a": lambda: figure_8a(seed=args.seed, engine=args.engine),
+        "fig8b": lambda: figure_8b(seed=args.seed, engine=args.engine),
         "faults": _run_faults,
     }
     result = runners[args.scenario]()
@@ -686,6 +686,11 @@ def build_parser() -> argparse.ArgumentParser:
     simp = sub.add_parser("simulate", help="rerun a paper evaluation scenario")
     simp.add_argument("scenario", choices=_SCENARIOS)
     simp.add_argument("--seed", type=int, default=0)
+    simp.add_argument(
+        "--engine", choices=("auto", "reference", "batched"), default="auto",
+        help="slot-loop implementation: 'auto' picks the batched engine "
+        "(bit-identical to 'reference', much faster at scale)",
+    )
     simp.add_argument(
         "--faults", default=None, metavar="SPEC",
         help="fault plan for the 'faults' scenario "

@@ -20,12 +20,19 @@ verified against such peers in the benchmark suite.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from .ledger import ContributionLedger
 
-__all__ = ["Allocator", "PeerwiseProportionalAllocator", "enforce_feasibility"]
+__all__ = [
+    "Allocator",
+    "BatchedAllocator",
+    "PeerwiseProportionalAllocator",
+    "enforce_feasibility",
+    "enforce_feasibility_rows",
+]
 
 
 class Allocator(ABC):
@@ -67,6 +74,45 @@ class Allocator(ABC):
         """Hook for stateful strategies; default is stateless."""
 
 
+@runtime_checkable
+class BatchedAllocator(Protocol):
+    """Optional batch protocol the engine's fast path dispatches on.
+
+    An allocator class that can evaluate its rule for *many peers in one
+    shot* implements :meth:`allocate_rows`; the simulation engine then
+    groups all peers sharing that class into a single call per slot
+    instead of ``n`` :meth:`Allocator.allocate` round-trips.  The
+    contract is strict:
+
+    * the batch must be **bit-identical** to calling ``allocate`` per
+      row (the engine's equivalence suite enforces this for the built-in
+      implementations);
+    * the rule must be *class-stateless*: any instance of the class must
+      produce the same rows, because the engine calls one representative
+      instance for the whole group.  Stateful strategies (per-peer RNGs,
+      ``on_slot_end`` bookkeeping) should simply not implement the
+      protocol — they stay on the per-peer slow path unchanged.
+    """
+
+    def allocate_rows(
+        self,
+        indices: np.ndarray,
+        capacities: np.ndarray,
+        requesting: np.ndarray,
+        ledgers: np.ndarray,
+        declared: np.ndarray,
+        t: int,
+    ) -> np.ndarray:
+        """Return the proposal rows for ``indices`` as a matrix.
+
+        ``capacities[r]`` pairs with ``indices[r]``; ``ledgers`` is the
+        ``len(indices) x n`` matrix of those peers' credit vectors.  The
+        result has one proposal row per index (feasibility is enforced
+        by the caller, exactly as for :meth:`Allocator.allocate`).
+        """
+        ...
+
+
 def enforce_feasibility(
     proposal: np.ndarray, capacity: float, requesting: np.ndarray
 ) -> np.ndarray:
@@ -92,6 +138,42 @@ def enforce_feasibility(
             out = np.diff(np.minimum(np.cumsum(out), capacity), prepend=0.0)
     elif capacity <= 0:
         out[:] = 0.0
+    return out
+
+
+def enforce_feasibility_rows(
+    proposals: np.ndarray, capacities: np.ndarray, requesting: np.ndarray
+) -> np.ndarray:
+    """Matrix form of :func:`enforce_feasibility`, one proposal per row.
+
+    ``capacities[i]`` pairs with ``proposals[i]``; ``requesting`` is the
+    slot's shared indicator vector.  Row ``i`` of the result is
+    bit-identical to ``enforce_feasibility(proposals[i], capacities[i],
+    requesting)``: row sums use the same pairwise reduction, rows within
+    capacity are scaled by exactly ``1.0`` (a bitwise no-op), and the
+    rare cumsum-clamp runs per offending row.
+    """
+    out = np.array(proposals, dtype=float)
+    out[out < 0] = 0.0
+    req = np.asarray(requesting, dtype=bool)
+    out[:, ~req] = 0.0
+    caps = np.asarray(capacities, dtype=float)
+    totals = out.sum(axis=1)
+    over = (totals > caps) & (caps > 0)
+    if over.any():
+        scales = np.ones(out.shape[0])
+        scales[over] = caps[over] / totals[over]
+        out *= scales[:, None]
+        idx = np.flatnonzero(over)
+        resums = out[idx].sum(axis=1)
+        for r, s in zip(idx, resums):
+            if s > caps[r]:
+                out[r] = np.diff(
+                    np.minimum(np.cumsum(out[r]), caps[r]), prepend=0.0
+                )
+    zeroed = caps <= 0
+    if zeroed.any():
+        out[zeroed] = 0.0
     return out
 
 
@@ -124,4 +206,34 @@ class PeerwiseProportionalAllocator(Allocator):
         total = weights.sum()
         if total <= 0.0:
             return np.zeros(requesting.shape[0])
+        # Multiply before dividing: capacity * w stays finite even when
+        # total is subnormal, whereas capacity / total can overflow.
+        # The batched paths use the same operation order so every
+        # engine computes identical bits.
         return capacity * weights / total
+
+    def allocate_rows(
+        self,
+        indices: np.ndarray,
+        capacities: np.ndarray,
+        requesting: np.ndarray,
+        ledgers: np.ndarray,
+        declared: np.ndarray,
+        t: int,
+    ) -> np.ndarray:
+        """Batched Equation (2): all listed peers' rows in one shot.
+
+        ``(ledger_matrix * requesting) / row_sums`` with masked handling
+        of all-zero weight rows (they propose nothing, exactly like the
+        scalar path's early return).
+        """
+        req = np.asarray(requesting, dtype=bool)
+        weights = np.where(req, ledgers, 0.0)
+        totals = weights.sum(axis=1)
+        positive = totals > 0.0
+        # Same operation order as the scalar path — multiply by the
+        # capacity first, then divide — per element, so the bits match.
+        weights *= np.asarray(capacities, dtype=float)[:, None]
+        out = np.zeros_like(weights)
+        np.divide(weights, totals[:, None], out=out, where=positive[:, None])
+        return out

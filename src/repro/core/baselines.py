@@ -53,7 +53,33 @@ class GlobalProportionalAllocator(Allocator):
         total = weights.sum()
         if total <= 0.0:
             return np.zeros(requesting.shape[0])
+        # Multiply before dividing (overflow-safe for subnormal totals)
+        # — the exact operation order the batched engine paths use.
         return capacity * weights / total
+
+    def allocate_rows(
+        self,
+        indices: np.ndarray,
+        capacities: np.ndarray,
+        requesting: np.ndarray,
+        ledgers: np.ndarray,
+        declared: np.ndarray,
+        t: int,
+    ) -> np.ndarray:
+        """Batched Equation (3): one shared weight row for every peer.
+
+        All peers trust the same declared-capacity vector, so the batch
+        is an outer product of the per-peer capacities with the masked
+        declarations, divided by the shared total (in the scalar path's
+        multiply-then-divide order, so the bits match).
+        """
+        req = np.asarray(requesting, dtype=bool)
+        weights = np.where(req, np.asarray(declared, dtype=float), 0.0)
+        total = weights.sum()
+        caps = np.asarray(capacities, dtype=float)
+        if total <= 0.0:
+            return np.zeros((caps.shape[0], req.shape[0]))
+        return caps[:, None] * weights[None, :] / total
 
 
 class IsolationAllocator(Allocator):

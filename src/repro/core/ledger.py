@@ -39,6 +39,13 @@ class ContributionLedger:
     forgetting:
         Per-slot decay in ``(0, 1]``; ``1.0`` reproduces the paper's
         plain cumulative sum.
+    buffer:
+        Optional externally owned float64 vector of length ``n`` to hold
+        the credits (it is overwritten with ``initial``).  The batched
+        simulation engine hands each peer a row view of one shared
+        ``n x n`` credit matrix so Equation (2) can be evaluated for all
+        peers in a single matrix operation; the ledger semantics are
+        unchanged — all updates happen in place on the buffer.
     """
 
     def __init__(
@@ -46,6 +53,7 @@ class ContributionLedger:
         n: int,
         initial: float = DEFAULT_INITIAL_CREDIT,
         forgetting: float = 1.0,
+        buffer: np.ndarray | None = None,
     ):
         if n < 1:
             raise ValueError(f"need at least one peer, got {n}")
@@ -58,7 +66,16 @@ class ContributionLedger:
             raise ValueError(f"forgetting factor must be in (0, 1], got {forgetting}")
         self.n = n
         self.forgetting = forgetting
-        self._credits = np.full(n, float(initial))
+        if buffer is None:
+            self._credits = np.full(n, float(initial))
+        else:
+            if buffer.shape != (n,) or buffer.dtype != np.float64:
+                raise ValueError(
+                    f"credit buffer must be a float64 vector of length {n}, "
+                    f"got {buffer.dtype} {buffer.shape}"
+                )
+            buffer[:] = float(initial)
+            self._credits = buffer
 
     @property
     def credits(self) -> np.ndarray:

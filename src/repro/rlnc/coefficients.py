@@ -58,9 +58,22 @@ class CoefficientGenerator:
         return cached
 
     def matrix(self, message_ids) -> np.ndarray:
-        """Stack rows for a sequence of ids into a ``len(ids) x k`` matrix."""
+        """Stack rows for a sequence of ids into a ``len(ids) x k`` matrix.
+
+        Cache-missing ids are generated through one batched
+        :meth:`~repro.security.prng.KeyedStream.symbols_many` call; the
+        rows produced are identical to :meth:`row`'s and are cached
+        read-only exactly as :meth:`row` would cache them.
+        """
         ids = list(message_ids)
+        missing = [mid for mid in dict.fromkeys(ids) if mid not in self._cache]
+        if missing:
+            block = self._stream.symbols_many(missing, self.k, self.field.p)
+            for mid, symbols in zip(missing, block):
+                row = self.field.asarray(symbols)
+                row.flags.writeable = False
+                self._cache[mid] = row
         out = np.empty((len(ids), self.k), dtype=self.field.dtype)
         for r, mid in enumerate(ids):
-            out[r] = self.row(mid)
+            out[r] = self._cache[mid]
         return out

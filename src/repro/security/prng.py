@@ -99,6 +99,41 @@ class KeyedStream:
         dtype = {1: ">u1", 2: ">u2", 4: ">u4"}[width]
         return np.frombuffer(raw, dtype=dtype).astype(np.uint32)
 
+    def symbols_many(self, labels, count: int, bits: int) -> np.ndarray:
+        """One row of ``count`` symbols per label, as a 2-D ``uint32`` array.
+
+        Bit-identical to stacking per-label :meth:`symbols` calls (each
+        label keys an independent stream either way), but unpacks all
+        the raw bytes in one vectorised pass — the fast path for bulk
+        coefficient-matrix generation.
+        """
+        if bits not in SUPPORTED_SYMBOL_BITS:
+            raise ValueError(
+                f"symbol width {bits} unsupported; expected one of "
+                f"{SUPPORTED_SYMBOL_BITS}"
+            )
+        labels = list(labels)
+        if not labels:
+            return np.empty((0, count), dtype=np.uint32)
+        if bits == 4:
+            per = (count + 1) // 2
+            raw = np.frombuffer(
+                b"".join(self.bytes_for(label, per) for label in labels),
+                dtype=np.uint8,
+            ).reshape(len(labels), per)
+            out = np.empty((len(labels), per * 2), dtype=np.uint32)
+            out[:, 0::2] = raw >> 4
+            out[:, 1::2] = raw & 0x0F
+            return out[:, :count].copy()
+        width = bits // 8
+        raw = b"".join(self.bytes_for(label, count * width) for label in labels)
+        dtype = {1: ">u1", 2: ">u2", 4: ">u4"}[width]
+        return (
+            np.frombuffer(raw, dtype=dtype)
+            .astype(np.uint32)
+            .reshape(len(labels), count)
+        )
+
     def floats(self, label: bytes | int | str, count: int) -> np.ndarray:
         """``count`` floats uniform in ``[0, 1)`` (for seeded simulations)."""
         ints = self.symbols(label, count, 32).astype(np.float64)

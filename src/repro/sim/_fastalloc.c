@@ -1,0 +1,185 @@
+/* Fused slot-loop kernels for the batched allocation engine.
+ *
+ * Compiled at runtime by repro.sim.fastpath (plain cc, no build system)
+ * and loaded through ctypes.  Every kernel must be *bit-identical* to
+ * the numpy reference expressions in repro.core.allocation /
+ * repro.sim.engine; fastpath.py fuzzes that equivalence at load time
+ * and refuses the library on any mismatch, so nothing here is allowed
+ * to be "close enough".
+ *
+ * Two rules keep the bits in line:
+ *
+ *  - Reductions replicate numpy's pairwise_sum_DOUBLE exactly (8-way
+ *    unrolled 128-element blocks, recursive halving at multiples of 8).
+ *    numpy fixes the summation *order* by construction, so the same
+ *    order in C yields the same rounding.
+ *  - The build uses -ffp-contract=off: the reference performs multiply
+ *    and add as two rounded operations, so a fused multiply-add here
+ *    would change results by an ulp.
+ */
+
+#include <stdint.h>
+
+#define PW_BLOCKSIZE 128
+
+/* numpy's pairwise_sum_DOUBLE for a contiguous buffer. */
+static double pairwise_sum(const double *a, int64_t n)
+{
+    if (n < 8) {
+        double res = 0.;
+        for (int64_t i = 0; i < n; i++) {
+            res += a[i];
+        }
+        return res;
+    }
+    else if (n <= PW_BLOCKSIZE) {
+        double r[8], res;
+        int64_t i;
+        for (int k = 0; k < 8; k++) {
+            r[k] = a[k];
+        }
+        for (i = 8; i < n - (n % 8); i += 8) {
+            for (int k = 0; k < 8; k++) {
+                r[k] += a[i + k];
+            }
+        }
+        res = ((r[0] + r[1]) + (r[2] + r[3])) + ((r[4] + r[5]) + (r[6] + r[7]));
+        for (; i < n; i++) {
+            res += a[i];
+        }
+        return res;
+    }
+    else {
+        int64_t n2 = n / 2;
+        n2 -= n2 % 8;
+        return pairwise_sum(a, n2) + pairwise_sum(a + n2, n - n2);
+    }
+}
+
+double repro_pairwise_sum(const double *a, int64_t n)
+{
+    return pairwise_sum(a, n);
+}
+
+static void zero_row(double *o, int64_t n)
+{
+    for (int64_t j = 0; j < n; j++) {
+        o[j] = 0.0;
+    }
+}
+
+/* Shared tail of both allocators: the enforce_feasibility() chain for a
+ * row that already went through clip+mask (values are the proposal with
+ * non-requesters zeroed).  cap > 0 is guaranteed by the callers. */
+static void feasibility_tail(double *o, int64_t n, double cap)
+{
+    double t2 = pairwise_sum(o, n);
+    if (t2 > cap) {
+        double s2 = cap / t2;
+        for (int64_t j = 0; j < n; j++) {
+            o[j] *= s2;
+        }
+        if (pairwise_sum(o, n) > cap) {
+            /* np.diff(np.minimum(np.cumsum(o), cap), prepend=0.0) */
+            double run = 0.0, prev = 0.0;
+            for (int64_t j = 0; j < n; j++) {
+                run += o[j];
+                double m = run < cap ? run : cap;
+                o[j] = m - prev;
+                prev = m;
+            }
+        }
+    }
+}
+
+/* Equation (2) + feasibility for a batch of peers sharing the engine's
+ * ledger matrix.  For each listed row i:
+ *
+ *   w      = where(req, ledger[i], 0)
+ *   tot    = pairwise(w)
+ *   out[i] = enforce_feasibility(caps[r] * w / tot, caps[r], req)
+ *
+ * ledger: n*n row-major credits; req: n bytes (0/1); caps[r] pairs with
+ * rows[r].  Only the listed rows of out are written.
+ */
+void repro_alloc_rows_eq2(const double *ledger, const uint8_t *req,
+                          const double *caps, const int64_t *rows,
+                          int64_t nrows, int64_t n, double *out)
+{
+    for (int64_t r = 0; r < nrows; r++) {
+        int64_t i = rows[r];
+        const double *cred = ledger + (uint64_t)i * n;
+        double *o = out + (uint64_t)i * n;
+        double cap = caps[r];
+        for (int64_t j = 0; j < n; j++) {
+            o[j] = req[j] ? cred[j] : 0.0;
+        }
+        double tot = pairwise_sum(o, n);
+        if (tot <= 0.0 || cap <= 0.0) {
+            zero_row(o, n);
+            continue;
+        }
+        /* Multiply before dividing, like the numpy reference
+         * (capacity * weights / total): cap * w stays finite even when
+         * tot is subnormal, where cap / tot would overflow.  The
+         * arithmetic loop is kept branch-free so it vectorises; the
+         * mask pass mirrors enforce_feasibility zeroing non-requesters
+         * after the arithmetic. */
+        for (int64_t j = 0; j < n; j++) {
+            o[j] = cap * o[j] / tot;
+        }
+        for (int64_t j = 0; j < n; j++) {
+            if (!req[j]) {
+                o[j] = 0.0;
+            }
+        }
+        feasibility_tail(o, n, cap);
+    }
+}
+
+/* Equation (3) + feasibility: every row shares one pre-masked weight
+ * vector (declared capacities of requesters) and its pairwise total. */
+void repro_alloc_rows_shared(const double *weights, double total,
+                             const uint8_t *req, const double *caps,
+                             const int64_t *rows, int64_t nrows, int64_t n,
+                             double *out)
+{
+    for (int64_t r = 0; r < nrows; r++) {
+        int64_t i = rows[r];
+        double *o = out + (uint64_t)i * n;
+        double cap = caps[r];
+        if (total <= 0.0 || cap <= 0.0) {
+            zero_row(o, n);
+            continue;
+        }
+        for (int64_t j = 0; j < n; j++) {
+            o[j] = cap * weights[j] / total;
+        }
+        for (int64_t j = 0; j < n; j++) {
+            if (!req[j]) {
+                o[j] = 0.0;
+            }
+        }
+        feasibility_tail(o, n, cap);
+    }
+}
+
+/* led += alloc.T * w, 64x64 tiles so both matrices stream through the
+ * cache; each element sees exactly one multiply and one add, matching
+ * the reference `pending += alloc.T * weight` two-op rounding. */
+void repro_ledger_tadd(double *led, const double *alloc, int64_t n, double w)
+{
+    const int64_t B = 64;
+    for (int64_t jb = 0; jb < n; jb += B) {
+        int64_t jend = jb + B < n ? jb + B : n;
+        for (int64_t ib = 0; ib < n; ib += B) {
+            int64_t iend = ib + B < n ? ib + B : n;
+            for (int64_t j = jb; j < jend; j++) {
+                double *lrow = led + (uint64_t)j * n;
+                for (int64_t i = ib; i < iend; i++) {
+                    lrow[i] += alloc[(uint64_t)i * n + j] * w;
+                }
+            }
+        }
+    }
+}

@@ -15,15 +15,30 @@ from abc import ABC, abstractmethod
 from bisect import bisect_right
 from collections.abc import Iterable
 
+import numpy as np
+
 __all__ = ["CapacityProfile", "ConstantCapacity", "StepCapacity", "as_capacity"]
 
 
 class CapacityProfile(ABC):
     """Upload capacity available to a peer at slot ``t``."""
 
+    #: Whether :meth:`values` may be used to pre-evaluate a window of
+    #: future slots in one call.  Safe only when ``value(t)`` is a pure
+    #: function of ``t``; time-varying hooks driven by external state
+    #: must leave this ``False`` (the engine then queries slot by slot).
+    blockable = False
+
     @abstractmethod
     def value(self, t: int) -> float:
         """Capacity (kbps) during slot ``t``; must be non-negative."""
+
+    def values(self, t0: int, count: int) -> np.ndarray:
+        """Capacities for slots ``t0 .. t0 + count - 1`` as a float64
+        array; each entry must equal ``value(t)`` exactly."""
+        return np.fromiter(
+            (self.value(t0 + s) for s in range(count)), dtype=float, count=count
+        )
 
     def mean(self, slots: int) -> float:
         """Average capacity over the first ``slots`` slots."""
@@ -35,6 +50,8 @@ class CapacityProfile(ABC):
 class ConstantCapacity(CapacityProfile):
     """Fixed capacity for all time."""
 
+    blockable = True
+
     def __init__(self, kbps: float):
         if kbps < 0:
             raise ValueError(f"capacity cannot be negative, got {kbps}")
@@ -42,6 +59,9 @@ class ConstantCapacity(CapacityProfile):
 
     def value(self, t: int) -> float:
         return self.kbps
+
+    def values(self, t0: int, count: int) -> np.ndarray:
+        return np.full(count, self.kbps)
 
     def mean(self, slots: int) -> float:
         if slots < 1:
@@ -56,6 +76,8 @@ class StepCapacity(CapacityProfile):
     ``<= t``; slots before the first step have zero capacity (a peer
     that has not yet joined contributes nothing).
     """
+
+    blockable = True
 
     def __init__(self, steps: Iterable[tuple[int, float]]):
         ordered = sorted((int(s), float(v)) for s, v in steps)
@@ -72,6 +94,12 @@ class StepCapacity(CapacityProfile):
     def value(self, t: int) -> float:
         idx = bisect_right(self._starts, t) - 1
         return self._values[idx] if idx >= 0 else 0.0
+
+    def values(self, t0: int, count: int) -> np.ndarray:
+        ts = np.arange(t0, t0 + count)
+        idx = np.searchsorted(self._starts, ts, side="right") - 1
+        vals = np.asarray(self._values, dtype=float)
+        return np.where(idx >= 0, vals[np.maximum(idx, 0)], 0.0)
 
 
 def as_capacity(spec) -> CapacityProfile:

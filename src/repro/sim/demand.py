@@ -37,10 +37,35 @@ HOURS_PER_DAY = 24
 class DemandProcess(ABC):
     """Whether this peer's user requests a download at slot ``t``."""
 
+    #: Whether :meth:`sample_block` may be used to pre-sample a window
+    #: of future slots in one call.  Only safe when ``sample`` is a pure
+    #: function of ``(t, the rng stream)`` — no external mutation
+    #: between slots.  Processes driven from outside (e.g.
+    #: :class:`ManualDemand`) must leave this ``False`` so the engine
+    #: keeps sampling them slot by slot.
+    blockable = False
+
     @abstractmethod
     def sample(self, t: int, rng: np.random.Generator) -> bool:
         """Indicator ``I(t)``; ``rng`` is a per-peer stream for stochastic
         processes (deterministic processes ignore it)."""
+
+    def sample_block(
+        self, t0: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Indicators for slots ``t0 .. t0 + count - 1`` as a bool array.
+
+        Must consume the rng stream exactly as ``count`` successive
+        :meth:`sample` calls would, so a block-sampling engine stays
+        bit-identical to the slot-by-slot reference (numpy's block draw
+        ``rng.random(count)`` produces the same stream as ``count``
+        scalar draws).  The default implementation simply loops.
+        """
+        return np.fromiter(
+            (self.sample(t0 + s, rng) for s in range(count)),
+            dtype=bool,
+            count=count,
+        )
 
     @property
     def gamma(self) -> float | None:
@@ -51,6 +76,8 @@ class DemandProcess(ABC):
 class BernoulliDemand(DemandProcess):
     """iid requests with probability ``gamma`` per slot (the paper's model)."""
 
+    blockable = True
+
     def __init__(self, gamma: float):
         if not 0.0 <= gamma <= 1.0:
             raise ValueError(f"gamma must be in [0, 1], got {gamma}")
@@ -58,6 +85,11 @@ class BernoulliDemand(DemandProcess):
 
     def sample(self, t: int, rng: np.random.Generator) -> bool:
         return bool(rng.random() < self._gamma)
+
+    def sample_block(
+        self, t0: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return rng.random(count) < self._gamma
 
     @property
     def gamma(self) -> float:
@@ -67,8 +99,15 @@ class BernoulliDemand(DemandProcess):
 class AlwaysOn(DemandProcess):
     """Saturated user (``gamma -> 1``): requests every slot."""
 
+    blockable = True
+
     def sample(self, t: int, rng: np.random.Generator) -> bool:
         return True
+
+    def sample_block(
+        self, t0: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.ones(count, dtype=bool)
 
     @property
     def gamma(self) -> float:
@@ -78,8 +117,15 @@ class AlwaysOn(DemandProcess):
 class NeverRequests(DemandProcess):
     """Pure contributor: never downloads (``gamma = 0``)."""
 
+    blockable = True
+
     def sample(self, t: int, rng: np.random.Generator) -> bool:
         return False
+
+    def sample_block(
+        self, t0: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.zeros(count, dtype=bool)
 
     @property
     def gamma(self) -> float:
@@ -93,6 +139,8 @@ class ScheduleDemand(DemandProcess):
     time = 1000" in the Fig. 8(a) experiment.
     """
 
+    blockable = True
+
     def __init__(self, intervals: Iterable[tuple[int, int]]):
         self.intervals = tuple((int(a), int(b)) for a, b in intervals)
         for a, b in self.intervals:
@@ -102,9 +150,20 @@ class ScheduleDemand(DemandProcess):
     def sample(self, t: int, rng: np.random.Generator) -> bool:
         return any(a <= t < b for a, b in self.intervals)
 
+    def sample_block(
+        self, t0: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        ts = np.arange(t0, t0 + count)
+        out = np.zeros(count, dtype=bool)
+        for a, b in self.intervals:
+            out |= (ts >= a) & (ts < b)
+        return out
+
 
 class DutyCycleDemand(DemandProcess):
     """Requests during fixed hours-of-day, repeating daily."""
+
+    blockable = True
 
     def __init__(self, active_hours: Iterable[int], slot_seconds: float = 1.0):
         self.active_hours = frozenset(int(h) for h in active_hours)
@@ -119,6 +178,16 @@ class DutyCycleDemand(DemandProcess):
 
     def sample(self, t: int, rng: np.random.Generator) -> bool:
         return self.hour_of(t) in self.active_hours
+
+    def sample_block(
+        self, t0: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        ts = np.arange(t0, t0 + count)
+        hours = (
+            np.floor_divide(ts * self.slot_seconds, SECONDS_PER_HOUR).astype(np.int64)
+            % HOURS_PER_DAY
+        )
+        return np.isin(hours, sorted(self.active_hours))
 
     @property
     def gamma(self) -> float:
@@ -150,6 +219,9 @@ class ManualDemand(DemandProcess):
     Used by the full-stack network to mark a user as requesting exactly
     while its download session is in progress.
     """
+
+    #: Mutated between slots from outside — never block-sample it.
+    blockable = False
 
     def __init__(self, requesting: bool = False):
         self.requesting = bool(requesting)

@@ -7,6 +7,30 @@ feasibility, credits every receiving peer's ledger, and records rates.
 slot is one reallocation round; ``slot_seconds`` only scales ledger
 accumulation so coarser slots can be used for day-long scenarios without
 changing the fixed-point of Equation (2).
+
+Two engines produce those slots:
+
+* ``reference`` — the original per-peer loop: one ``allocate()`` and one
+  ``enforce_feasibility()`` call per peer per slot.  Simple, obviously
+  correct, O(n) Python round-trips per slot.
+* ``batched`` (the ``auto`` default) — peers are partitioned at
+  construction into a *fast set* (allocator classes implementing the
+  :class:`~repro.core.allocation.BatchedAllocator` protocol, grouped by
+  class) and a *slow set* (stateful/custom/adversarial strategies, which
+  keep the per-peer path unchanged).  Fast groups compute whole blocks
+  of the n x n allocation matrix in one shot — through the runtime-
+  compiled kernels of :mod:`repro.sim.fastpath` when available, else
+  pure-numpy matrix expressions — demand and capacity are pre-sampled in
+  time blocks for processes that declare themselves ``blockable``, and
+  ledger credit is a single (tiled) ``L += alloc.T * dt`` per flush.
+
+The two engines are **bit-identical**: every batched expression was
+chosen to perform the same IEEE-754 operations in the same order as the
+reference loop (same pairwise reductions, multiply-by-1.0 no-ops for
+untouched rows, block RNG draws that consume the per-peer streams
+exactly like scalar draws).  ``tests/sim/test_engine_batched.py``
+enforces this equivalence property-style across honest and adversarial
+mixes, delayed feedback, and time-varying capacity.
 """
 
 from __future__ import annotations
@@ -16,18 +40,28 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..core.allocation import enforce_feasibility
+from ..core.allocation import (
+    Allocator,
+    PeerwiseProportionalAllocator,
+    enforce_feasibility,
+    enforce_feasibility_rows,
+)
+from ..core.baselines import GlobalProportionalAllocator
 from ..core.fairness import jain_index
 from ..core.ledger import DEFAULT_INITIAL_CREDIT
 from ..obs import REGISTRY as _OBS
 from ..obs import TRACER as _TRACER
 from ..obs.events import SIM_FEEDBACK, SIM_SLOT
+from . import fastpath
 from .metrics import SimulationResult
 from .peer import PeerConfig, PeerState
 
 __all__ = ["Simulation"]
 
 _SIM_SLOTS = _OBS.counter("repro.sim.slots", "simulation slots stepped")
+_SIM_BATCHED_SLOTS = _OBS.counter(
+    "repro.sim.slots.batched", "slots stepped through the batched fast path"
+)
 _SIM_ALLOC_NS = _OBS.histogram(
     "repro.sim.alloc_ns", "nanoseconds per slot spent in allocation + feasibility"
 )
@@ -35,9 +69,16 @@ _SIM_JAIN = _OBS.gauge(
     "repro.sim.jain_fairness",
     "Jain fairness index of requesting users' rates, latest slot",
 )
+_SIM_FAST_PEERS = _OBS.gauge(
+    "repro.sim.fast_peers",
+    "peers handled by the batched fast path in the current simulation",
+)
 _SIM_FEEDBACK_FLUSHES = _OBS.counter(
     "repro.sim.feedback.flushes", "batched ledger-credit (feedback) flushes"
 )
+
+#: Slots of demand/capacity pre-sampled per blockable peer at a time.
+_TIME_BLOCK = 256
 
 
 class Simulation:
@@ -54,6 +95,12 @@ class Simulation:
         The small positive ledger initialisation of Equation (2).
     slot_seconds:
         Wall-clock seconds one slot represents (see module docstring).
+    engine:
+        ``"auto"`` (default) and ``"batched"`` use the vectorised slot
+        loop; ``"reference"`` forces the original per-peer loop for A/B
+        debugging.  Results are bit-identical either way.  The batched
+        engine binds each peer's allocator/demand/capacity strategy at
+        construction; swap strategies mid-run only under ``reference``.
     """
 
     def __init__(
@@ -63,6 +110,7 @@ class Simulation:
         initial_credit: float = DEFAULT_INITIAL_CREDIT,
         slot_seconds: float = 1.0,
         feedback_interval: int = 1,
+        engine: str = "auto",
     ):
         if not configs:
             raise ValueError("a simulation needs at least one peer")
@@ -71,6 +119,10 @@ class Simulation:
         if feedback_interval < 1:
             raise ValueError(
                 f"feedback_interval must be >= 1 slot, got {feedback_interval}"
+            )
+        if engine not in ("auto", "reference", "batched"):
+            raise ValueError(
+                f"engine must be 'auto', 'reference' or 'batched', got {engine!r}"
             )
         self.configs = list(configs)
         self.n = len(self.configs)
@@ -82,8 +134,13 @@ class Simulation:
         #: paper simulates, larger values model batched off-line updates
         #: (one FeedbackUpdate every ``feedback_interval`` slots).
         self.feedback_interval = int(feedback_interval)
+        self.engine = engine
+        # All ledgers live as rows of one shared matrix so Equation (2)
+        # for the whole network is a masked matrix product; each peer's
+        # ContributionLedger is a view into its row (same semantics).
+        self._credit_matrix = np.zeros((self.n, self.n))
         self.peers = [
-            PeerState(i, cfg, self.n, initial_credit)
+            PeerState(i, cfg, self.n, initial_credit, credit_buffer=self._credit_matrix[i])
             for i, cfg in enumerate(self.configs)
         ]
         self._pending_feedback = np.zeros((self.n, self.n))
@@ -91,6 +148,74 @@ class Simulation:
             np.random.default_rng((seed, i)) for i in range(self.n)
         ]
         self._t = 0
+        self._batched = engine != "reference"
+        if self._batched:
+            self._init_batched()
+
+    def _init_batched(self) -> None:
+        """Partition peers into fast groups / slow set and bind plans."""
+        self._kernels = fastpath.load()
+        by_class: dict[type, list[int]] = {}
+        slow: list[int] = []
+        for i, peer in enumerate(self.peers):
+            alloc = peer.config.allocator
+            if callable(getattr(type(alloc), "allocate_rows", None)):
+                by_class.setdefault(type(alloc), []).append(i)
+            else:
+                slow.append(i)
+        self._slow_rows = slow
+        # (representative instance, row indices, dispatch kind); batched
+        # classes are class-stateless by protocol contract, so one
+        # representative computes the whole group.
+        self._groups: list[tuple[object, np.ndarray, str]] = []
+        for cls, idxs in by_class.items():
+            rows = np.asarray(idxs, dtype=np.int64)
+            if self._kernels is not None and cls is PeerwiseProportionalAllocator:
+                kind = "eq2"
+            elif self._kernels is not None and cls is GlobalProportionalAllocator:
+                kind = "eq3"
+            else:
+                kind = "proto"
+            self._groups.append((self.peers[idxs[0]].config.allocator, rows, kind))
+        # on_slot_end is a no-op unless overridden; pre-bind the hooks
+        # that actually do something.
+        self._slot_end_hooks = [
+            p.config.allocator.on_slot_end
+            for p in self.peers
+            if type(p.config.allocator).on_slot_end is not Allocator.on_slot_end
+        ]
+        self._forgetting = np.array([p.config.forgetting for p in self.peers])
+        self._any_forgetting = bool((self._forgetting < 1.0).any())
+        overrides = [
+            (i, float(p.config.declared_capacity))
+            for i, p in enumerate(self.peers)
+            if p.config.declared_capacity is not None
+        ]
+        self._declared_idx = np.array([i for i, _ in overrides], dtype=np.intp)
+        self._declared_vals = np.array([v for _, v in overrides])
+        self._block_demand = [
+            i for i, p in enumerate(self.peers) if p.config.demand.blockable
+        ]
+        self._slot_demand = [
+            i for i, p in enumerate(self.peers) if not p.config.demand.blockable
+        ]
+        self._block_capacity = [
+            i for i, p in enumerate(self.peers) if p.config.capacity.blockable
+        ]
+        self._slot_capacity = [
+            i for i, p in enumerate(self.peers) if not p.config.capacity.blockable
+        ]
+        self._block_start = -_TIME_BLOCK  # force a build on first step
+        self._req_block = np.empty((_TIME_BLOCK, self.n), dtype=bool)
+        self._cap_block = np.empty((_TIME_BLOCK, self.n))
+
+    @property
+    def backend(self) -> str:
+        """Which slot loop runs: ``reference``, ``batched`` (numpy) or
+        ``batched+native`` (compiled kernels)."""
+        if not self._batched:
+            return "reference"
+        return "batched+native" if self._kernels is not None else "batched"
 
     @property
     def t(self) -> int:
@@ -103,6 +228,11 @@ class Simulation:
         ``allocation_matrix[i, j]`` is ``mu_ij(t)`` after feasibility
         enforcement.
         """
+        if self._batched:
+            return self._step_batched()
+        return self._step_reference()
+
+    def _step_reference(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         t = self._t
         requesting = np.fromiter(
             (
@@ -144,6 +274,128 @@ class Simulation:
             _TRACER.emit(SIM_FEEDBACK, t=t, credited=credited)
         for peer in self.peers:
             peer.config.allocator.on_slot_end(t)
+        self._emit_slot(alloc, requesting)
+        self._t += 1
+        return alloc, requesting, capacities
+
+    def _refresh_blocks(self, t: int) -> None:
+        """Pre-sample the next time block for blockable demand/capacity."""
+        self._block_start = t
+        peers, rngs = self.peers, self._demand_rngs
+        for i in self._block_demand:
+            self._req_block[:, i] = peers[i].config.demand.sample_block(
+                t, _TIME_BLOCK, rngs[i]
+            )
+        for i in self._block_capacity:
+            self._cap_block[:, i] = peers[i].config.capacity.values(t, _TIME_BLOCK)
+
+    def _step_batched(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        t = self._t
+        n = self.n
+        if not self._block_start <= t < self._block_start + _TIME_BLOCK:
+            self._refresh_blocks(t)
+        off = t - self._block_start
+        req_row = self._req_block[off]
+        cap_row = self._cap_block[off]
+        for i in self._slot_demand:
+            req_row[i] = self.peers[i].config.demand.sample(t, self._demand_rngs[i])
+        for i in self._slot_capacity:
+            cap_row[i] = self.peers[i].capacity_at(t)
+        requesting = req_row.copy()
+        capacities = cap_row.copy()
+        declared = capacities.copy()
+        if self._declared_idx.size:
+            declared[self._declared_idx] = self._declared_vals
+        req_u8 = requesting.view(np.uint8)
+
+        alloc_start = time.perf_counter_ns() if _OBS.enabled else None
+        alloc = np.empty((n, n))
+        ledgers = self._credit_matrix
+        for rep, rows, kind in self._groups:
+            caps_group = capacities[rows]
+            if kind == "eq2":
+                self._kernels.alloc_rows_eq2(
+                    ledgers, req_u8, caps_group, rows, alloc
+                )
+            elif kind == "eq3":
+                weights = np.where(requesting, declared, 0.0)
+                self._kernels.alloc_rows_shared(
+                    weights, weights.sum(), req_u8, caps_group, rows, alloc
+                )
+            else:
+                rows_ledger = ledgers if rows.size == n else ledgers[rows]
+                proposals = rep.allocate_rows(
+                    rows, caps_group, requesting, rows_ledger, declared, t
+                )
+                alloc[rows] = enforce_feasibility_rows(
+                    proposals, caps_group, requesting
+                )
+        for i in self._slow_rows:
+            peer = self.peers[i]
+            proposal = peer.config.allocator.allocate(
+                i, capacities[i], requesting, peer.ledger, declared, t
+            )
+            alloc[i] = enforce_feasibility(proposal, capacities[i], requesting)
+        if alloc_start is not None:
+            _SIM_ALLOC_NS.observe(time.perf_counter_ns() - alloc_start)
+
+        weight = self.slot_seconds
+        if self.feedback_interval == 1:
+            # Instant feedback: skip materialising the pending buffer
+            # and fold alloc.T * dt straight into the credit matrix
+            # (same multiply-then-add rounding as the reference).
+            if _TRACER.enabled:
+                pending = alloc.T * weight
+                credited = float(pending.sum())
+                self._apply_forgetting()
+                self._credit_matrix += pending
+                _TRACER.emit(SIM_FEEDBACK, t=t, credited=credited)
+            else:
+                self._apply_forgetting()
+                self._tadd(self._credit_matrix, alloc, weight)
+            if _OBS.enabled:
+                _SIM_FEEDBACK_FLUSHES.inc()
+        else:
+            self._tadd(self._pending_feedback, alloc, weight)
+            if (t + 1) % self.feedback_interval == 0:
+                if _TRACER.enabled:
+                    _TRACER.emit(
+                        SIM_FEEDBACK,
+                        t=t,
+                        credited=float(self._pending_feedback.sum()),
+                    )
+                self._apply_forgetting()
+                self._credit_matrix += self._pending_feedback
+                self._pending_feedback[:] = 0.0
+                if _OBS.enabled:
+                    _SIM_FEEDBACK_FLUSHES.inc()
+        for hook in self._slot_end_hooks:
+            hook(t)
+        if _OBS.enabled:
+            _SIM_BATCHED_SLOTS.inc()
+            _SIM_FAST_PEERS.set(n - len(self._slow_rows))
+        self._emit_slot(alloc, requesting)
+        self._t += 1
+        return alloc, requesting, capacities
+
+    def _apply_forgetting(self) -> None:
+        if self._any_forgetting:
+            # Rows with forgetting == 1.0 multiply by exactly 1.0 — a
+            # bitwise no-op, matching the reference's skipped decay.
+            self._credit_matrix *= self._forgetting[:, None]
+
+    def _tadd(self, target: np.ndarray, alloc: np.ndarray, weight: float) -> None:
+        """``target += alloc.T * weight`` (the ledger-credit transpose)."""
+        if self._kernels is not None:
+            self._kernels.ledger_tadd(target, alloc, weight)
+        else:
+            # Strip-tiled so the transposed read stays cache-resident;
+            # element-wise it is the identical multiply-then-add.
+            for s in range(0, self.n, 128):
+                e = min(s + 128, self.n)
+                target[:, s:e] += alloc[s:e].T * weight
+
+    def _emit_slot(self, alloc: np.ndarray, requesting: np.ndarray) -> None:
         if _OBS.enabled or _TRACER.enabled:
             rates = alloc.sum(axis=0)
             jain = (
@@ -154,23 +406,39 @@ class Simulation:
                 _SIM_JAIN.set(jain)
             _TRACER.emit(
                 SIM_SLOT,
-                t=t,
+                t=self._t,
                 requesting=int(requesting.sum()),
                 allocated_kbps=float(alloc.sum()),
                 jain=jain,
             )
-        self._t += 1
-        return alloc, requesting, capacities
 
-    def run(self, slots: int, record_allocations: bool = False) -> SimulationResult:
-        """Simulate ``slots`` further slots and return the recorded result."""
+    def run(
+        self,
+        slots: int,
+        record_allocations: bool = False,
+        history_dtype=np.float64,
+    ) -> SimulationResult:
+        """Simulate ``slots`` further slots and return the recorded result.
+
+        With ``record_allocations`` the full allocation history is
+        preallocated up front as one ``(slots, n, n)`` array of
+        ``history_dtype`` — by default float64, i.e. ``slots * n**2 * 8``
+        bytes (a 10 000-slot run of 100 peers holds ~800 MB, and 1 000
+        peers would need ~80 GB).  Pass ``history_dtype=np.float32`` to
+        halve that when ulp-exact history is not required; rates, the
+        running mean and the ledgers always stay float64.
+        """
         if slots < 1:
             raise ValueError(f"slots must be positive, got {slots}")
         rates = np.zeros((slots, self.n))
         requesting = np.zeros((slots, self.n), dtype=bool)
         capacities = np.zeros((slots, self.n))
         mean_alloc = np.zeros((self.n, self.n))
-        history = np.zeros((slots, self.n, self.n)) if record_allocations else None
+        history = (
+            np.zeros((slots, self.n, self.n), dtype=history_dtype)
+            if record_allocations
+            else None
+        )
         for s in range(slots):
             alloc, req, caps = self.step()
             rates[s] = alloc.sum(axis=0)

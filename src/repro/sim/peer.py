@@ -48,15 +48,29 @@ class PeerConfig:
 
 
 class PeerState:
-    """Runtime state the engine keeps per peer."""
+    """Runtime state the engine keeps per peer.
 
-    def __init__(self, index: int, config: PeerConfig, n: int, initial_credit: float):
+    ``credit_buffer`` optionally backs the peer's ledger with an
+    engine-owned row of the shared credit matrix (see
+    :class:`~repro.core.ledger.ContributionLedger`); semantics are
+    identical either way.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        config: PeerConfig,
+        n: int,
+        initial_credit: float,
+        credit_buffer=None,
+    ):
         self.index = index
         self.config = config
         self.ledger = ContributionLedger(
             n,
             initial=initial_credit if initial_credit > 0 else DEFAULT_INITIAL_CREDIT,
             forgetting=config.forgetting,
+            buffer=credit_buffer,
         )
 
     def capacity_at(self, t: int) -> float:

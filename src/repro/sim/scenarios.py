@@ -50,16 +50,20 @@ FIG5B_CAPACITIES = (128.0, 256.0, 1024.0)
 FIG6_CAPACITIES = (256.0, 512.0, 1024.0)
 
 
-def figure_5a(slots: int = 3500, seed: int = 0) -> SimulationResult:
+def figure_5a(
+    slots: int = 3500, seed: int = 0, engine: str = "auto"
+) -> SimulationResult:
     """Ten saturated users; rates converge to own upload capacities."""
     configs = [
         PeerConfig(capacity=c, demand=AlwaysOn(), label=f"U/L {int(c)} kbps")
         for c in FIG5A_CAPACITIES
     ]
-    return Simulation(configs, seed=seed).run(slots)
+    return Simulation(configs, seed=seed, engine=engine).run(slots)
 
 
-def figure_5b(slots: int = 3500, seed: int = 0) -> SimulationResult:
+def figure_5b(
+    slots: int = 3500, seed: int = 0, engine: str = "auto"
+) -> SimulationResult:
     """Three peers with one dominating contributor (128/256/1024 kbps).
 
     Demonstrates fairness *without* the non-dominant condition of [16]:
@@ -69,7 +73,7 @@ def figure_5b(slots: int = 3500, seed: int = 0) -> SimulationResult:
         PeerConfig(capacity=c, demand=AlwaysOn(), label=f"U/L {int(c)} kbps")
         for c in FIG5B_CAPACITIES
     ]
-    return Simulation(configs, seed=seed).run(slots)
+    return Simulation(configs, seed=seed, engine=engine).run(slots)
 
 
 def _day_scenario(
@@ -77,6 +81,7 @@ def _day_scenario(
     seed: int,
     slot_seconds: float,
     capacity_overrides: dict[int, StepCapacity] | None = None,
+    engine: str = "auto",
 ) -> Simulation:
     """Common 3-peer, 24-hour home-video-streaming setup of Figs. 6-7."""
     configs = []
@@ -91,11 +96,11 @@ def _day_scenario(
                 label=f"Peer {i}",
             )
         )
-    return Simulation(configs, seed=seed, slot_seconds=slot_seconds)
+    return Simulation(configs, seed=seed, slot_seconds=slot_seconds, engine=engine)
 
 
 def figure_6(
-    seed: int = 0, slot_seconds: float = 10.0
+    seed: int = 0, slot_seconds: float = 10.0, engine: str = "auto"
 ) -> SimulationResult:
     """3 peers (256/512/1024 kbps) each streaming 12 random hours/day.
 
@@ -106,12 +111,12 @@ def figure_6(
     fixed point at a tenth of the compute — see engine docs).
     """
     slots = int(24 * SECONDS_PER_HOUR / slot_seconds)
-    sim = _day_scenario(FIG6_CAPACITIES, seed, slot_seconds)
+    sim = _day_scenario(FIG6_CAPACITIES, seed, slot_seconds, engine=engine)
     return sim.run(slots)
 
 
 def figure_7(
-    seed: int = 0, slot_seconds: float = 10.0
+    seed: int = 0, slot_seconds: float = 10.0, engine: str = "auto"
 ) -> SimulationResult:
     """Fig. 6's scenario, but peer 1 contributes only after hour 3.
 
@@ -123,11 +128,13 @@ def figure_7(
     overrides = {
         1: StepCapacity([(0, 0.0), (join_slot, FIG6_CAPACITIES[1])])
     }
-    sim = _day_scenario(FIG6_CAPACITIES, seed, slot_seconds, overrides)
+    sim = _day_scenario(FIG6_CAPACITIES, seed, slot_seconds, overrides, engine=engine)
     return sim.run(slots)
 
 
-def figure_8a(slots: int = 3500, n: int = 10, seed: int = 0) -> SimulationResult:
+def figure_8a(
+    slots: int = 3500, n: int = 10, seed: int = 0, engine: str = "auto"
+) -> SimulationResult:
     """Incentive to contribute while idle (Fig. 8(a)).
 
     * peers 2..n-1: contribute from t=0, download from t=0;
@@ -154,10 +161,12 @@ def figure_8a(slots: int = 3500, n: int = 10, seed: int = 0) -> SimulationResult
         PeerConfig(capacity=kbps, demand=AlwaysOn(), label=f"Peer {i}")
         for i in range(2, n)
     ]
-    return Simulation(configs, seed=seed).run(slots)
+    return Simulation(configs, seed=seed, engine=engine).run(slots)
 
 
-def figure_8b(slots: int = 10000, n: int = 10, seed: int = 0) -> SimulationResult:
+def figure_8b(
+    slots: int = 10000, n: int = 10, seed: int = 0, engine: str = "auto"
+) -> SimulationResult:
     """Adaptation to capacity dynamics (Fig. 8(b)).
 
     Ten saturated peers at 1024 kbps; peer 0's upload drops to 512 kbps
@@ -175,7 +184,7 @@ def figure_8b(slots: int = 10000, n: int = 10, seed: int = 0) -> SimulationResul
         PeerConfig(capacity=kbps, demand=AlwaysOn(), label=f"Peer {i}")
         for i in range(1, n)
     ]
-    return Simulation(configs, seed=seed).run(slots)
+    return Simulation(configs, seed=seed, engine=engine).run(slots)
 
 
 def churn_configs(
@@ -226,6 +235,7 @@ def churn_network(
     slots: int = 20_000,
     mean_session: int = 1500,
     seed: int = 0,
+    engine: str = "auto",
 ) -> SimulationResult:
     """A dynamic network where some peers repeatedly leave and rejoin.
 
@@ -246,7 +256,7 @@ def churn_network(
         mean_session=mean_session,
         seed=seed,
     )
-    return Simulation(configs, seed=seed).run(slots)
+    return Simulation(configs, seed=seed, engine=engine).run(slots)
 
 
 def faulty_network(
@@ -256,6 +266,7 @@ def faulty_network(
     gamma: float = 0.6,
     slots: int = 5000,
     seed: int = 0,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Bandwidth sharing under a transfer-level :class:`FaultPlan`.
 
@@ -284,7 +295,7 @@ def faulty_network(
             configs[peer].capacity = StepCapacity(steps)
         kinds = ",".join(f.kind for f in plan.faults_for(peer))
         configs[peer].label = f"Peer {peer} (faulty: {kinds})"
-    return Simulation(configs, seed=seed).run(slots)
+    return Simulation(configs, seed=seed, engine=engine).run(slots)
 
 
 def bernoulli_network(
@@ -296,6 +307,7 @@ def bernoulli_network(
     declared=None,
     forgetting: float = 1.0,
     baseline: str | None = None,
+    engine: str = "auto",
 ) -> SimulationResult:
     """General Section IV-style network: Bernoulli demands, any strategies.
 
@@ -325,4 +337,4 @@ def bernoulli_network(
                 forgetting=forgetting,
             )
         )
-    return Simulation(configs, seed=seed).run(slots)
+    return Simulation(configs, seed=seed, engine=engine).run(slots)

@@ -26,6 +26,8 @@ class TraceDemand(DemandProcess):
     the start (default) or stay idle.
     """
 
+    blockable = True
+
     def __init__(self, indicators, wrap: bool = True):
         self.indicators = np.asarray(indicators, dtype=bool)
         if self.indicators.ndim != 1 or self.indicators.size == 0:
@@ -36,6 +38,15 @@ class TraceDemand(DemandProcess):
         if t >= self.indicators.size and not self.wrap:
             return False
         return bool(self.indicators[t % self.indicators.size])
+
+    def sample_block(
+        self, t0: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        ts = np.arange(t0, t0 + count)
+        out = self.indicators[ts % self.indicators.size]
+        if not self.wrap:
+            out = out & (ts < self.indicators.size)
+        return out
 
     @property
     def gamma(self) -> float:
@@ -49,6 +60,8 @@ class DiurnalDemand(DemandProcess):
     ``peak_gamma`` over a 24-hour period, peaking at ``peak_hour`` —
     the classic residential evening peak.
     """
+
+    blockable = True
 
     def __init__(
         self,
@@ -79,6 +92,19 @@ class DiurnalDemand(DemandProcess):
     def sample(self, t: int, rng: np.random.Generator) -> bool:
         return bool(rng.random() < self.gamma_at(t))
 
+    def sample_block(
+        self, t0: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        # gamma_at uses math.cos; evaluate it per slot (not np.cos,
+        # whose vectorised rounding may differ by an ulp) so the block
+        # is bit-identical to slot-by-slot sampling.
+        gammas = np.fromiter(
+            (self.gamma_at(t0 + s) for s in range(count)),
+            dtype=float,
+            count=count,
+        )
+        return rng.random(count) < gammas
+
     @property
     def gamma(self) -> float:
         return (self.peak_gamma + self.trough_gamma) / 2.0
@@ -86,6 +112,8 @@ class DiurnalDemand(DemandProcess):
 
 class FlashCrowdDemand(DemandProcess):
     """Baseline demand with a surge window (a file suddenly popular)."""
+
+    blockable = True
 
     def __init__(
         self,
@@ -111,3 +139,14 @@ class FlashCrowdDemand(DemandProcess):
 
     def sample(self, t: int, rng: np.random.Generator) -> bool:
         return bool(rng.random() < self.gamma_at(t))
+
+    def sample_block(
+        self, t0: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        ts = np.arange(t0, t0 + count)
+        gammas = np.where(
+            (ts >= self.surge_start) & (ts < self.surge_end),
+            self.surge_gamma,
+            self.base_gamma,
+        )
+        return rng.random(count) < gammas

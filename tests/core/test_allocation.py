@@ -8,6 +8,7 @@ from repro.core import (
     PeerwiseProportionalAllocator,
     enforce_feasibility,
 )
+from repro.core.allocation import enforce_feasibility_rows
 
 
 def allocate(allocator, capacity, requesting, credits, declared=None, index=0, t=0):
@@ -123,3 +124,87 @@ class TestEnforceFeasibility:
         proposal = np.array([30.0, -1.0])
         enforce_feasibility(proposal, 10.0, [True, True])
         assert np.array_equal(proposal, [30.0, -1.0])
+
+
+class TestEnforceFeasibilityCumsumClamp:
+    """The rescale can overshoot capacity by an ulp when the scaled
+    shares' sum rounds up; the cumsum-clamp branch must then trim the
+    total to *exactly* the capacity."""
+
+    def test_subnormal_capacity_scale_underflow(self):
+        # Proposals huge, capacity subnormal: the scale factor
+        # underflows to zero and everything is (validly) wiped out.
+        cap = 5e-324
+        out = enforce_feasibility(
+            np.array([1e300, 1e300, 1e300]), cap, [True, True, True]
+        )
+        assert out.sum() <= cap
+        assert np.all(out >= 0.0)
+
+    def test_ulp_overflow_capacity_clamped_exactly(self):
+        # A pair where proportional rescaling rounds the sum one ulp
+        # *above* capacity, forcing the cumsum-clamp branch.
+        proposals = np.array([
+            0.997209935789211, 0.9808353387762301, 0.6855419844806947,
+            0.6504592762678163, 0.6884467305709401,
+        ])
+        cap = 1.801237612324362
+        scaled = proposals * (cap / proposals.sum())
+        assert scaled.sum() > cap  # precondition: the branch fires
+        out = enforce_feasibility(proposals, cap, [True] * 5)
+        assert out.sum() <= cap
+        # Proportions approximately preserved for the surviving mass.
+        assert out[1] / out[0] == pytest.approx(
+            proposals[1] / proposals[0], rel=1e-9
+        )
+
+    def test_subnormal_proposals_clamped_exactly(self):
+        # Same branch with subnormal-range magnitudes.
+        proposals = np.array([6.706244146936304e-301, 6.471895115742501e-301])
+        cap = 8.616473445988356e-301
+        scaled = proposals * (cap / proposals.sum())
+        assert scaled.sum() > cap
+        out = enforce_feasibility(proposals, cap, [True, True])
+        assert out.sum() <= cap
+
+    def test_zero_capacity_zeroes_row(self):
+        out = enforce_feasibility(np.array([3.0, 4.0]), 0.0, [True, True])
+        assert np.all(out == 0.0)
+
+    def test_negative_capacity_zeroes_row(self):
+        out = enforce_feasibility(np.array([3.0, 4.0]), -1.0, [True, True])
+        assert np.all(out == 0.0)
+
+
+class TestEnforceFeasibilityRows:
+    """Matrix form must be bit-identical to mapping the scalar form."""
+
+    def _reference(self, proposals, capacities, requesting):
+        return np.stack(
+            [
+                enforce_feasibility(row, cap, requesting)
+                for row, cap in zip(proposals, capacities)
+            ]
+        )
+
+    def test_matches_per_row_bitwise(self):
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            n = int(rng.integers(1, 12))
+            proposals = (rng.random((n, n)) - 0.2) * rng.choice(
+                [1e-9, 1.0, 1e9]
+            )
+            requesting = rng.random(n) < 0.6
+            capacities = rng.random(n) * rng.choice(
+                [0.0, 5e-324, 1e-300, 1.0, 2000.0]
+            )
+            got = enforce_feasibility_rows(proposals, capacities, requesting)
+            want = self._reference(proposals, capacities, requesting)
+            assert got.tobytes() == want.tobytes()
+
+    def test_input_not_mutated(self):
+        proposals = np.array([[30.0, -1.0], [2.0, 2.0]])
+        enforce_feasibility_rows(
+            proposals, np.array([10.0, 0.0]), np.array([True, True])
+        )
+        assert np.array_equal(proposals, [[30.0, -1.0], [2.0, 2.0]])

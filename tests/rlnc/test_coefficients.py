@@ -80,3 +80,32 @@ class TestMatrix:
     def test_invalid_k(self):
         with pytest.raises(ValueError):
             CoefficientGenerator(GF(8), k=0, secret=b"s", file_id=0)
+
+
+class TestMatrixBatching:
+    """matrix() batches cache misses but must reproduce row() exactly."""
+
+    def test_rows_identical_to_row_calls(self, gen):
+        fresh = CoefficientGenerator(GF(16), k=8, secret=b"secret", file_id=7)
+        ids = [12, 3, 12, 44, 0, 3]
+        M = gen.matrix(ids)
+        rows = np.stack([fresh.row(i) for i in ids])
+        assert M.tobytes() == rows.tobytes()
+
+    def test_batched_rows_are_cached_read_only(self):
+        gen = CoefficientGenerator(GF(16), k=4, secret=b"s", file_id=2)
+        gen.matrix([5, 6])
+        cached = gen.row(5)
+        assert not cached.flags.writeable
+        # Subsequent matrix() calls reuse the cache, not the stream.
+        assert np.array_equal(gen.matrix([5])[0], cached)
+
+    def test_mixed_cached_and_missing(self):
+        a = CoefficientGenerator(GF(8), k=6, secret=b"s", file_id=3)
+        b = CoefficientGenerator(GF(8), k=6, secret=b"s", file_id=3)
+        a.row(1)  # warm one row
+        M = a.matrix([0, 1, 2])
+        assert M.tobytes() == b.matrix([0, 1, 2]).tobytes()
+
+    def test_empty_ids(self, gen):
+        assert gen.matrix([]).shape == (0, 8)

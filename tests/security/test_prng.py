@@ -96,3 +96,23 @@ class TestFloats:
     def test_mean_near_half(self):
         out = KeyedStream(b"key").floats("f", 5000)
         assert 0.47 < out.mean() < 0.53
+
+
+class TestSymbolsMany:
+    @pytest.mark.parametrize("bits", [4, 8, 16, 32])
+    @pytest.mark.parametrize("count", [1, 5, 7, 32])
+    def test_identical_to_per_label_calls(self, bits, count):
+        s = KeyedStream(b"key")
+        labels = [0, 3, "x", 2**40, b"raw"]
+        batch = s.symbols_many(labels, count, bits)
+        singles = np.stack([s.symbols(lab, count, bits) for lab in labels])
+        assert batch.tobytes() == singles.tobytes()
+
+    def test_empty_labels(self):
+        out = KeyedStream(b"key").symbols_many([], 9, 8)
+        assert out.shape == (0, 9)
+        assert out.dtype == np.uint32
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ValueError):
+            KeyedStream(b"key").symbols_many([1], 4, 12)
