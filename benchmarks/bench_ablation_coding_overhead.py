@@ -27,7 +27,7 @@ def overhead_for(p: int, seed: int = 0) -> tuple[float, float]:
     source = encoder.source_matrix(data)
     rng = np.random.default_rng(seed)
     extras = []
-    for trial in range(TRIALS):
+    for _ in range(TRIALS):
         # Draw random distinct message ids (simulating an arbitrary mix
         # of bundles from many peers) and decode progressively.
         ids = rng.choice(10_000, size=4 * K, replace=False)

@@ -5,13 +5,6 @@ from .bounds import (
     expected_rate_from_alloc,
     saturated_fixed_point,
 )
-from .economics import CachingEconomics, storage_donated_bytes
-from .dynamics import (
-    MeanFieldTrajectory,
-    mean_field_trajectory,
-    predicted_convergence_slot,
-)
-from .streaming import PlaybackReport, min_startup_for_smooth, simulate_playback
 from .channel import (
     CABLE_MODEM,
     DIALUP_MODEM,
@@ -25,6 +18,13 @@ from .channel import (
     peers_needed,
     transmission_seconds,
 )
+from .dynamics import (
+    MeanFieldTrajectory,
+    mean_field_trajectory,
+    predicted_convergence_slot,
+)
+from .economics import CachingEconomics, storage_donated_bytes
+from .streaming import PlaybackReport, min_startup_for_smooth, simulate_playback
 
 __all__ = [
     "LinkTechnology",

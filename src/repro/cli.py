@@ -16,7 +16,10 @@ Turns the library into the tool a home user would actually run:
   print its summary series (Section V); the ``faults`` scenario takes
   ``--faults SPEC`` to knock peers out on a fault-driven schedule;
 * ``repro channel`` — the Fig. 1 asymmetric-link timing table;
-* ``repro stats``   — the observability catalog, or a saved snapshot.
+* ``repro stats``   — the observability catalog, or a saved snapshot;
+* ``repro lint``    — invariant-aware static analysis (determinism,
+  float-safety, trace-schema and API contracts); ``--list-rules`` for
+  the catalog, ``--format json`` for a machine-readable report.
 
 ``repro simulate`` and ``repro decode`` accept ``--metrics`` (print a
 registry snapshot when done), ``--metrics-out FILE`` (save the snapshot
@@ -590,6 +593,41 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+_LINT_DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import RULES, LintError, run_lint
+
+    if args.list_rules:
+        from .lint.engine import _ensure_rules_loaded
+
+        _ensure_rules_loaded()
+        width = max(len(rid) for rid in RULES)
+        for rid in sorted(RULES):
+            rule = RULES[rid]
+            scope = ", ".join(rule.scope) if rule.scope else "all files"
+            print(f"{rid:<{width}}  [{scope}]")
+            print(f"{'':<{width}}  {rule.rationale}")
+        return 0
+
+    paths = args.paths or [p for p in _LINT_DEFAULT_PATHS if os.path.isdir(p)]
+    if not paths:
+        print("repro lint: no paths given and none of "
+              f"{'/'.join(_LINT_DEFAULT_PATHS)} exist here", file=sys.stderr)
+        return 2
+    try:
+        report = run_lint(paths, rule_ids=args.rule or None)
+    except LintError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return report.exit_code()
+
+
 def cmd_channel(args: argparse.Namespace) -> int:
     print(f"{'technology':<14} {'direction':<9} {'kbps':>6} {'time':>14}")
     for tech in TECHNOLOGIES:
@@ -715,6 +753,26 @@ def build_parser() -> argparse.ArgumentParser:
     chan = sub.add_parser("channel", help="Fig. 1 asymmetric-link timing table")
     chan.add_argument("--size", type=int, default=1 << 30, help="bytes to transmit")
     chan.set_defaults(func=cmd_channel)
+
+    lint = sub.add_parser(
+        "lint",
+        help="invariant-aware static analysis (determinism, float-safety, "
+        "trace schema, API contracts)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: src tests benchmarks examples)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--rule", action="append", metavar="RULE-ID",
+        help="run only this rule (repeatable)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id, its scope and rationale, then exit",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

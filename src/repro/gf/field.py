@@ -25,6 +25,13 @@ __all__ = ["BinaryField", "TableField", "GF", "FieldError"]
 
 DTYPE = np.uint32
 
+#: Shared generator behind the convenience samplers (:meth:`BinaryField.random`
+#: and friends) when the caller threads no ``rng`` in.  Seeded so that a
+#: run is replayable end-to-end (the determinism lint bans unseeded
+#: generators in this layer); callers who need independent streams pass
+#: their own ``np.random.Generator``.
+_DEFAULT_RNG = np.random.default_rng(0x6F5EED)
+
 # Observability handles (recorded only while repro.obs is enabled).  The
 # tower field's mul/inv call back into the base GF(2^16) field, so with
 # observability on, one GF(2^32) product also counts its base-field
@@ -160,11 +167,11 @@ class BinaryField:
 
     def random(self, shape, rng: np.random.Generator | None = None) -> np.ndarray:
         """Uniform random field elements (for tests and simulations)."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else _DEFAULT_RNG
         return rng.integers(0, self.q, size=shape, dtype=np.uint64).astype(self.dtype)
 
     def random_nonzero(self, shape, rng: np.random.Generator | None = None) -> np.ndarray:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else _DEFAULT_RNG
         return rng.integers(1, self.q, size=shape, dtype=np.uint64).astype(self.dtype)
 
     # -- fused kernels (trusted operands) ------------------------------

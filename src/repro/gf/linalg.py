@@ -15,7 +15,7 @@ import numpy as np
 
 from ..obs import REGISTRY as _OBS
 from ..obs import span as _span
-from .field import DTYPE, BinaryField, FieldError
+from .field import _DEFAULT_RNG, DTYPE, BinaryField, FieldError
 
 __all__ = [
     "SingularMatrixError",
@@ -173,9 +173,11 @@ def random_invertible(
 
     Over ``GF(q)`` a random square matrix is invertible with probability
     ``prod_i (1 - q^-i) > 1 - 2/q``, so the expected retry count is tiny
-    for every field the paper considers.
+    for every field the paper considers.  Without an explicit ``rng``
+    the field layer's shared seeded generator is used, keeping runs
+    replayable.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else _DEFAULT_RNG
     while True:
         candidate = field.random((n, n), rng)
         if is_invertible(field, candidate):

@@ -1,0 +1,48 @@
+"""``repro.lint`` — invariant-aware static analysis for this codebase.
+
+Ordinary linters check style; this package checks the *contracts* the
+reproduction is built on and that silent regressions break first:
+
+* **determinism** — the simulation/coding layers (``core``, ``sim``,
+  ``rlnc``, ``gf``) must be replayable from a seed: no wall-clock reads,
+  no stdlib ``random``, no OS entropy, no unseeded numpy generators.
+  ``security/prng`` is the sole keyed entropy source (Section III of
+  the paper: every coefficient comes from the keyed PRNG).
+* **float-safety** — allocation kernels promise bit-identity between
+  the reference and batched engines, which pins the operation order:
+  multiply before divide (subnormal-total overflow), float64 ledgers,
+  pairwise (numpy) summation in hot paths.
+* **trace contracts** — every ``_TRACER.emit`` site must name an event
+  declared in ``obs/events.py`` with exactly the declared field set, so
+  JSONL consumers can rely on the schema.
+* **API contracts** — every class implementing the batched
+  ``allocate_rows`` must also implement the scalar ``allocate`` (the
+  reference path the bit-identity suite compares against), and ``src/``
+  code must not use mutable default arguments.
+
+Findings can be silenced one rule at a time with an inline comment on
+the offending line::
+
+    rng = np.random.default_rng()  # repro: allow[det-unseeded-rng]
+
+Unknown rule ids inside a suppression are themselves findings.  The
+engine is exposed as ``repro lint`` in the CLI and gated in CI.
+"""
+
+from __future__ import annotations
+
+from .engine import LintError, LintReport, collect_files, run_lint
+from .findings import Finding
+from .registry import RULES, Rule, all_rule_ids, get_rule
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "RULES",
+    "all_rule_ids",
+    "collect_files",
+    "get_rule",
+    "run_lint",
+]

@@ -1,0 +1,7 @@
+"""Importing this package registers every rule with the registry."""
+
+from __future__ import annotations
+
+from . import api, determinism, floatsafety, tracing
+
+__all__ = ["api", "determinism", "floatsafety", "tracing"]

@@ -1,0 +1,73 @@
+"""API-contract rules: structural promises the type system can't see."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .._astutil import dotted_name
+from ..findings import Finding
+from ..registry import SRC_SCOPE, rule
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+
+@rule(
+    "api-batched-scalar-pair",
+    rationale="the batched engine verifies allocate_rows against the "
+    "scalar allocate row-by-row; a class shipping only the batch form "
+    "has no reference to be bit-identical to",
+    scope=SRC_SCOPE,
+)
+def check_batched_scalar_pair(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {dotted_name(b) or "" for b in node.bases}
+        if any(b.split(".")[-1] == "Protocol" for b in bases):
+            continue  # structural type declarations, not implementations
+        methods = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "allocate_rows" in methods and "allocate" not in methods:
+            yield ctx.finding(
+                "api-batched-scalar-pair",
+                node,
+                f"class {node.name} implements allocate_rows without the "
+                "scalar allocate the bit-identity suite compares against",
+            )
+
+
+@rule(
+    "api-mutable-default",
+    rationale="a mutable default is shared across every call; long-lived "
+    "simulations and servers turn that into cross-run state leakage",
+    scope=("src/",),
+)
+def check_mutable_default(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable(default):
+                yield ctx.finding(
+                    "api-mutable-default",
+                    default,
+                    "mutable default argument; default to None and "
+                    "construct inside the function",
+                )
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                         ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return bool(name) and name.split(".")[-1] in _MUTABLE_CALLS
+    return False

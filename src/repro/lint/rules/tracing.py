@@ -1,0 +1,120 @@
+"""Trace-schema rules: emit sites must match the declared taxonomy.
+
+``obs/events.py`` declares every event name the stack may emit and, via
+``EVENT_FIELDS``, the exact payload field set per event.  JSONL trace
+consumers (CI artifacts, offline analysis) key on that schema, so an
+emit site inventing a name or drifting a field silently corrupts every
+downstream reader.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..findings import Finding
+from ..registry import SRC_SCOPE, rule
+
+
+def _emit_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    """Calls shaped ``<tracer>.emit(...)`` on a tracer-named receiver."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            and isinstance(node.func.value, ast.Name)
+            and "tracer" in node.func.value.id.lower()
+        ):
+            yield node
+
+
+def _resolve_event(ctx, arg: ast.expr) -> tuple[str | None, bool]:
+    """(event name, resolvable) for an emit call's first argument.
+
+    A string literal or an UPPER_CASE constant name is resolvable; a
+    lowercase variable is a dynamic dispatch the analyser stays silent
+    about.
+    """
+    constants = ctx.project.event_constants
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value, True
+    name = None
+    if isinstance(arg, ast.Name):
+        name = arg.id
+    elif isinstance(arg, ast.Attribute):
+        name = arg.attr
+    if name is not None and name.isupper():
+        return constants.get(name), True
+    return None, False
+
+
+@rule(
+    "trace-unknown-event",
+    rationale="every emitted event name must be declared in "
+    "obs/events.py so the taxonomy stays the single source of truth "
+    "for trace consumers",
+    scope=SRC_SCOPE,
+)
+def check_unknown_event(ctx) -> Iterator[Finding]:
+    declared = ctx.project.events
+    constants = ctx.project.event_constants
+    for call in _emit_calls(ctx.tree):
+        if not call.args:
+            continue
+        arg = call.args[0]
+        event, resolvable = _resolve_event(ctx, arg)
+        if not resolvable:
+            continue
+        if event is None:
+            label = arg.attr if isinstance(arg, ast.Attribute) else arg.id  # type: ignore[union-attr]
+            yield ctx.finding(
+                "trace-unknown-event",
+                call,
+                f"emit() names constant {label} which is not declared "
+                "in obs/events.py",
+            )
+        elif event not in declared and event not in constants.values():
+            yield ctx.finding(
+                "trace-unknown-event",
+                call,
+                f"emit() names event {event!r} which is not declared "
+                "in obs/events.py",
+            )
+
+
+@rule(
+    "trace-fields",
+    rationale="trace payloads are a schema: consumers index the JSONL by "
+    "the field set EVENT_FIELDS declares, so emit sites may neither "
+    "drop nor invent fields",
+    scope=SRC_SCOPE,
+)
+def check_fields(ctx) -> Iterator[Finding]:
+    declared = ctx.project.events
+    for call in _emit_calls(ctx.tree):
+        if not call.args:
+            continue
+        event, resolvable = _resolve_event(ctx, call.args[0])
+        if not resolvable or event is None:
+            continue
+        want = declared.get(event)
+        if want is None:
+            continue  # declared without a field contract
+        if any(kw.arg is None for kw in call.keywords):
+            continue  # **splat: dynamic payload, checked at runtime
+        got = {kw.arg for kw in call.keywords}
+        missing = sorted(set(want) - got)
+        extra = sorted(got - set(want))
+        if missing or extra:
+            parts = []
+            if missing:
+                parts.append(f"missing {missing}")
+            if extra:
+                parts.append(f"unexpected {extra}")
+            yield ctx.finding(
+                "trace-fields",
+                call,
+                f"emit({event!r}) payload does not match EVENT_FIELDS: "
+                + ", ".join(parts),
+            )

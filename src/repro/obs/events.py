@@ -21,6 +21,7 @@ one place to read the vocabulary and lets tests assert exhaustively.
 from __future__ import annotations
 
 __all__ = [
+    "EVENT_FIELDS",
     "RLNC_OFFER",
     "TRANSFER_START",
     "TRANSFER_MESSAGE",
@@ -58,3 +59,22 @@ ALL_EVENTS = (
     SIM_SLOT,
     SIM_FEEDBACK,
 )
+
+#: The payload schema per event — the machine-readable form of the
+#: table above.  ``repro lint`` checks every emit site against this
+#: mapping (rules ``trace-unknown-event`` / ``trace-fields``), so adding
+#: an event or a field here is how the contract is changed.  Keys must
+#: stay literal strings and values literal tuples: the linter reads this
+#: dict from the AST without importing the module.
+EVENT_FIELDS = {
+    "rlnc.offer": ("file_id", "message_id", "outcome", "rank"),
+    "transfer.start": ("peers", "file_id"),
+    "transfer.message": ("slot", "peer", "outcome"),
+    "transfer.complete": ("slot", "delivered", "dependent", "rejected"),
+    "transfer.stop": ("peer", "slot", "lag_slots"),
+    "transfer.discard": ("slot", "peer", "message_id"),
+    "transfer.fault": ("peer", "kind", "slot"),
+    "transfer.retry": ("peer", "attempt", "backoff_slots"),
+    "sim.slot": ("t", "requesting", "allocated_kbps", "jain"),
+    "sim.feedback": ("t", "credited"),
+}

@@ -16,9 +16,9 @@ from dataclasses import dataclass, field
 from ..gf import BinaryField
 from ..security.integrity import DigestStore
 from ..security.prng import derive_key
+from .coefficients import CoefficientGenerator
 from .decoder import Offer, ProgressiveDecoder
 from .encoder import EncodedFile, FileEncoder
-from .coefficients import CoefficientGenerator
 from .message import EncodedMessage
 from .params import ONE_MEGABYTE, CodingParams
 

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import hashlib
 import secrets
+import struct
 from dataclasses import dataclass
+
+from .prng import derive_key
 
 __all__ = [
     "PublicKey",
@@ -58,6 +61,50 @@ def is_probable_prime(n: int, rounds: int = 40, rand=None) -> bool:
         else:
             return False
     return True
+
+
+class _KeyedRandom:
+    """The slice of the ``random.Random`` API key generation needs,
+    drawn from a keyed SHA-256 counter stream.
+
+    Seeded key generation must be replayable *and* come from the
+    repository's one keyed entropy construction (the same counter-mode
+    stream as :mod:`repro.security.prng`), not from stdlib ``random`` —
+    Mersenne Twister output is predictable from its own history, which
+    is exactly the wrong primitive to grow RSA primes from.
+    """
+
+    def __init__(self, key: bytes):
+        self._key = key
+        self._counter = 0
+        self._buffer = b""
+
+    def _take(self, count: int) -> bytes:
+        while len(self._buffer) < count:
+            self._buffer += hashlib.sha256(
+                self._key + struct.pack(">Q", self._counter)
+            ).digest()
+            self._counter += 1
+        out, self._buffer = self._buffer[:count], self._buffer[count:]
+        return out
+
+    def getrandbits(self, k: int) -> int:
+        if k <= 0:
+            raise ValueError(f"number of bits must be positive, got {k}")
+        nbytes = (k + 7) // 8
+        return int.from_bytes(self._take(nbytes), "big") >> (nbytes * 8 - k)
+
+    def randrange(self, start: int, stop: int | None = None) -> int:
+        if stop is None:
+            start, stop = 0, start
+        span = stop - start
+        if span <= 0:
+            raise ValueError(f"empty range for randrange ({start}, {stop})")
+        k = span.bit_length()
+        while True:  # rejection sampling keeps the draw exactly uniform
+            value = self.getrandbits(k)
+            if value < span:
+                return start + value
 
 
 def _random_prime(bits: int, rand) -> int:
@@ -119,13 +166,16 @@ def generate_keypair(bits: int = 1024, seed: int | None = None) -> KeyPair:
     """Generate an RSA key pair with modulus of roughly ``bits`` bits.
 
     ``seed`` makes generation deterministic (tests and reproducible
-    simulations); production use leaves it ``None`` for OS entropy.
+    simulations) by keying a SHA-256 counter stream from it; production
+    use leaves it ``None`` for OS entropy.
     """
-    import random
-
     if bits < 64:
         raise ValueError(f"modulus too small to be meaningful: {bits} bits")
-    rand = random.Random(seed) if seed is not None else secrets.SystemRandom()
+    if seed is not None:
+        key = derive_key(b"repro.security.keys", "rsa-keygen", str(seed))
+        rand = _KeyedRandom(key)
+    else:
+        rand = secrets.SystemRandom()
     e = 65537
     while True:
         p = _random_prime(bits // 2, rand)

@@ -25,7 +25,6 @@ from .engine import Simulation
 from .metrics import SimulationResult
 from .network import FileHandle, FileSharingNetwork, NetworkDownload
 from .peer import PeerConfig, PeerState
-from .traces import DiurnalDemand, FlashCrowdDemand, TraceDemand
 from .scenarios import (
     FIG5A_CAPACITIES,
     FIG5B_CAPACITIES,
@@ -41,6 +40,7 @@ from .scenarios import (
     figure_8a,
     figure_8b,
 )
+from .traces import DiurnalDemand, FlashCrowdDemand, TraceDemand
 
 __all__ = [
     "Simulation",

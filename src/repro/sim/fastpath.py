@@ -124,7 +124,12 @@ def _compile() -> Path | None:
         os.environ.get("REPRO_NATIVE_CACHE")
         or Path(tempfile.gettempdir()) / "repro-fastalloc"
     )
-    for cflags in _CFLAG_SETS:
+    # Extra flags (e.g. CI's "-fsanitize=address,undefined") append to
+    # every candidate set; they are part of the cache digest below, so a
+    # sanitized build never aliases a normal one.
+    extra = os.environ.get("REPRO_NATIVE_CFLAGS", "").split()
+    for base_cflags in _CFLAG_SETS:
+        cflags = [*base_cflags, *extra]
         digest = hashlib.sha256(
             source + " ".join(cflags).encode()
         ).hexdigest()[:16]

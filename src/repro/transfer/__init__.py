@@ -1,6 +1,7 @@
 """Transfer protocol: authenticated sessions and parallel downloads
 (the Fig. 4(b) time-line)."""
 
+from .latency import LatencyModel
 from .protocol import (
     AuthChallenge,
     AuthResponse,
@@ -9,10 +10,9 @@ from .protocol import (
     FileAccept,
     FileRequest,
     ProtocolError,
+    SessionCrashed,
     StopTransmission,
 )
-from .protocol import SessionCrashed
-from .latency import LatencyModel
 from .scheduler import (
     DownloadReport,
     ParallelDownloader,

@@ -22,6 +22,7 @@ the behaviour — and the report — is bit-identical to the trusting path.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -395,7 +396,7 @@ class ParallelDownloader:
         sessions: Sequence[ServingSession],
         decoder: ProgressiveDecoder,
         rate_fn: Callable[[int, int], float],
-        download_cap_kbps: float = float("inf"),
+        download_cap_kbps: float = math.inf,
         slot_seconds: float = 1.0,
         latency=None,
         policy: RobustPolicy | None = None,
@@ -676,7 +677,7 @@ class ParallelDownloader:
                     dependent=dependent,
                     rejected=rejected,
                 )
-                for i, session in enumerate(self.sessions):
+                for i, _session in enumerate(self.sessions):
                     stop_deadline[i] = t + self.latency.stop_slots(i)
                     if _OBS.enabled:
                         _XFER_STOP_LAG.observe(self.latency.stop_slots(i))

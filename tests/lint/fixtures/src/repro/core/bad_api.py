@@ -1,0 +1,30 @@
+"""Planted API-contract violations; tests pin these exact lines."""
+
+from typing import Protocol
+
+
+class RowsOnlyAllocator:  # line 6: api-batched-scalar-pair
+    def allocate_rows(self, indices, capacities, requesting, ledgers, declared, t):
+        return None
+
+
+class BatchSpec(Protocol):  # Protocol declarations are exempt
+    def allocate_rows(self, indices, capacities, requesting, ledgers, declared, t):
+        ...
+
+
+class PairedAllocator:
+    def allocate(self, index, capacity, requesting, ledger, declared, t):
+        return None
+
+    def allocate_rows(self, indices, capacities, requesting, ledgers, declared, t):
+        return None
+
+
+def collect(items, acc=[]):  # line 24: api-mutable-default
+    acc.extend(items)
+    return acc
+
+
+def tagged(item, tags={}):  # line 29: api-mutable-default
+    return tags.get(item)

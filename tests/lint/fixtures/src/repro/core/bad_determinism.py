@@ -1,0 +1,27 @@
+"""Planted determinism violations; tests pin these exact lines."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def wallclock():
+    return time.time()  # line 11: det-wallclock
+
+
+def entropy():
+    return os.urandom(8)  # line 15: det-urandom
+
+
+def unseeded():
+    return np.random.default_rng()  # line 19: det-unseeded-rng
+
+
+def legacy_global():
+    return np.random.random()  # line 23: det-unseeded-rng
+
+
+def stdlib_draw():
+    return random.random()

@@ -1,0 +1,25 @@
+"""Planted float-safety violations; tests pin these exact lines."""
+
+import numpy as np
+
+
+def share(weights, total, capacity):
+    return weights / total * capacity  # line 7: float-div-before-mul
+
+
+def make_ledger(n):
+    ledger = np.zeros((n, n), dtype=np.float32)  # line 11: float-ledger-dtype
+    return ledger
+
+
+def total_rate(rates):
+    return sum(rates)  # line 16: float-bare-sum
+
+
+def fine_forms(weights, total, capacity, rates):
+    safe = weights * capacity / total
+    ratio = capacity * (weights / total)
+    unit = capacity / 8.0 * total
+    scalar = sum(r * r for r in rates)
+    ledger = np.zeros((4, 4))
+    return safe, ratio, unit, scalar, ledger

@@ -1,0 +1,14 @@
+"""Miniature event taxonomy for the lint fixtures.
+
+The engine treats the nearest ``fixtures`` directory as a project root,
+so this file plays the role ``src/repro/obs/events.py`` plays in the
+real tree: it declares the event vocabulary the trace rules check
+fixture emit sites against.
+"""
+
+EV_GOOD = "fix.good"
+EV_BARE = "fix.bare"
+
+EVENT_FIELDS = {
+    "fix.good": ("a", "b"),
+}

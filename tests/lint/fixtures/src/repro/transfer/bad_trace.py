@@ -1,0 +1,22 @@
+"""Planted trace-schema violations; tests pin these exact lines."""
+
+from ..obs.events import EV_BARE, EV_GOOD
+
+
+class _Buffer:
+    enabled = False
+
+    def emit(self, name, **fields):
+        pass
+
+
+_TRACER = _Buffer()
+
+
+def emit_sites():
+    _TRACER.emit("fix.unknown", a=1)  # line 17: trace-unknown-event
+    _TRACER.emit(EV_GOOD, a=1, c=2)  # line 18: trace-fields
+    _TRACER.emit(EV_MISSING, a=1)  # line 19: trace-unknown-event (undefined)
+    _TRACER.emit(EV_GOOD, a=1, b=2)  # declared name, declared fields: clean
+    _TRACER.emit(EV_BARE, anything=1)  # no field contract declared: clean
+    _TRACER.emit("fix.good", a=1, b=2)  # literal spelling of declared event

@@ -1,0 +1,73 @@
+"""`repro lint` CLI: exit codes, formats, rule filtering, rule listing."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "src" / "repro"
+BAD_DET = str(FIXTURES / "core" / "bad_determinism.py")
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", BAD_DET]) == 1
+        out = capsys.readouterr().out
+        assert "det-wallclock" in out
+        assert f"{BAD_DET}:11:" in out or "bad_determinism.py:11:" in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--rule", "nope", BAD_DET]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "definitely/not/here.py"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_json_format_parses_and_matches_engine(self, capsys):
+        assert main(["lint", "--format", "json", BAD_DET]) == 1
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["version"] == 1
+        rules = {f["rule"] for f in blob["findings"]}
+        assert "det-wallclock" in rules and "det-unseeded-rng" in rules
+        lines = {
+            (f["line"], f["rule"]) for f in blob["findings"]
+        }
+        assert (11, "det-wallclock") in lines
+
+    def test_rule_filter(self, capsys):
+        assert main(["lint", "--rule", "det-urandom", BAD_DET]) == 1
+        out = capsys.readouterr().out
+        assert "det-urandom" in out and "det-wallclock" not in out
+
+
+class TestListRules:
+    def test_lists_every_family(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in (
+            "det-wallclock",
+            "det-stdlib-random",
+            "det-urandom",
+            "det-unseeded-rng",
+            "float-div-before-mul",
+            "float-ledger-dtype",
+            "float-bare-sum",
+            "trace-unknown-event",
+            "trace-fields",
+            "api-batched-scalar-pair",
+            "api-mutable-default",
+            "lint-suppression",
+            "lint-syntax",
+        ):
+            assert rid in out, rid

@@ -1,0 +1,43 @@
+"""The repository's own tree passes its own invariant linter.
+
+This is the in-tree twin of the CI `lint-invariants` gate: if a change
+reintroduces an unseeded RNG, a divide-before-multiply, an undeclared
+trace event or a batch-only allocator, this test fails before CI does.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import run_lint
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+
+
+@pytest.mark.skipif(
+    not (REPO_ROOT / "pyproject.toml").is_file(),
+    reason="repro is not running from a source checkout",
+)
+def test_repo_tree_is_lint_clean():
+    paths = [
+        REPO_ROOT / name
+        for name in ("src", "tests", "benchmarks", "examples")
+        if (REPO_ROOT / name).is_dir()
+    ]
+    report = run_lint(paths)
+    assert report.findings == [], "\n" + report.format_text()
+    assert report.exit_code() == 0
+
+
+@pytest.mark.skipif(
+    not (REPO_ROOT / "pyproject.toml").is_file(),
+    reason="repro is not running from a source checkout",
+)
+def test_emit_sites_cover_every_declared_event():
+    """The declared taxonomy and EVENT_FIELDS stay in sync."""
+    from repro.obs.events import ALL_EVENTS, EVENT_FIELDS
+
+    assert set(EVENT_FIELDS) == set(ALL_EVENTS)

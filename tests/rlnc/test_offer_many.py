@@ -8,8 +8,8 @@ duplicates, forged payloads, and wrong-file noise.
 
 import numpy as np
 
-from repro.rlnc import CodingParams, FileEncoder, Offer, ProgressiveDecoder
 from repro.obs import REGISTRY, observability
+from repro.rlnc import CodingParams, FileEncoder, Offer, ProgressiveDecoder
 from repro.security import DigestStore
 
 PARAMS = CodingParams(p=8, m=64, file_bytes=1024)  # k = 16

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.rlnc import CodingParams, VersionedEncoder, VersionedManifest
-from repro.rlnc.update import _versioned_chunk_id
 from repro.rlnc.chunking import derive_chunk_id
+from repro.rlnc.update import _versioned_chunk_id
 from repro.security import DigestStore
 
 PARAMS = CodingParams(p=16, m=32, file_bytes=512)  # k = 8

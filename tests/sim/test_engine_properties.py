@@ -25,7 +25,7 @@ ALLOCATORS = [
 def network_configs(draw):
     n = draw(st.integers(min_value=1, max_value=6))
     configs = []
-    for i in range(n):
+    for _ in range(n):
         cap = draw(st.floats(min_value=0.0, max_value=2000.0))
         gamma = draw(st.floats(min_value=0.0, max_value=1.0))
         allocator_cls = draw(st.sampled_from(ALLOCATORS))
