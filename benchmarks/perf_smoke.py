@@ -60,6 +60,68 @@ def measure_sim() -> tuple[str, float]:
     return key, bench_sim_scaling.seconds_per_slot(SIM_N, "batched")
 
 
+#: Obs-overhead probe, enforcing the "<3% overhead" instrumentation
+#: claim with a 5% CI budget: the decode + sim-slot-loop workload with
+#: metrics AND tracing enabled may cost at most OVERHEAD_BUDGET times
+#: the same workload with observability off.  On/off passes are
+#: interleaved so machine drift hits both sides equally.
+OVERHEAD_BUDGET = 1.05
+OVERHEAD_REPS = 9
+
+
+def _median(samples: list[float]) -> float:
+    samples = sorted(samples)
+    return samples[(len(samples) - 1) // 2]
+
+
+def measure_obs_overhead() -> int:
+    """Fail (1) when metrics+tracing cost >5% over the obs-off hot path."""
+    from repro import obs
+    from repro.rlnc import BlockDecoder, CodingParams, FileEncoder
+    from repro.sim.scenarios import figure_5a
+
+    # k=512: the decode is dominated by a long dense elimination whose
+    # runtime is stable rep-to-rep, so the on/off ratio does not flap on
+    # noisy shared runners the way a short decode's would.
+    params = CodingParams(p=P, m=1 << 11)
+    encoder = FileEncoder(params, secret=b"bench", file_id=2)
+    data = os.urandom(params.file_bytes)
+    source = encoder.source_matrix(data)
+    ids = encoder.independent_ids(1)[0]
+    messages = encoder.encode_ids(source, ids)
+
+    def workload() -> None:
+        decoder = BlockDecoder(params, encoder.coefficients)
+        assert decoder.decode(messages) == data
+        figure_5a(slots=40, seed=7)
+
+    workload()  # warm caches and lazily-built kernels before timing
+    # Interleave on/off reps so machine drift (frequency scaling,
+    # co-tenants) hits both sides equally, then compare medians.
+    off, on = [], []
+    for _ in range(OVERHEAD_REPS):
+        start = time.perf_counter()
+        workload()
+        off.append(time.perf_counter() - start)
+
+        with obs.observability(tracing=True, reset=True):
+            start = time.perf_counter()
+            workload()
+            on.append(time.perf_counter() - start)
+
+    base, enabled = _median(off), _median(on)
+    ratio = enabled / base
+    print(f"obs overhead: off {base * 1e3:.1f} ms, metrics+tracing on "
+          f"{enabled * 1e3:.1f} ms -> ratio {ratio:.3f}x "
+          f"(budget {OVERHEAD_BUDGET:.2f}x)")
+    if ratio > OVERHEAD_BUDGET:
+        print(f"FAIL: observability costs {ratio:.3f}x > "
+              f"{OVERHEAD_BUDGET:.2f}x budget on the decode + sim slot "
+              "loop hot path")
+        return 1
+    return 0
+
+
 def _compare(baseline_name: str, key: str, ns_per_op: int) -> int:
     """Return 1 when ``key`` regressed past BUDGET vs the baseline file."""
     baseline_path = REPO_ROOT / baseline_name
@@ -114,6 +176,8 @@ def main() -> int:
     print(f"measured {sim_key}: {sim_ns} ns/op ({sim_seconds * 1e6:.0f} us/slot); "
           f"wrote {sim_path.name}")
     failures += _compare("BENCH_sim.json", sim_key, sim_ns)
+
+    failures += measure_obs_overhead()
 
     if failures:
         return 1

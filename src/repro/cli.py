@@ -206,6 +206,8 @@ def _obs_requested(args: argparse.Namespace) -> bool:
         getattr(args, "metrics", False)
         or getattr(args, "metrics_out", None)
         or getattr(args, "trace", None)
+        or getattr(args, "report", False)
+        or getattr(args, "report_json", None)
     )
 
 
@@ -217,6 +219,12 @@ def _obs_report(args: argparse.Namespace) -> None:
         except OSError as exc:
             raise SystemExit(f"cannot write trace: {exc}") from exc
         print(f"trace: {count} event(s) -> {args.trace}")
+        if obs.TRACER.dropped:
+            print(
+                f"WARNING: trace ring dropped {obs.TRACER.dropped} event(s); "
+                "the written trace is incomplete",
+                file=sys.stderr,
+            )
     if getattr(args, "metrics_out", None):
         try:
             with open(args.metrics_out, "w") as fh:
@@ -232,10 +240,30 @@ def _with_obs(args: argparse.Namespace, fn) -> int:
     """Run ``fn()`` under scoped observability when any flag asks for it."""
     if not _obs_requested(args):
         return fn()
-    with obs.observability(tracing=bool(getattr(args, "trace", None)), reset=True):
+    # Run reports derive their causal sections (critical path, drop
+    # warnings) from the trace, so the report flags imply tracing.
+    tracing = bool(
+        getattr(args, "trace", None)
+        or getattr(args, "report", False)
+        or getattr(args, "report_json", None)
+    )
+    with obs.observability(tracing=tracing, reset=True):
         code = fn()
         _obs_report(args)
     return code
+
+
+def _emit_run_report(args: argparse.Namespace, report: dict) -> None:
+    """Print and/or save a run report built by :mod:`repro.obs.report`."""
+    if getattr(args, "report", False):
+        print(obs.report.render_report(report))
+    if getattr(args, "report_json", None):
+        try:
+            with open(args.report_json, "w") as fh:
+                json.dump(report, fh, indent=2)
+        except OSError as exc:
+            raise SystemExit(f"cannot write report: {exc}") from exc
+        print(f"report -> {args.report_json}")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -250,6 +278,17 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help="write structured trace events as JSONL",
+    )
+
+
+def _add_report_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print a fairness + goodput run report when done",
+    )
+    parser.add_argument(
+        "--report-json", default=None, metavar="FILE",
+        help="write the run report as JSON",
     )
 
 
@@ -413,6 +452,7 @@ def _download(args: argparse.Namespace) -> int:
     keys = generate_keypair(bits=512, seed=args.seed)
     total_slots = 0
     total_bytes = 0.0
+    chunk_reports = []
     failures: dict[int, object] = {}  # original peer index -> PeerFailure
     for index, chunk_id in enumerate(manifest.chunk_ids):
         holders = [pi for pi, s in enumerate(stores) if s.has_file(chunk_id)]
@@ -443,6 +483,7 @@ def _download(args: argparse.Namespace) -> int:
             lambda i, t: args.rate,
             policy=policy,
         ).run(args.max_slots, file_id=chunk_id)
+        chunk_reports.append(report)
         total_slots += report.slots
         total_bytes += report.bytes_received
         for f in report.failures:
@@ -464,6 +505,12 @@ def _download(args: argparse.Namespace) -> int:
             else ""
         )
         print(f"  peer {pi} [{args.sources[pi]}]: {f.kind} at slot {f.slot}{cost}")
+
+    if (args.report or args.report_json) and chunk_reports:
+        events = obs.TRACER.events() if obs.TRACER.enabled else None
+        _emit_run_report(
+            args, obs.report.download_report(chunk_reports, events=events)
+        )
 
     if not decoder.is_complete:
         missing = [
@@ -565,6 +612,9 @@ def _simulate(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             json.dump(result.to_dict(), fh)
         print(f"result -> {args.json}")
+    if args.report or args.report_json:
+        events = obs.TRACER.events() if obs.TRACER.enabled else None
+        _emit_run_report(args, obs.report.simulation_report(result, events=events))
     return 0
 
 
@@ -583,13 +633,130 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 f"{args.snapshot} is not a metrics snapshot "
                 "(expected the JSON written by --metrics-out)"
             )
-        print(obs.render_snapshot(snapshot, header=args.snapshot))
+        if args.format == "json":
+            print(json.dumps(snapshot, indent=2))
+        elif args.format == "openmetrics":
+            print(obs.render_openmetrics(snapshot), end="")
+        else:
+            print(obs.render_snapshot(snapshot, header=args.snapshot))
+        _warn_dropped()
         return 0
     # Import every instrumented layer so its metrics are registered and
     # the catalog is complete.
     from . import sim, transfer  # noqa: F401
 
-    print(obs.render_catalog(obs.REGISTRY.snapshot(), obs.events.ALL_EVENTS))
+    if args.format == "json":
+        print(json.dumps(obs.REGISTRY.snapshot(), indent=2))
+    elif args.format == "openmetrics":
+        print(obs.render_openmetrics(obs.REGISTRY.snapshot()), end="")
+    else:
+        print(obs.render_catalog(obs.REGISTRY.snapshot(), obs.events.ALL_EVENTS))
+    _warn_dropped()
+    return 0
+
+
+def _warn_dropped() -> None:
+    if obs.TRACER.dropped:
+        print(
+            f"WARNING: trace ring dropped {obs.TRACER.dropped} event(s) "
+            "this process",
+            file=sys.stderr,
+        )
+
+
+def _render_span_node(node, depth: int, lines: list[str]) -> None:
+    attrs = ",".join(f"{k}={v}" for k, v in sorted(node.attrs.items()))
+    dur = (
+        f"{node.duration_ns / 1e6:.3f} ms"
+        if node.duration_ns is not None
+        else "unfinished"
+    )
+    label = f"{node.op}[{attrs}]" if attrs else node.op
+    lines.append(f"{'  ' * depth}{label}  {dur}  ({node.status or '...'})")
+    # Same-op sibling runs (e.g. 10 000 sim.step children) collapse into
+    # an aggregate line after the first few, or the tree is unreadable.
+    by_op: dict[str, list] = {}
+    for child in node.children:
+        by_op.setdefault(child.op, []).append(child)
+    for op, group in by_op.items():
+        shown = group if len(group) <= 8 else group[:3]
+        for child in shown:
+            _render_span_node(child, depth + 1, lines)
+        if len(group) > len(shown):
+            rest = group[len(shown):]
+            finished = [c.duration_ns for c in rest if c.duration_ns is not None]
+            total_ms = sum(finished) / 1e6
+            lines.append(
+                f"{'  ' * (depth + 1)}... {len(rest)} more {op} span(s) "
+                f"({total_ms:.3f} ms)"
+            )
+
+
+def cmd_trace_analyze(args: argparse.Namespace) -> int:
+    """Reconstruct the span tree and timelines from a recorded trace."""
+    try:
+        events = obs.read_jsonl(args.file, meta=True)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"cannot read trace: {exc}") from exc
+    meta = obs.analyze.trace_meta(events)
+    body = [e for e in events if e.name != obs.events.TRACE_META]
+    dropped = int(meta.get("dropped", 0)) if meta else 0
+    print(f"{args.file}: {len(body)} event(s), {dropped} dropped")
+    if dropped:
+        print(
+            f"WARNING: trace ring dropped {dropped} event(s); "
+            "spans and timelines below may be incomplete",
+            file=sys.stderr,
+        )
+
+    forest = obs.analyze.build_span_forest(body)
+    if forest:
+        print(f"\nspans ({sum(1 for r in forest for _ in r.walk())}):")
+        lines: list[str] = []
+        for root in forest:
+            _render_span_node(root, 1, lines)
+        print("\n".join(lines))
+        # The critical path of the longest-running root tells which
+        # child (peer session, slot) bounded the run's wall-clock.
+        root = max(
+            forest,
+            key=lambda r: -1 if r.duration_ns is None else r.duration_ns,
+        )
+        path = obs.analyze.critical_path(root)
+        if len(path) > 1:
+            steps = []
+            for node in path:
+                attrs = ",".join(
+                    f"{k}={v}" for k, v in sorted(node.attrs.items())
+                )
+                steps.append(f"{node.op}[{attrs}]" if attrs else node.op)
+            print("critical path: " + " -> ".join(steps))
+    else:
+        print("no spans recorded (flat trace)")
+
+    states = obs.analyze.time_in_state(body)
+    if states:
+        print("\ntime in state:")
+        print(
+            f"  {'peer':>4} {'active':>7} {'retry-wait':>10} "
+            f"{'quarantined':>11} {'discarded':>9}  fault"
+        )
+        for peer, st in states.items():
+            print(
+                f"  {peer:>4} {st['active_slots']:>7} "
+                f"{st['retry_wait_slots']:>10} {st['quarantined_slots']:>11} "
+                f"{st['discarded']:>9}  {st['fault'] or '-'}"
+            )
+
+    timeline = obs.analyze.fairness_timeline(body)
+    if timeline:
+        jains = [row["jain"] for row in timeline]
+        lo = min(range(len(jains)), key=jains.__getitem__)
+        print(
+            f"\nfairness timeline: {len(timeline)} slot(s), "
+            f"jain final {jains[-1]:.4f} mean {sum(jains) / len(jains):.4f} "
+            f"min {jains[lo]:.4f} @ slot {timeline[lo]['t']}"
+        )
     return 0
 
 
@@ -713,6 +880,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dl.add_argument("--seed", type=int, default=0, help="keypair/auth seed")
     _add_obs_flags(dl)
+    _add_report_flags(dl)
     dl.set_defaults(func=cmd_download)
 
     ins = sub.add_parser("inspect", help="show the contents of .dat stores")
@@ -739,6 +907,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full SimulationResult as JSON",
     )
     _add_obs_flags(simp)
+    _add_report_flags(simp)
     simp.set_defaults(func=cmd_simulate)
 
     stats = sub.add_parser(
@@ -748,7 +917,23 @@ def build_parser() -> argparse.ArgumentParser:
         "snapshot", nargs="?", default=None,
         help="snapshot JSON written by --metrics-out (omit for the catalog)",
     )
+    stats.add_argument(
+        "--format", choices=("text", "json", "openmetrics"), default="text",
+        help="output format (openmetrics = Prometheus-compatible text)",
+    )
     stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace", help="trace tooling over recorded JSONL traces"
+    )
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+    tana = tsub.add_parser(
+        "analyze",
+        help="reconstruct the span tree, critical path and per-peer/"
+        "per-slot timelines from a --trace JSONL",
+    )
+    tana.add_argument("file", help="trace JSONL written by --trace")
+    tana.set_defaults(func=cmd_trace_analyze)
 
     chan = sub.add_parser("channel", help="Fig. 1 asymmetric-link timing table")
     chan.add_argument("--size", type=int, default=1 << 30, help="bytes to transmit")

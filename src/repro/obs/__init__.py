@@ -30,10 +30,18 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
-from . import events
+from . import analyze, events, export, report, spans
+from .export import render_openmetrics, validate_openmetrics, write_openmetrics
 from .profiling import span, timed
 from .registry import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry, quantile
 from .render import render_catalog, render_snapshot
+from .spans import (
+    SpanHandle,
+    current_span,
+    finish_span,
+    span_scope,
+    start_span,
+)
 from .trace import TRACER, TraceBuffer, TraceEvent, read_jsonl
 
 __all__ = [
@@ -43,19 +51,31 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SpanHandle",
     "TraceBuffer",
     "TraceEvent",
+    "analyze",
+    "current_span",
     "events",
     "enable",
     "disable",
     "enabled",
+    "export",
+    "finish_span",
     "observability",
     "quantile",
     "read_jsonl",
     "render_catalog",
+    "render_openmetrics",
     "render_snapshot",
+    "report",
     "span",
+    "span_scope",
+    "spans",
+    "start_span",
     "timed",
+    "validate_openmetrics",
+    "write_openmetrics",
 ]
 
 
@@ -89,6 +109,7 @@ def observability(tracing: bool = False, reset: bool = False):
     if reset:
         REGISTRY.reset()
         TRACER.clear()
+        spans.reset_ids()
     enable(tracing=tracing)
     try:
         yield REGISTRY

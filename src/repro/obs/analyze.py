@@ -1,0 +1,229 @@
+"""Offline trace analysis: span trees, critical paths, state timelines.
+
+Everything here consumes a flat list of :class:`TraceEvent` records —
+straight from :meth:`TraceBuffer.events` or re-read from JSONL — and
+derives the causal structure the evaluation questions need: which
+session bounded a download's wall-clock (critical path), where each peer
+spent its slots (time in state), and how fairness evolved slot by slot.
+
+Pure standard library, no numpy: the inputs are already plain ints,
+floats and dicts by the time they land in a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import (
+    SIM_SLOT,
+    SPAN_END,
+    SPAN_START,
+    TRACE_META,
+    TRANSFER_DISCARD,
+    TRANSFER_FAULT,
+    TRANSFER_MESSAGE,
+    TRANSFER_RETRY,
+    TRANSFER_STOP,
+)
+from .trace import TraceEvent
+
+__all__ = [
+    "SpanNode",
+    "trace_meta",
+    "build_span_forest",
+    "critical_path",
+    "time_in_state",
+    "fairness_timeline",
+]
+
+
+@dataclass
+class SpanNode:
+    """One reassembled span with its children.
+
+    ``end_ns``/``status`` stay ``None`` for spans whose ``span.end``
+    never made it into the trace (crash, ring drop); their
+    :attr:`duration_ns` is then ``None`` as well.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: int
+    op: str
+    attrs: dict
+    start_ns: int
+    start_wall: float
+    end_ns: int | None = None
+    status: str | None = None
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration_ns(self) -> int | None:
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.start_ns
+
+    def walk(self):
+        """Yield this node and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def trace_meta(events: list[TraceEvent]) -> dict | None:
+    """The first ``trace.meta`` record's fields, or ``None``."""
+    for event in events:
+        if event.name == TRACE_META:
+            return dict(event.fields)
+    return None
+
+
+def build_span_forest(events: list[TraceEvent]) -> list[SpanNode]:
+    """Reassemble ``span.start``/``span.end`` pairs into parent/child trees.
+
+    Returns the roots, in start order.  A span whose parent never
+    appears in the trace (context extracted from a remote peer, or the
+    parent's start record was dropped by the ring) becomes a root of its
+    own — analysis degrades gracefully on truncated traces.
+    """
+    nodes: dict[int, SpanNode] = {}
+    roots: list[SpanNode] = []
+    for event in events:
+        if event.name == SPAN_START:
+            f = event.fields
+            node = SpanNode(
+                trace_id=int(f["trace_id"]),
+                span_id=int(f["span_id"]),
+                parent_id=int(f["parent_id"]),
+                op=str(f["op"]),
+                attrs=dict(f.get("attrs") or {}),
+                start_ns=event.mono_ns,
+                start_wall=event.wall,
+            )
+            nodes[node.span_id] = node
+            parent = nodes.get(node.parent_id)
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                roots.append(node)
+        elif event.name == SPAN_END:
+            node = nodes.get(int(event.fields["span_id"]))
+            if node is not None:
+                node.end_ns = event.mono_ns
+                node.status = str(event.fields.get("status", "ok"))
+    return roots
+
+
+def critical_path(root: SpanNode) -> list[SpanNode]:
+    """The chain of last-finishing descendants — what bounded wall-clock.
+
+    From each node, follow the child whose end timestamp is largest
+    (unfinished children are treated as still running, i.e. latest).
+    The result starts at ``root`` and ends at a leaf.
+    """
+    path = [root]
+    node = root
+    while node.children:
+        node = max(
+            node.children,
+            key=lambda c: float("inf") if c.end_ns is None else c.end_ns,
+        )
+        path.append(node)
+    return path
+
+
+def time_in_state(events: list[TraceEvent]) -> dict[int, dict]:
+    """Per-peer slot accounting from the flat transfer events.
+
+    Returns ``{peer: {"active_slots", "retry_wait_slots",
+    "quarantined_slots", "discarded", "fault", "last_slot"}}``:
+
+    - ``active_slots``: distinct slots in which the peer delivered a
+      message (``transfer.message`` / ``transfer.discard``);
+    - ``retry_wait_slots``: total handshake backoff the peer imposed
+      (sum of ``transfer.retry`` backoffs);
+    - ``quarantined_slots``: slots between the peer's fault and the end
+      of the run, during which its bandwidth was lost or redistributed;
+    - ``discarded``: messages thrown away by the robust path;
+    - ``fault``: the fault kind, if any.
+    """
+    per_peer: dict[int, dict] = {}
+    end_slot = 0
+
+    def entry(peer: int) -> dict:
+        return per_peer.setdefault(
+            int(peer),
+            {
+                "active_slots": set(),
+                "retry_wait_slots": 0,
+                "quarantined_slots": 0,
+                "discarded": 0,
+                "fault": None,
+                "fault_slot": None,
+                "last_slot": 0,
+            },
+        )
+
+    for event in events:
+        f = event.fields
+        if event.name in (TRANSFER_MESSAGE, TRANSFER_DISCARD):
+            e = entry(f["peer"])
+            slot = int(f["slot"])
+            e["active_slots"].add(slot)
+            e["last_slot"] = max(e["last_slot"], slot)
+            end_slot = max(end_slot, slot)
+            if event.name == TRANSFER_DISCARD:
+                e["discarded"] += 1
+        elif event.name == TRANSFER_RETRY:
+            e = entry(f["peer"])
+            e["retry_wait_slots"] += int(f["backoff_slots"])
+        elif event.name == TRANSFER_FAULT:
+            e = entry(f["peer"])
+            slot = int(f["slot"])
+            e["fault"] = str(f["kind"])
+            e["fault_slot"] = slot
+            end_slot = max(end_slot, slot)
+        elif event.name == TRANSFER_STOP:
+            end_slot = max(end_slot, int(f["slot"]))
+        elif event.name == SIM_SLOT:
+            end_slot = max(end_slot, int(f["t"]))
+
+    out: dict[int, dict] = {}
+    for peer, e in sorted(per_peer.items()):
+        quarantined = 0
+        if e["fault_slot"] is not None:
+            quarantined = max(0, end_slot - int(e["fault_slot"]))
+        out[peer] = {
+            "active_slots": len(e["active_slots"]),
+            "retry_wait_slots": e["retry_wait_slots"],
+            "quarantined_slots": quarantined,
+            "discarded": e["discarded"],
+            "fault": e["fault"],
+            "last_slot": e["last_slot"],
+        }
+    return out
+
+
+def fairness_timeline(events: list[TraceEvent]) -> list[dict]:
+    """Per-slot fairness series from ``sim.slot`` events.
+
+    Each element is ``{"t", "jain", "requesting", "allocated_kbps"}`` in
+    slot order — the Jain index exactly as the engine computed it at
+    emit time, plus the requesting-user count and total allocated
+    bandwidth behind it.
+    """
+    timeline = []
+    for event in events:
+        if event.name != SIM_SLOT:
+            continue
+        f = event.fields
+        timeline.append(
+            {
+                "t": int(f["t"]),
+                "jain": float(f["jain"]),
+                "requesting": int(f["requesting"]),
+                "allocated_kbps": float(f["allocated_kbps"]),
+            }
+        )
+    timeline.sort(key=lambda row: row["t"])
+    return timeline

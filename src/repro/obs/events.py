@@ -16,6 +16,16 @@ one place to read the vocabulary and lets tests assert exhaustively.
 | ``transfer.retry``  | ``DownloadSession`` handshakes   | ``peer``, ``attempt``, ``backoff_slots`` |
 | ``sim.slot``        | ``Simulation.step``              | ``t``, ``requesting``, ``allocated_kbps``, ``jain`` |
 | ``sim.feedback``    | ``Simulation.step`` (on flush)   | ``t``, ``credited`` |
+| ``span.start``      | ``obs.spans.start_span``         | ``trace_id``, ``span_id``, ``parent_id``, ``op``, ``attrs`` |
+| ``span.end``        | ``obs.spans.finish_span``        | ``trace_id``, ``span_id``, ``op``, ``status`` |
+| ``trace.meta``      | ``TraceBuffer.write_jsonl``      | ``events``, ``dropped``, ``capacity`` |
+
+Span events are emitted exclusively by :mod:`repro.obs.spans`; the
+*operation* vocabulary they carry in their ``op`` field is listed in
+:data:`SPAN_OPS` (it is a payload value, not an event name, so the
+lint rules do not gate it — tests do).  ``trace.meta`` is a synthetic
+header record written by :meth:`TraceBuffer.write_jsonl`, never emitted
+into the live ring.
 """
 
 from __future__ import annotations
@@ -32,6 +42,10 @@ __all__ = [
     "TRANSFER_RETRY",
     "SIM_SLOT",
     "SIM_FEEDBACK",
+    "SPAN_START",
+    "SPAN_END",
+    "TRACE_META",
+    "SPAN_OPS",
     "ALL_EVENTS",
 ]
 
@@ -45,6 +59,24 @@ TRANSFER_FAULT = "transfer.fault"
 TRANSFER_RETRY = "transfer.retry"
 SIM_SLOT = "sim.slot"
 SIM_FEEDBACK = "sim.feedback"
+SPAN_START = "span.start"
+SPAN_END = "span.end"
+TRACE_META = "trace.meta"
+
+#: Known span operation names (the ``op`` payload of span events).
+#: Not event names — kept here so the vocabulary has one home and
+#: tests can assert recorded ops stay within it.
+SPAN_OPS = (
+    "transfer.download",
+    "transfer.peer",
+    "transfer.quarantine",
+    "transfer.retry",
+    "rlnc.offer_many",
+    "rlnc.encode",
+    "sim.run",
+    "sim.step",
+    "remote",
+)
 
 #: Every event name the stack can emit, for exhaustive assertions.
 ALL_EVENTS = (
@@ -58,6 +90,9 @@ ALL_EVENTS = (
     TRANSFER_RETRY,
     SIM_SLOT,
     SIM_FEEDBACK,
+    SPAN_START,
+    SPAN_END,
+    TRACE_META,
 )
 
 #: The payload schema per event — the machine-readable form of the
@@ -77,4 +112,7 @@ EVENT_FIELDS = {
     "transfer.retry": ("peer", "attempt", "backoff_slots"),
     "sim.slot": ("t", "requesting", "allocated_kbps", "jain"),
     "sim.feedback": ("t", "credited"),
+    "span.start": ("trace_id", "span_id", "parent_id", "op", "attrs"),
+    "span.end": ("trace_id", "span_id", "op", "status"),
+    "trace.meta": ("events", "dropped", "capacity"),
 }

@@ -1,0 +1,194 @@
+"""OpenMetrics text-format export of a metrics-registry snapshot.
+
+Renders :meth:`MetricsRegistry.snapshot` dictionaries in the OpenMetrics
+text exposition format (the Prometheus-compatible subset): one
+``# TYPE``/``# HELP`` metadata pair per family, one sample line per
+value, a terminating ``# EOF``.  Dotted repro metric names
+(``repro.gf.mul.calls``) become legal OpenMetrics names by mapping every
+character outside ``[a-zA-Z0-9_:]`` to ``_``.
+
+Mapping of repro metric kinds onto OpenMetrics families:
+
+- ``counter``    -> ``counter`` with a single ``<name>_total`` sample;
+- ``gauge``      -> ``gauge`` with a bare ``<name>`` sample (omitted
+  entirely while unset — OpenMetrics has no "unset" value);
+- ``histogram``  -> ``summary``: one ``<name>{quantile="..."}`` sample
+  per reported quantile plus ``<name>_count`` / ``<name>_sum``.  A
+  summary, not an OpenMetrics histogram, because the registry keeps a
+  quantile reservoir rather than cumulative buckets.
+
+:func:`validate_openmetrics` is a minimal, dependency-free grammar
+checker used by the test suite (and usable against any scrape output);
+it checks line structure, name legality, metadata/sample ordering and
+value parseability — not full spec conformance.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .registry import REGISTRY, MetricsRegistry
+
+__all__ = [
+    "render_openmetrics",
+    "write_openmetrics",
+    "validate_openmetrics",
+]
+
+#: Legal OpenMetrics metric name.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: One sample line: name, optional {labels}, value (no timestamps: the
+#: snapshot is a point-in-time scrape, so none are emitted).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def metric_name(name: str) -> str:
+    """Map a dotted repro metric name onto the OpenMetrics charset."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not sanitized or not _NAME_RE.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    """Float formatting: integral values without the trailing ``.0``."""
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def render_openmetrics(snapshot: dict[str, dict]) -> str:
+    """Render a registry snapshot as OpenMetrics text (with ``# EOF``)."""
+    lines: list[str] = []
+    for raw_name, state in sorted(snapshot.items()):
+        kind = state.get("kind")
+        name = metric_name(raw_name)
+        help_text = _escape_help(state.get("description") or raw_name)
+        if kind == "counter":
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"{name}_total {_fmt(state['value'])}")
+        elif kind == "gauge":
+            if not state.get("set"):
+                continue
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"{name} {_fmt(state['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {name} summary")
+            lines.append(f"# HELP {name} {help_text}")
+            for key, value in state.items():
+                if key.startswith("p") and key[1:].isdigit():
+                    q = int(key[1:]) / 100
+                    lines.append(f'{name}{{quantile="{q}"}} {_fmt(value)}')
+            lines.append(f"{name}_count {_fmt(state['count'])}")
+            lines.append(f"{name}_sum {_fmt(state['total'])}")
+        # Unknown kinds are skipped: forward compatibility with future
+        # metric types that have no OpenMetrics mapping yet.
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path_or_file, registry: MetricsRegistry = REGISTRY) -> int:
+    """Snapshot ``registry`` and write OpenMetrics text; returns byte count.
+
+    The hook the future ``repro.net`` daemon can call from a scrape
+    endpoint.  Accepts a path or an open text file object.
+    """
+    text = render_openmetrics(registry.snapshot())
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        with open(path_or_file, "w") as fh:
+            fh.write(text)
+    return len(text.encode())
+
+
+def validate_openmetrics(text: str) -> None:
+    """Raise ``ValueError`` if ``text`` breaks the OpenMetrics grammar.
+
+    Checks performed: the exposition ends with exactly one ``# EOF`` as
+    its final line; every other line is either metadata (``# TYPE`` /
+    ``# HELP`` / ``# UNIT``) or a sample; ``# TYPE`` precedes its
+    family's samples and names a known type; sample names match the
+    declared family plus a type-legal suffix; values parse as floats;
+    labels are well-formed ``name="value"`` pairs.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    lines = text.split("\n")[:-1]
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    body, seen_eof = lines[:-1], False
+    if any(line == "# EOF" for line in body):
+        raise ValueError("'# EOF' must appear exactly once, last")
+
+    types: dict[str, str] = {}
+    suffixes = {
+        "counter": ("_total",),
+        "gauge": ("",),
+        "summary": ("", "_count", "_sum"),
+        "histogram": ("_bucket", "_count", "_sum"),
+        "unknown": ("",),
+    }
+    for lineno, line in enumerate(body, start=1):
+        if not line:
+            raise ValueError(f"line {lineno}: blank lines are not allowed")
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or parts[0] != "#" or parts[1] not in (
+                "TYPE",
+                "HELP",
+                "UNIT",
+            ):
+                raise ValueError(f"line {lineno}: malformed metadata: {line!r}")
+            _, keyword, name, rest = parts
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: illegal metric name {name!r}")
+            if keyword == "TYPE":
+                if name in types:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {name}")
+                if rest not in suffixes:
+                    raise ValueError(f"line {lineno}: unknown type {rest!r}")
+                types[name] = rest
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        sample = m.group("name")
+        family = next(
+            (
+                f
+                for f in types
+                if sample == f
+                or (sample.startswith(f) and sample[len(f):] in suffixes[types[f]])
+            ),
+            None,
+        )
+        if family is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample!r} has no preceding TYPE"
+            )
+        labels = m.group("labels")
+        if labels:
+            for pair in labels.split(","):
+                if not _LABEL_RE.match(pair):
+                    raise ValueError(f"line {lineno}: malformed label {pair!r}")
+        try:
+            float(m.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: unparsable value {m.group('value')!r}"
+            ) from None

@@ -1,0 +1,299 @@
+"""Fairness + goodput run reports from results and their traces.
+
+The ROADMAP asks for "a fairness + goodput report via the obs
+subsystem": this module turns a
+:class:`~repro.sim.metrics.SimulationResult` or a batch of
+:class:`~repro.transfer.scheduler.DownloadReport` objects — plus,
+optionally, the trace recorded alongside them — into one JSON-able dict
+(:func:`simulation_report` / :func:`download_report`) and a human
+rendering (:func:`render_report`).  ``repro simulate --report`` /
+``repro download --report`` and ``repro trace analyze`` are thin
+wrappers over these functions.
+
+The fairness trajectory is recomputed from the result arrays with the
+*same* expression the engine's ``sim.slot`` emitter uses
+(``jain_index`` over the requesting users' realised rates, 1.0 for idle
+slots), so report values match the trace bit-for-bit.
+
+numpy and ``repro.core`` are imported lazily inside the functions that
+need them: ``repro.obs`` stays importable as a stdlib-only leaf layer,
+and by the time a report is built the caller already holds numpy arrays.
+"""
+
+from __future__ import annotations
+
+from . import analyze
+from .events import SIM_SLOT, TRACE_META
+
+__all__ = [
+    "jain_trajectory",
+    "simulation_report",
+    "download_report",
+    "render_report",
+]
+
+
+def jain_trajectory(result) -> list[float]:
+    """Per-slot Jain index over requesting users — the engine's formula.
+
+    Matches the ``jain`` field of each ``sim.slot`` trace event exactly:
+    ``jain_index(rates[t][requesting[t]])``, or 1.0 for slots in which
+    nobody requested.
+    """
+    from ..core.fairness import jain_index
+
+    out = []
+    for t in range(result.slots):
+        req = result.requesting[t]
+        if bool(req.any()):
+            out.append(jain_index(result.rates[t][req]))
+        else:
+            out.append(1.0)
+    return out
+
+
+def _trace_section(events, extra=None) -> dict | None:
+    if events is None:
+        return None
+    dropped = 0
+    meta = analyze.trace_meta(events)
+    if meta is not None:
+        dropped = int(meta.get("dropped", 0))
+    counted = sum(1 for e in events if e.name != TRACE_META)
+    section = {"events": counted, "dropped": dropped}
+    if extra:
+        section.update(extra)
+    if dropped:
+        section["warning"] = (
+            f"trace ring dropped {dropped} events; "
+            "trace-derived series are incomplete"
+        )
+    return section
+
+
+def simulation_report(result, events=None) -> dict:
+    """Fairness + goodput report for one simulation run (JSON-able).
+
+    ``events`` — the trace recorded alongside the run, if any — only
+    adds the ``trace`` section (event counts and the drop warning); all
+    series come from the result arrays.
+    """
+    trajectory = jain_trajectory(result)
+    min_slot = min(range(len(trajectory)), key=trajectory.__getitem__)
+    n = result.n
+    mean_rates = result.mean_download_bandwidth()
+    mean_caps = result.mean_capacity()
+    gamma = result.empirical_gamma()
+    gains = result.gains_over_isolation()
+    window = max(1, result.slots // 10)
+    final_rates = result.window_mean_rates(result.slots - window, result.slots)
+    extra = None
+    if events is not None:
+        extra = {"sim_slots": sum(1 for e in events if e.name == SIM_SLOT)}
+    return {
+        "kind": "simulation",
+        "slots": result.slots,
+        "peers": n,
+        "slot_seconds": result.slot_seconds,
+        "labels": [result.label_of(i) for i in range(n)],
+        "fairness": {
+            "trajectory": trajectory,
+            "final": trajectory[-1],
+            "mean": sum(trajectory) / len(trajectory),
+            "min": trajectory[min_slot],
+            "min_slot": min_slot,
+        },
+        "goodput": {
+            "mean_rate_kbps": [float(v) for v in mean_rates],
+            "final_window_rate_kbps": [float(v) for v in final_rates],
+            "final_window_slots": window,
+            "mean_capacity_kbps": [float(v) for v in mean_caps],
+            "empirical_gamma": [float(v) for v in gamma],
+            "gain_over_isolation_kbps": [float(v) for v in gains],
+            "total_mean_rate_kbps": float(mean_rates.sum()),
+        },
+        "trace": _trace_section(events, extra),
+    }
+
+
+def _critical_path_section(events) -> list[dict] | None:
+    """The longest download root's critical path, as JSON-able steps."""
+    roots = [
+        r
+        for r in analyze.build_span_forest(events)
+        if r.op == "transfer.download"
+    ]
+    if not roots:
+        return None
+    root = max(
+        roots, key=lambda r: -1 if r.duration_ns is None else r.duration_ns
+    )
+    return [
+        {
+            "op": node.op,
+            "attrs": node.attrs,
+            "status": node.status,
+            "duration_ns": node.duration_ns,
+        }
+        for node in analyze.critical_path(root)
+    ]
+
+
+def download_report(reports, events=None) -> dict:
+    """Aggregate report over one download's chunks (JSON-able).
+
+    ``reports`` is a sequence of per-chunk ``DownloadReport`` objects
+    (one entry for an unchunked download).  With ``events`` the causal
+    sections — critical path and per-peer time-in-state — are derived
+    from the recorded trace.
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("download_report needs at least one DownloadReport")
+    n_peers = max(len(r.per_peer_bytes) for r in reports)
+    per_peer = [0.0] * n_peers
+    for r in reports:
+        for i, b in enumerate(r.per_peer_bytes):
+            per_peer[i] += b
+    total_bytes = sum(r.bytes_received for r in reports)
+    total_seconds = sum(r.seconds for r in reports)
+    failures = []
+    for chunk, r in enumerate(reports):
+        for f in r.failures:
+            failures.append({"chunk": chunk, **f.to_dict()})
+    out = {
+        "kind": "download",
+        "chunks": len(reports),
+        "complete": all(r.complete for r in reports),
+        "slots": sum(r.slots for r in reports),
+        "seconds": total_seconds,
+        "bytes_received": total_bytes,
+        "wasted_bytes": sum(r.wasted_bytes for r in reports),
+        "bytes_discarded": sum(r.bytes_discarded for r in reports),
+        "messages": {
+            "delivered": sum(r.messages_delivered for r in reports),
+            "dependent": sum(r.messages_dependent for r in reports),
+            "rejected": sum(r.messages_rejected for r in reports),
+        },
+        "per_peer_bytes": per_peer,
+        "goodput_kbps": (
+            total_bytes * 8.0 / 1000.0 / total_seconds if total_seconds else 0.0
+        ),
+        "failures": failures,
+        "critical_path": None,
+        "time_in_state": None,
+        "trace": _trace_section(events),
+    }
+    if events is not None:
+        out["critical_path"] = _critical_path_section(events)
+        out["time_in_state"] = analyze.time_in_state(events)
+    return out
+
+
+def _fmt(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}"
+
+
+def _render_simulation(report: dict) -> str:
+    fair = report["fairness"]
+    good = report["goodput"]
+    lines = [
+        "== simulation report ==",
+        f"slots: {report['slots']}   peers: {report['peers']}   "
+        f"slot: {report['slot_seconds']} s",
+        "fairness (Jain index over requesting users):",
+        f"  final {fair['final']:.4f}   mean {fair['mean']:.4f}   "
+        f"min {fair['min']:.4f} @ slot {fair['min_slot']}",
+        "goodput (kbps):",
+        f"  {'peer':<16} {'mean rate':>10} {'final rate':>10} "
+        f"{'mean cap':>10} {'gamma':>6} {'gain':>8}",
+    ]
+    for i, label in enumerate(report["labels"]):
+        lines.append(
+            f"  {label:<16} {_fmt(good['mean_rate_kbps'][i]):>10} "
+            f"{_fmt(good['final_window_rate_kbps'][i]):>10} "
+            f"{_fmt(good['mean_capacity_kbps'][i]):>10} "
+            f"{good['empirical_gamma'][i]:>6.2f} "
+            f"{_fmt(good['gain_over_isolation_kbps'][i]):>8}"
+        )
+    lines.append(
+        f"total mean rate: {_fmt(good['total_mean_rate_kbps'])} kbps "
+        f"(final window: last {good['final_window_slots']} slots)"
+    )
+    return "\n".join(lines) + _render_trace_tail(report)
+
+
+def _render_critical_path(steps: list[dict]) -> str:
+    parts = []
+    for step in steps:
+        attrs = ",".join(f"{k}={v}" for k, v in sorted(step["attrs"].items()))
+        label = f"{step['op']}[{attrs}]" if attrs else step["op"]
+        if step["duration_ns"] is not None:
+            label += f" ({step['duration_ns'] / 1e6:.2f} ms)"
+        parts.append(label)
+    return " -> ".join(parts)
+
+
+def _render_download(report: dict) -> str:
+    msgs = report["messages"]
+    lines = [
+        "== download report ==",
+        f"complete: {'yes' if report['complete'] else 'NO'}   "
+        f"chunks: {report['chunks']}   slots: {report['slots']} "
+        f"({_fmt(report['seconds'])} s)",
+        f"bytes: {_fmt(report['bytes_received'])} received, "
+        f"{_fmt(report['wasted_bytes'])} wasted, "
+        f"{_fmt(report['bytes_discarded'])} discarded",
+        f"messages: {msgs['delivered']} delivered / "
+        f"{msgs['dependent']} dependent / {msgs['rejected']} rejected",
+        f"goodput: {_fmt(report['goodput_kbps'], 2)} kbps",
+        "per-peer bytes: "
+        + "  ".join(
+            f"{i}:{_fmt(b)}" for i, b in enumerate(report["per_peer_bytes"])
+        ),
+    ]
+    if report["failures"]:
+        lines.append("failures:")
+        for f in report["failures"]:
+            lines.append(
+                f"  peer {f['peer']} {f['kind']} @ slot {f['slot']} — "
+                f"{f['detail']} ({f['messages_discarded']} msgs, "
+                f"{_fmt(f['bytes_discarded'])} B discarded)"
+            )
+    else:
+        lines.append("failures: none")
+    if report["critical_path"]:
+        lines.append("critical path: " + _render_critical_path(report["critical_path"]))
+    if report["time_in_state"]:
+        lines.append("time in state:")
+        lines.append(
+            f"  {'peer':>4} {'active':>7} {'retry-wait':>10} "
+            f"{'quarantined':>11} {'discarded':>9}  fault"
+        )
+        for peer, st in sorted(report["time_in_state"].items()):
+            lines.append(
+                f"  {peer:>4} {st['active_slots']:>7} "
+                f"{st['retry_wait_slots']:>10} {st['quarantined_slots']:>11} "
+                f"{st['discarded']:>9}  {st['fault'] or '-'}"
+            )
+    return "\n".join(lines) + _render_trace_tail(report)
+
+
+def _render_trace_tail(report: dict) -> str:
+    trace = report.get("trace")
+    if trace is None:
+        return "\n"
+    tail = f"\ntrace: {trace['events']} events ({trace['dropped']} dropped)\n"
+    if trace.get("warning"):
+        tail += f"WARNING: {trace['warning']}\n"
+    return tail
+
+
+def render_report(report: dict) -> str:
+    """Human rendering of a :func:`simulation_report` / :func:`download_report`."""
+    kind = report.get("kind")
+    if kind == "simulation":
+        return _render_simulation(report)
+    if kind == "download":
+        return _render_download(report)
+    raise ValueError(f"not a run report: kind={kind!r}")

@@ -20,6 +20,8 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from .events import TRACE_META
+
 __all__ = ["TraceEvent", "TraceBuffer", "TRACER", "read_jsonl"]
 
 
@@ -114,27 +116,57 @@ class TraceBuffer:
     def write_jsonl(self, path_or_file) -> int:
         """Write buffered events as JSON Lines; returns the event count.
 
-        Accepts a path or an open text file object.
+        Accepts a path or an open text file object.  The first line is a
+        synthetic ``trace.meta`` header recording the event count, the
+        ring capacity and — crucially — :attr:`dropped`, so a truncated
+        trace can never masquerade as a complete run.  The header is not
+        counted in the return value and :func:`read_jsonl` strips it by
+        default.
         """
         events = self.events()
+        with self._lock:
+            dropped = self.dropped
+        meta = TraceEvent(
+            name=TRACE_META,
+            wall=events[0].wall if events else time.time(),
+            # Stamped below every real event so a meta-inclusive read
+            # still satisfies "buffer order == monotonic order".
+            mono_ns=0,
+            fields={
+                "events": len(events),
+                "dropped": dropped,
+                "capacity": self.capacity,
+            },
+        )
         if hasattr(path_or_file, "write"):
+            path_or_file.write(json.dumps(meta.to_dict()) + "\n")
             for event in events:
                 path_or_file.write(json.dumps(event.to_dict()) + "\n")
         else:
             with open(path_or_file, "w") as fh:
+                fh.write(json.dumps(meta.to_dict()) + "\n")
                 for event in events:
                     fh.write(json.dumps(event.to_dict()) + "\n")
         return len(events)
 
 
-def read_jsonl(path_or_file) -> list[TraceEvent]:
-    """Parse a JSONL trace back into :class:`TraceEvent` objects."""
+def read_jsonl(path_or_file, meta: bool = False) -> list[TraceEvent]:
+    """Parse a JSONL trace back into :class:`TraceEvent` objects.
+
+    ``trace.meta`` header records are stripped unless ``meta=True``, so
+    by default the result round-trips against :meth:`TraceBuffer.events`.
+    """
     if hasattr(path_or_file, "read"):
         lines = path_or_file.read().splitlines()
     else:
         with open(path_or_file) as fh:
             lines = fh.read().splitlines()
-    return [TraceEvent.from_dict(json.loads(line)) for line in lines if line.strip()]
+    events = [
+        TraceEvent.from_dict(json.loads(line)) for line in lines if line.strip()
+    ]
+    if meta:
+        return events
+    return [e for e in events if e.name != TRACE_META]
 
 
 #: Process-wide default trace buffer used by all instrumentation sites.

@@ -25,6 +25,7 @@ from ..gf import GF, BinaryField, SingularMatrixError, solve
 from ..obs import REGISTRY as _OBS
 from ..obs import TRACER as _TRACER
 from ..obs import span as _span
+from ..obs import spans as _spans
 from ..obs.events import RLNC_OFFER
 from ..security.integrity import DigestStore
 from .coefficients import CoefficientGenerator
@@ -198,13 +199,19 @@ class ProgressiveDecoder:
         of per-message Python loops.
         """
         msgs = list(messages)
-        prepared = self._prepare_rows(msgs)
-        outcomes: list[Offer] = []
-        for msg, row in zip(msgs, prepared):
-            if self.is_complete:
-                break
-            outcomes.append(self._offer_one(msg, row))
-        return outcomes
+        batch_span = None
+        if _TRACER.enabled:
+            batch_span = _spans.start_span("rlnc.offer_many", count=len(msgs))
+        try:
+            prepared = self._prepare_rows(msgs)
+            outcomes: list[Offer] = []
+            for msg, row in zip(msgs, prepared):
+                if self.is_complete:
+                    break
+                outcomes.append(self._offer_one(msg, row))
+            return outcomes
+        finally:
+            _spans.finish_span(batch_span)
 
     def _prepare_rows(self, msgs) -> list[np.ndarray | None]:
         """Build augmented rows for batchable messages and pre-reduce them.

@@ -30,7 +30,9 @@ import numpy as np
 
 from ..gf import GF, BinaryField, IncrementalRank
 from ..obs import REGISTRY as _OBS
+from ..obs import TRACER as _TRACER
 from ..obs import span as _span
+from ..obs import spans as _spans
 from ..security.integrity import DigestStore
 from .coefficients import CoefficientGenerator
 from .message import EncodedMessage
@@ -96,11 +98,15 @@ class FileEncoder:
 
     def encode_message(self, source: np.ndarray, message_id: int) -> EncodedMessage:
         """Produce ``Y_i`` for one message id from the source matrix."""
+        enc_span = None
+        if _TRACER.enabled:
+            enc_span = _spans.start_span("rlnc.encode", messages=1)
         with _ENC_NS:
             beta = self.coefficients.row(message_id)
             payload = self.field.dot(beta, source)
         if _OBS.enabled:
             _ENC_MESSAGES.inc()
+        _spans.finish_span(enc_span)
         return EncodedMessage(
             file_id=self.file_id,
             message_id=message_id,
@@ -119,11 +125,15 @@ class FileEncoder:
         ids = list(message_ids)
         if len(ids) < 2:
             return [self.encode_message(source, mid) for mid in ids]
+        enc_span = None
+        if _TRACER.enabled:
+            enc_span = _spans.start_span("rlnc.encode", messages=len(ids))
         with _ENC_NS:
             beta = self.coefficients.matrix(ids)
             payloads = self.field.matmul(beta, source)
         if _OBS.enabled:
             _ENC_MESSAGES.inc(len(ids))
+        _spans.finish_span(enc_span)
         return [
             EncodedMessage(
                 file_id=self.file_id,

@@ -51,6 +51,7 @@ from ..core.fairness import jain_index
 from ..core.ledger import DEFAULT_INITIAL_CREDIT
 from ..obs import REGISTRY as _OBS
 from ..obs import TRACER as _TRACER
+from ..obs import spans as _spans
 from ..obs.events import SIM_FEEDBACK, SIM_SLOT
 from . import fastpath
 from .metrics import SimulationResult
@@ -228,6 +229,13 @@ class Simulation:
         ``allocation_matrix[i, j]`` is ``mu_ij(t)`` after feasibility
         enforcement.
         """
+        if _TRACER.enabled:
+            # Per-slot causal span (children: this slot's trace events);
+            # tracing-off stays the bare two-way dispatch below.
+            with _spans.span_scope("sim.step", t=self._t):
+                if self._batched:
+                    return self._step_batched()
+                return self._step_reference()
         if self._batched:
             return self._step_batched()
         return self._step_reference()
@@ -439,14 +447,15 @@ class Simulation:
             if record_allocations
             else None
         )
-        for s in range(slots):
-            alloc, req, caps = self.step()
-            rates[s] = alloc.sum(axis=0)
-            requesting[s] = req
-            capacities[s] = caps
-            mean_alloc += alloc
-            if history is not None:
-                history[s] = alloc
+        with _spans.span_scope("sim.run", slots=slots, n=self.n):
+            for s in range(slots):
+                alloc, req, caps = self.step()
+                rates[s] = alloc.sum(axis=0)
+                requesting[s] = req
+                capacities[s] = caps
+                mean_alloc += alloc
+                if history is not None:
+                    history[s] = alloc
         mean_alloc /= slots
         return SimulationResult(
             rates=rates,

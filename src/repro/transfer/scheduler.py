@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from ..obs import REGISTRY as _OBS
 from ..obs import TRACER as _TRACER
+from ..obs import spans as _spans
 from ..obs.events import (
     TRANSFER_COMPLETE,
     TRANSFER_DISCARD,
@@ -254,10 +255,17 @@ class _RobustState:
     the plain and the latency run loops.
     """
 
-    def __init__(self, n: int, policy: RobustPolicy, sessions: Sequence):
+    def __init__(
+        self,
+        n: int,
+        policy: RobustPolicy,
+        sessions: Sequence,
+        peer_spans: list | None = None,
+    ):
         self.policy = policy
         self.n = n
         self.dead = [False] * n
+        self._peer_spans = peer_spans
         self._failed: dict[int, tuple[str, int, str]] = {}
         self._discard_bytes = [0.0] * n
         self._discard_msgs = [0] * n
@@ -278,6 +286,17 @@ class _RobustState:
         if _OBS.enabled:
             _FAULT_COUNTERS[kind].inc()
         _TRACER.emit(TRANSFER_FAULT, peer=peer, kind=kind, slot=slot)
+        if self._peer_spans is not None:
+            # An instantaneous child span marking where the peer's
+            # session turned bad — shows up on the causal tree even when
+            # the flat event ring has wrapped.
+            quarantine = _spans.start_span(
+                "transfer.quarantine",
+                parent=self._peer_spans[peer],
+                kind=kind,
+                slot=slot,
+            )
+            _spans.finish_span(quarantine, status=kind)
 
     def adjust_rates(self, rates: list[float], sessions: Sequence) -> list[float]:
         """Zero dead peers' shares; re-scale them across healthy peers."""
@@ -430,10 +449,39 @@ class ParallelDownloader:
             peers=len(self.sessions),
             file_id=file_id if file_id is not None else -1,
         )
-        if self.latency is not None:
-            return self._run_with_latency(max_slots, file_id)
-        if self.policy is not None:
-            return self._run_robust(max_slots, file_id)
+        with _spans.span_scope(
+            "transfer.download",
+            peers=len(self.sessions),
+            file_id=file_id if file_id is not None else -1,
+        ):
+            # One causal span per serving session, parented under the
+            # download root; quarantine/retry children attach to these.
+            peer_spans = self._start_peer_spans()
+            if self.latency is not None:
+                report = self._run_with_latency(max_slots, file_id, peer_spans)
+            elif self.policy is not None:
+                report = self._run_robust(max_slots, file_id, peer_spans)
+            else:
+                report = self._run_plain(max_slots, file_id)
+            self._finish_peer_spans(peer_spans, report)
+            return report
+
+    def _start_peer_spans(self) -> list | None:
+        if not _TRACER.enabled:
+            return None
+        return [
+            _spans.start_span("transfer.peer", peer=i)
+            for i in range(len(self.sessions))
+        ]
+
+    def _finish_peer_spans(self, peer_spans: list | None, report) -> None:
+        if peer_spans is None:
+            return
+        kind_of = {f.peer: f.kind for f in report.failures}
+        for i, handle in enumerate(peer_spans):
+            _spans.finish_span(handle, status=kind_of.get(i, "ok"))
+
+    def _run_plain(self, max_slots: int, file_id: int | None) -> DownloadReport:
         per_peer = [0.0] * len(self.sessions)
         delivered = rejected = dependent = 0
         total_bytes = 0.0
@@ -503,7 +551,9 @@ class ParallelDownloader:
             slot_seconds=self.slot_seconds,
         )
 
-    def _run_robust(self, max_slots: int, file_id: int | None) -> DownloadReport:
+    def _run_robust(
+        self, max_slots: int, file_id: int | None, peer_spans: list | None = None
+    ) -> DownloadReport:
         """Failure-aware variant of the plain path (``policy`` set).
 
         Differences from the trusting loop: every message is digest
@@ -512,7 +562,7 @@ class ParallelDownloader:
         re-scaled across the healthy ones.
         """
         n = len(self.sessions)
-        state = _RobustState(n, self.policy, self.sessions)
+        state = _RobustState(n, self.policy, self.sessions, peer_spans=peer_spans)
         per_peer = [0.0] * n
         delivered = rejected = dependent = 0
         total_bytes = 0.0
@@ -590,7 +640,7 @@ class ParallelDownloader:
         )
 
     def _run_with_latency(
-        self, max_slots: int, file_id: int | None
+        self, max_slots: int, file_id: int | None, peer_spans: list | None = None
     ) -> DownloadReport:
         """Latency-aware variant of :meth:`run`.
 
@@ -604,7 +654,7 @@ class ParallelDownloader:
         """
         n = len(self.sessions)
         state = (
-            _RobustState(n, self.policy, self.sessions)
+            _RobustState(n, self.policy, self.sessions, peer_spans=peer_spans)
             if self.policy is not None
             else None
         )

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from ..obs import REGISTRY as _OBS
 from ..obs import TRACER as _TRACER
+from ..obs import spans as _spans
 from ..obs.events import TRANSFER_RETRY
 from ..security.auth import Prover, Verifier
 from ..security.keys import KeyPair, PublicKey
@@ -186,5 +187,12 @@ class DownloadSession:
                     attempt=attempt,
                     backoff_slots=backoff_slots * attempt,
                 )
+                if _TRACER.enabled:
+                    # Instantaneous span so failed handshakes appear on
+                    # the causal tree (parented to the enclosing scope).
+                    retry = _spans.start_span(
+                        "transfer.retry", peer=peer, attempt=attempt
+                    )
+                    _spans.finish_span(retry, status="retry")
                 waited += backoff_slots * attempt
         return None, attempts, waited

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import struct
 
+from ..obs.spans import SpanHandle, extract, inject
 from ..rlnc.message import EncodedMessage
 from ..security.auth import Challenge, ChallengeResponse
 from .protocol import (
@@ -31,7 +32,15 @@ from .protocol import (
     StopTransmission,
 )
 
-__all__ = ["WireFormatError", "encode_frame", "decode_frame", "FRAME_TYPES"]
+__all__ = [
+    "WireFormatError",
+    "encode_frame",
+    "decode_frame",
+    "FRAME_TYPES",
+    "CONTEXT_FRAME_TYPE",
+    "inject_context",
+    "extract_context",
+]
 
 
 class WireFormatError(ValueError):
@@ -48,6 +57,10 @@ FRAME_TYPES = {
     FeedbackUpdate: 7,
 }
 _BY_ID = {v: k for k, v in FRAME_TYPES.items()}
+
+#: Envelope carrying trace context around any inner frame (see
+#: :func:`inject_context` / :func:`extract_context`).
+CONTEXT_FRAME_TYPE = 8
 
 _U32 = struct.Struct(">I")
 _U64 = struct.Struct(">Q")
@@ -180,3 +193,49 @@ def decode_frame(wire: bytes):
         raise AssertionError("unreachable")
     r.finish()
     return out
+
+
+def inject_context(frame: bytes, span: SpanHandle | None = None) -> bytes:
+    """Wrap framed wire bytes in a trace-context envelope::
+
+        1 byte   frame type (8)
+        8 bytes  trace_id (big-endian u64)
+        8 bytes  span_id  (big-endian u64)
+        payload  length-prefixed inner frame
+
+    ``span`` defaults to the current span (see
+    :func:`repro.obs.spans.current_span`); with no span active the frame
+    is returned unwrapped, so injection is safe to apply unconditionally
+    on a send path.  This is how causality will cross the ``repro.net``
+    peer boundary: the receiver calls :func:`extract_context` and
+    parents its serving span on the handle.
+    """
+    carrier = inject(span)
+    if "trace_id" not in carrier:
+        return frame
+    return (
+        bytes([CONTEXT_FRAME_TYPE])
+        + _U64.pack(carrier["trace_id"])
+        + _U64.pack(carrier["span_id"])
+        + _pack_bytes(frame)
+    )
+
+
+def extract_context(wire: bytes) -> tuple[SpanHandle | None, bytes]:
+    """Undo :func:`inject_context`: ``(remote parent or None, inner frame)``.
+
+    Non-envelope frames pass through unchanged with a ``None`` handle,
+    so receivers can call this unconditionally before
+    :func:`decode_frame`.  Malformed envelopes raise
+    :class:`WireFormatError` (strict, like every other frame type).
+    """
+    if not wire or wire[0] != CONTEXT_FRAME_TYPE:
+        return None, wire
+    r = _Reader(wire[1:])
+    trace_id = r.u64()
+    span_id = r.u64()
+    inner = r.bytes_field()
+    r.finish()
+    if not inner:
+        raise WireFormatError("context envelope around an empty frame")
+    return extract({"trace_id": trace_id, "span_id": span_id}), inner

@@ -8,7 +8,11 @@ fixture emit sites against.
 
 EV_GOOD = "fix.good"
 EV_BARE = "fix.bare"
+EV_SPAN_START = "fix.span.start"
+EV_SPAN_END = "fix.span.end"
 
 EVENT_FIELDS = {
     "fix.good": ("a", "b"),
+    "fix.span.start": ("trace_id", "span_id", "parent_id", "op", "attrs"),
+    "fix.span.end": ("trace_id", "span_id", "op", "status"),
 }

@@ -1,0 +1,26 @@
+"""Planted span-event schema violations; tests pin these exact lines."""
+
+from ..obs.events import EV_SPAN_END, EV_SPAN_START
+
+
+class _Buffer:
+    enabled = False
+
+    def emit(self, name, **fields):
+        pass
+
+
+_TRACER = _Buffer()
+
+
+def emit_sites():
+    _TRACER.emit(  # line 17: trace-fields (span start missing parent_id,
+        EV_SPAN_START, trace_id=1, span_id=2, op="x", attrs={}, status="ok"
+    )  # smuggling a span-end status field)
+    _TRACER.emit("fix.span.oops", trace_id=1)  # line 20: trace-unknown-event
+    _TRACER.emit(  # correct span.start contract: clean
+        EV_SPAN_START, trace_id=1, span_id=2, parent_id=0, op="x", attrs={}
+    )
+    _TRACER.emit(  # correct span.end contract: clean
+        EV_SPAN_END, trace_id=1, span_id=2, op="x", status="ok"
+    )

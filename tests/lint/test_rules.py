@@ -73,6 +73,26 @@ class TestTraceFamily:
         assert "missing ['b']" in msg and "unexpected ['c']" in msg
 
 
+class TestSpanTraceFamily:
+    """Span events obey the same EVENT_FIELDS contract as flat events."""
+
+    def test_span_field_mismatch_detected(self):
+        got, _ = findings_for("transfer/bad_span_trace.py")
+        assert (17, "trace-fields") in got
+        assert (20, "trace-unknown-event") in got
+
+    def test_mismatch_names_the_span_fields(self):
+        path = FIXTURES / "transfer" / "bad_span_trace.py"
+        report = run_lint([path])
+        (msg,) = [f.message for f in report.findings if f.rule == "trace-fields"]
+        assert "missing ['parent_id']" in msg
+        assert "unexpected ['status']" in msg
+
+    def test_contract_conforming_span_emits_clean(self):
+        got, _ = findings_for("transfer/bad_span_trace.py")
+        assert not [line for line, _ in got if line >= 21]
+
+
 class TestApiFamily:
     def test_planted_violations(self):
         got, _ = findings_for("core/bad_api.py")

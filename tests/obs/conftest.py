@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs import REGISTRY, TRACER
+from repro.obs import REGISTRY, TRACER, spans
 
 
 @pytest.fixture(autouse=True)
@@ -12,8 +12,10 @@ def clean_obs_state():
     prev_tracing = TRACER.enabled
     REGISTRY.reset()
     TRACER.clear()
+    spans.reset_ids()
     yield
     REGISTRY.enabled = prev_metrics
     TRACER.enabled = prev_tracing
     REGISTRY.reset()
     TRACER.clear()
+    spans.reset_ids()

@@ -1,0 +1,186 @@
+"""Trace analysis: span forests, critical paths and timelines.
+
+The end-to-end cases drive a real faulted ``ParallelDownloader`` run
+under tracing (ISSUE acceptance criterion: the analyzer reconstructs
+the correct span tree, with the failed peer session on the critical
+path or quarantined, from an actual trace).
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, PeerFault
+from repro.obs import TRACER, TraceEvent, analyze, observability
+from repro.rlnc import CodingParams, FileEncoder, ProgressiveDecoder
+from repro.security import DigestStore, generate_keypair
+from repro.storage import MessageStore
+from repro.transfer import (
+    DownloadSession,
+    ParallelDownloader,
+    RobustPolicy,
+    ServingSession,
+)
+
+PARAMS = CodingParams(p=16, m=32, file_bytes=512)  # k = 8
+FILE_ID = 0x55
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_keypair(bits=512, seed=9)
+
+
+def _faulted_download_events(rng, keys):
+    """Run a 3-peer download with peer 0 polluting; return the trace."""
+    data = rng.bytes(500)
+    digests = DigestStore()
+    encoder = FileEncoder(PARAMS, b"s", file_id=FILE_ID)
+    encoded = encoder.encode_bundles(data, n_peers=3, digest_store=digests)
+    sessions = []
+    for p in range(3):
+        mstore = MessageStore()
+        mstore.add_messages(encoded.bundles[p])
+        sessions.append(ServingSession(mstore, keys.public))
+    sessions = FaultPlan(seed=1, faults={0: PeerFault("pollute")}).wrap(sessions)
+    for p, session in enumerate(sessions):
+        DownloadSession(keys).handshake_with_retry(session, FILE_ID, peer=p)
+    decoder = ProgressiveDecoder(PARAMS, encoder.coefficients, digests)
+    with observability(tracing=True, reset=True):
+        dl = ParallelDownloader(
+            sessions,
+            decoder,
+            lambda i, t: 20.0,
+            policy=RobustPolicy(digest_store=digests),
+        )
+        report = dl.run(10_000, file_id=FILE_ID)
+        events = TRACER.events()
+    assert report.complete
+    return events, report
+
+
+class TestSpanForestFromRealDownload:
+    def test_tree_shape_and_statuses(self, rng, keys):
+        events, _ = _faulted_download_events(rng, keys)
+        forest = analyze.build_span_forest(events)
+        downloads = [r for r in forest if r.op == "transfer.download"]
+        assert len(downloads) == 1
+        root = downloads[0]
+        peers = [c for c in root.children if c.op == "transfer.peer"]
+        assert [c.attrs["peer"] for c in peers] == [0, 1, 2]
+        statuses = {c.attrs["peer"]: c.status for c in peers}
+        assert statuses[0] == "polluted"
+        assert statuses[1] == "ok" and statuses[2] == "ok"
+        quarantines = [
+            g for c in peers for g in c.children if g.op == "transfer.quarantine"
+        ]
+        assert len(quarantines) == 1
+        assert quarantines[0].attrs["kind"] == "polluted"
+        # Every span in the download run closed.
+        for node in root.walk():
+            assert node.end_ns is not None
+            assert node.duration_ns >= 0
+
+    def test_critical_path_ends_inside_a_peer_session(self, rng, keys):
+        events, _ = _faulted_download_events(rng, keys)
+        forest = analyze.build_span_forest(events)
+        root = next(r for r in forest if r.op == "transfer.download")
+        path = analyze.critical_path(root)
+        assert path[0] is root
+        assert path[-1].op in ("transfer.peer", "transfer.quarantine")
+
+    def test_time_in_state_charges_the_faulty_peer(self, rng, keys):
+        events, report = _faulted_download_events(rng, keys)
+        states = analyze.time_in_state(events)
+        assert states[0]["fault"] == "polluted"
+        assert states[0]["discarded"] == report.failure_of(0).messages_discarded
+        honest = [p for p in states if states[p]["fault"] is None]
+        for p in honest:
+            assert states[p]["quarantined_slots"] == 0
+
+
+def _span_events(pairs):
+    """Synthetic span.start/span.end events from compact tuples."""
+    events = []
+    t = 0
+    for kind, fields in pairs:
+        t += 10
+        name = "span.start" if kind == "s" else "span.end"
+        events.append(
+            TraceEvent(name=name, wall=1.0, mono_ns=t, fields=fields)
+        )
+    return events
+
+
+class TestForestEdgeCases:
+    def test_orphan_parent_becomes_root(self):
+        events = _span_events(
+            [
+                ("s", {"trace_id": 9, "span_id": 5, "parent_id": 4, "op": "x",
+                       "attrs": {}}),
+                ("e", {"trace_id": 9, "span_id": 5, "op": "x", "status": "ok"}),
+            ]
+        )
+        (root,) = analyze.build_span_forest(events)
+        assert root.span_id == 5 and root.children == []
+
+    def test_unfinished_span_has_none_duration(self):
+        events = _span_events(
+            [("s", {"trace_id": 1, "span_id": 1, "parent_id": 0, "op": "x",
+                    "attrs": {}})]
+        )
+        (root,) = analyze.build_span_forest(events)
+        assert root.end_ns is None and root.duration_ns is None
+
+    def test_critical_path_prefers_unfinished_children(self):
+        events = _span_events(
+            [
+                ("s", {"trace_id": 1, "span_id": 1, "parent_id": 0, "op": "r",
+                       "attrs": {}}),
+                ("s", {"trace_id": 1, "span_id": 2, "parent_id": 1, "op": "a",
+                       "attrs": {}}),
+                ("e", {"trace_id": 1, "span_id": 2, "op": "a", "status": "ok"}),
+                ("s", {"trace_id": 1, "span_id": 3, "parent_id": 1, "op": "b",
+                       "attrs": {}}),
+                ("e", {"trace_id": 1, "span_id": 1, "op": "r", "status": "ok"}),
+            ]
+        )
+        (root,) = analyze.build_span_forest(events)
+        path = analyze.critical_path(root)
+        assert [n.op for n in path] == ["r", "b"]  # b never finished
+
+    def test_empty_trace_gives_empty_forest(self):
+        assert analyze.build_span_forest([]) == []
+
+
+class TestFairnessTimeline:
+    def test_rows_sorted_and_typed(self):
+        events = [
+            TraceEvent(
+                name="sim.slot", wall=1.0, mono_ns=20,
+                fields={"t": 1, "jain": 0.5, "requesting": 2,
+                        "allocated_kbps": 300.0},
+            ),
+            TraceEvent(
+                name="sim.slot", wall=1.0, mono_ns=10,
+                fields={"t": 0, "jain": 1.0, "requesting": 0,
+                        "allocated_kbps": 0.0},
+            ),
+        ]
+        timeline = analyze.fairness_timeline(events)
+        assert [row["t"] for row in timeline] == [0, 1]
+        assert timeline[1] == {
+            "t": 1, "jain": 0.5, "requesting": 2, "allocated_kbps": 300.0
+        }
+
+    def test_non_slot_events_ignored(self):
+        events = [TraceEvent(name="rlnc.offer", wall=1.0, mono_ns=1, fields={})]
+        assert analyze.fairness_timeline(events) == []
+
+
+class TestTraceMeta:
+    def test_meta_found_and_absent(self):
+        meta_event = TraceEvent(
+            name="trace.meta", wall=1.0, mono_ns=0,
+            fields={"events": 2, "dropped": 3, "capacity": 10},
+        )
+        assert analyze.trace_meta([meta_event])["dropped"] == 3
+        assert analyze.trace_meta([]) is None

@@ -1,0 +1,127 @@
+"""OpenMetrics export: rendering, the grammar validator, file writing."""
+
+import io
+
+import pytest
+
+from repro.obs import (
+    REGISTRY,
+    render_openmetrics,
+    validate_openmetrics,
+    write_openmetrics,
+)
+from repro.obs.export import metric_name
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("repro.gf.mul.calls") == "repro_gf_mul_calls"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert metric_name("9lives") == "_9lives"
+
+
+class TestRender:
+    def test_counter_maps_to_total_sample(self):
+        snap = {
+            "repro.x.calls": {
+                "kind": "counter", "description": "calls made", "value": 3.0
+            }
+        }
+        text = render_openmetrics(snap)
+        assert "# TYPE repro_x_calls counter" in text
+        assert "# HELP repro_x_calls calls made" in text
+        assert "repro_x_calls_total 3\n" in text
+        validate_openmetrics(text)
+
+    def test_unset_gauge_is_omitted_set_gauge_rendered(self):
+        snap = {
+            "a.unset": {"kind": "gauge", "description": "d", "value": 0.0,
+                        "set": False},
+            "a.set": {"kind": "gauge", "description": "d", "value": 2.5,
+                      "set": True},
+        }
+        text = render_openmetrics(snap)
+        assert "a_unset" not in text
+        assert "a_set 2.5" in text
+        validate_openmetrics(text)
+
+    def test_histogram_maps_to_summary_with_quantiles(self):
+        snap = {
+            "h.ns": {
+                "kind": "histogram", "description": "nanos", "count": 4,
+                "total": 100.0, "min": 10.0, "max": 40.0, "mean": 25.0,
+                "p50": 20.0, "p90": 38.0, "p99": 40.0,
+            }
+        }
+        text = render_openmetrics(snap)
+        assert "# TYPE h_ns summary" in text
+        assert 'h_ns{quantile="0.5"} 20' in text
+        assert 'h_ns{quantile="0.9"} 38' in text
+        assert 'h_ns{quantile="0.99"} 40' in text
+        assert "h_ns_count 4" in text
+        assert "h_ns_sum 100" in text
+        validate_openmetrics(text)
+
+    def test_empty_snapshot_is_just_eof(self):
+        text = render_openmetrics({})
+        assert text == "# EOF\n"
+        validate_openmetrics(text)
+
+    def test_real_registry_snapshot_validates(self):
+        REGISTRY.enabled = True
+        counter = REGISTRY.counter("repro.test.export.calls", "test counter")
+        hist = REGISTRY.histogram("repro.test.export.ns", "test histogram")
+        gauge = REGISTRY.gauge("repro.test.export.depth", "test gauge")
+        counter.inc(5)
+        gauge.set(1.5)
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        text = render_openmetrics(REGISTRY.snapshot())
+        validate_openmetrics(text)
+        assert "repro_test_export_calls_total 5" in text
+
+
+class TestWrite:
+    def test_write_to_path_and_stream_agree(self, tmp_path):
+        path = tmp_path / "metrics.om"
+        n = write_openmetrics(path)
+        sink = io.StringIO()
+        assert write_openmetrics(sink) == n
+        assert path.read_text() == sink.getvalue()
+        assert n == len(path.read_bytes())
+        validate_openmetrics(path.read_text())
+
+
+class TestValidator:
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("# EOF", "newline"),
+            ("x 1\n", "must end with '# EOF'"),
+            ("# EOF\nx 1\n# EOF\n", "exactly once"),
+            ("\n# EOF\n", "blank lines"),
+            ("# TYPE x wibble\n# EOF\n", "unknown type"),
+            ("# TYPE x counter\n# TYPE x counter\nx_total 1\n# EOF\n",
+             "duplicate TYPE"),
+            ("x_total 1\n# EOF\n", "no preceding TYPE"),
+            ("# TYPE x counter\nx_total notanumber\n# EOF\n", "unparsable"),
+            ("# BOGUS x counter\n# EOF\n", "malformed metadata"),
+            ('# TYPE x gauge\nx{9bad="v"} 1\n# EOF\n', "malformed label"),
+        ],
+    )
+    def test_rejects_grammar_violations(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            validate_openmetrics(text)
+
+    def test_accepts_labels_and_unit_metadata(self):
+        text = (
+            "# TYPE x summary\n"
+            "# UNIT x seconds\n"
+            "# HELP x a summary\n"
+            'x{quantile="0.5"} 1.5\n'
+            "x_count 2\n"
+            "x_sum 3\n"
+            "# EOF\n"
+        )
+        validate_openmetrics(text)

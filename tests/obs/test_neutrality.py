@@ -66,3 +66,77 @@ def test_simulation_run_bit_identical():
     assert np.array_equal(baseline.alloc_history, instrumented.alloc_history)
     assert REGISTRY.get("repro.sim.slots").value == 40
     assert any(e.name == "sim.slot" for e in TRACER.events())
+    # Span instrumentation of the slot loop is on the same hot path and
+    # must be just as neutral; the spans themselves must have appeared.
+    assert any(e.name == "span.start" for e in TRACER.events())
+
+
+def _download_run(rng_bytes: bytes, robust: bool):
+    """Full parallel download (plain or robust+faulted); returns outcomes."""
+    from repro.faults import FaultPlan, PeerFault
+    from repro.security import generate_keypair
+    from repro.storage import MessageStore
+    from repro.transfer import (
+        DownloadSession,
+        ParallelDownloader,
+        RobustPolicy,
+        ServingSession,
+    )
+
+    params = CodingParams(p=16, m=32, file_bytes=512)
+    encoder = FileEncoder(params, secret=b"obs-neutral-dl", file_id=0x31)
+    digests = DigestStore()
+    encoded = encoder.encode_bundles(rng_bytes, n_peers=3, digest_store=digests)
+    keys = generate_keypair(bits=512, seed=21)
+    sessions = []
+    for p in range(3):
+        mstore = MessageStore()
+        mstore.add_messages(encoded.bundles[p])
+        sessions.append(ServingSession(mstore, keys.public))
+    policy = None
+    if robust:
+        sessions = FaultPlan(
+            seed=5, faults={0: PeerFault("pollute")}
+        ).wrap(sessions)
+        policy = RobustPolicy(digest_store=digests)
+    for p, session in enumerate(sessions):
+        DownloadSession(keys).handshake_with_retry(session, 0x31, peer=p)
+    decoder = ProgressiveDecoder(params, encoder.coefficients, digests)
+    dl = ParallelDownloader(sessions, decoder, lambda i, t: 20.0, policy=policy)
+    report = dl.run(10_000, file_id=0x31)
+    return (
+        decoder.result(len(rng_bytes)),
+        report.complete,
+        report.slots,
+        report.bytes_received,
+        tuple(report.per_peer_bytes),
+        tuple((f.peer, f.kind, f.slot) for f in report.failures),
+        report.messages_delivered,
+        report.messages_rejected,
+    )
+
+
+def test_plain_download_bit_identical():
+    rng = np.random.default_rng(31)
+    data = rng.bytes(500)
+    baseline = _download_run(data, robust=False)
+    with observability(tracing=True, reset=True):
+        instrumented = _download_run(data, robust=False)
+        assert any(e.name == "span.start" for e in TRACER.events())
+    assert instrumented == baseline
+    assert baseline[0] == data
+
+
+def test_robust_faulted_download_bit_identical():
+    rng = np.random.default_rng(32)
+    data = rng.bytes(500)
+    baseline = _download_run(data, robust=True)
+    with observability(tracing=True, reset=True):
+        instrumented = _download_run(data, robust=True)
+        names = {e.name for e in TRACER.events()}
+        # Peer, quarantine and download spans all fired on this run...
+        assert {"span.start", "span.end", "transfer.fault"} <= names
+    # ...and changed nothing observable about the transfer.
+    assert instrumented == baseline
+    assert baseline[0] == data
+    assert baseline[5]  # the fault actually happened in both runs

@@ -94,6 +94,38 @@ class TestHistogramQuantiles:
         # bulk of the distribution, not at an extreme.
         assert 100 < snap["p50"] < 900
 
+    def test_reservoir_at_exactly_max_samples_is_lossless(self):
+        # Filling the reservoir to exactly its bound must keep every
+        # observation (no eviction until max_samples is *exceeded*), so
+        # quantiles at the boundary are exact, not sampled.
+        h = Histogram("h", max_samples=50)
+        values = [float(v) for v in range(50)]
+        for v in values:
+            h.observe(v)
+        assert sorted(h._samples) == values
+        snap = h.snapshot()
+        assert snap["count"] == 50
+        for q in DEFAULT_QUANTILES:
+            assert snap[f"p{int(q * 100)}"] == pytest.approx(
+                float(np.quantile(values, q))
+            )
+
+    def test_reset_mid_observation_clears_and_keeps_working(self):
+        h = Histogram("h", max_samples=8)
+        for v in range(100):
+            h.observe(float(v))
+        h.reset()
+        snap = h.snapshot()
+        assert snap["count"] == 0 and snap["total"] == 0.0
+        assert "min" not in snap and "p50" not in snap
+        # Post-reset observations rebuild the summary from scratch —
+        # min/max must not remember pre-reset extremes.
+        h.observe(5.0)
+        h.observe(7.0)
+        snap = h.snapshot()
+        assert snap["count"] == 2
+        assert snap["min"] == 5.0 and snap["max"] == 7.0
+
     def test_quantile_helper_validates(self):
         with pytest.raises(ValueError):
             quantile([], 0.5)
@@ -146,3 +178,25 @@ class TestRegistry:
 
     def test_disabled_by_default(self):
         assert not MetricsRegistry().enabled
+
+    def test_empty_registry_snapshot_is_empty_dict(self):
+        assert MetricsRegistry().snapshot() == {}
+
+
+class TestRenderEdgeCases:
+    def test_render_snapshot_of_empty_registry(self):
+        from repro.obs import render_catalog, render_snapshot
+
+        text = render_snapshot({})
+        assert isinstance(text, str)  # no crash on nothing to show
+        catalog = render_catalog({}, events=())
+        assert isinstance(catalog, str)
+
+    def test_render_snapshot_single_sample_histogram(self):
+        from repro.obs import render_snapshot
+
+        h = Histogram("h.ns", "one sample")
+        h.observe(42.0)
+        text = render_snapshot({"h.ns": h.snapshot()})
+        assert "h.ns" in text
+        assert "42" in text

@@ -1,0 +1,171 @@
+"""Causal spans: ids, parenting, gating, context propagation, JSONL."""
+
+import io
+
+import pytest
+
+from repro.obs import TRACER, TraceBuffer, read_jsonl
+from repro.obs.events import SPAN_END, SPAN_START
+from repro.obs.spans import (
+    SpanHandle,
+    current_span,
+    extract,
+    finish_span,
+    inject,
+    span_scope,
+    start_span,
+)
+
+
+def _buffer() -> TraceBuffer:
+    buf = TraceBuffer()
+    buf.enabled = True
+    return buf
+
+
+class TestGating:
+    def test_start_span_returns_none_when_disabled(self):
+        buf = TraceBuffer()  # disabled
+        assert start_span("op", tracer=buf) is None
+        assert len(buf) == 0
+
+    def test_finish_span_accepts_none_handle(self):
+        buf = _buffer()
+        finish_span(None, tracer=buf)
+        assert len(buf) == 0
+
+    def test_scope_is_noop_when_disabled(self):
+        buf = TraceBuffer()
+        with span_scope("op", tracer=buf) as handle:
+            assert handle is None
+            assert current_span() is None
+        assert len(buf) == 0
+
+    def test_global_tracer_default_respects_switch(self):
+        assert start_span("op") is None  # TRACER off via conftest
+        TRACER.enabled = True
+        handle = start_span("op")
+        assert handle is not None
+        finish_span(handle)
+        assert [e.name for e in TRACER.events()] == [SPAN_START, SPAN_END]
+
+
+class TestIdsAndParenting:
+    def test_ids_are_deterministic_after_reset(self):
+        buf = _buffer()
+        first = start_span("a", tracer=buf)
+        second = start_span("b", tracer=buf)
+        assert (first.span_id, second.span_id) == (1, 2)
+
+    def test_root_span_shape(self):
+        buf = _buffer()
+        root = start_span("root", tracer=buf)
+        assert root.trace_id == root.span_id
+        assert root.parent_id == 0
+
+    def test_scope_parents_nested_spans(self):
+        buf = _buffer()
+        with span_scope("outer", tracer=buf) as outer:
+            assert current_span() is outer
+            child = start_span("inner", tracer=buf)
+            assert child.parent_id == outer.span_id
+            assert child.trace_id == outer.trace_id
+        assert current_span() is None
+
+    def test_nested_scopes_restore_parent(self):
+        buf = _buffer()
+        with span_scope("a", tracer=buf) as a:
+            with span_scope("b", tracer=buf) as b:
+                assert current_span() is b
+                assert b.parent_id == a.span_id
+            assert current_span() is a
+
+    def test_explicit_none_parent_forces_root(self):
+        buf = _buffer()
+        with span_scope("outer", tracer=buf):
+            orphan = start_span("detached", parent=None, tracer=buf)
+        assert orphan.parent_id == 0
+        assert orphan.trace_id == orphan.span_id
+
+    def test_explicit_parent_handle_wins_over_contextvar(self):
+        buf = _buffer()
+        remote = SpanHandle(trace_id=99, span_id=42, parent_id=0, op="remote")
+        with span_scope("local", tracer=buf):
+            child = start_span("served", parent=remote, tracer=buf)
+        assert child.trace_id == 99
+        assert child.parent_id == 42
+
+
+class TestEventsAndStatus:
+    def test_start_event_carries_attrs(self):
+        buf = _buffer()
+        start_span("op", tracer=buf, peer=3, slot=7)
+        (event,) = buf.events()
+        assert event.name == SPAN_START
+        assert event.fields["attrs"] == {"peer": 3, "slot": 7}
+        assert event.fields["op"] == "op"
+
+    def test_finish_status_recorded(self):
+        buf = _buffer()
+        handle = start_span("op", tracer=buf)
+        finish_span(handle, status="polluted", tracer=buf)
+        end = buf.events()[-1]
+        assert end.name == SPAN_END
+        assert end.fields["status"] == "polluted"
+        assert end.fields["span_id"] == handle.span_id
+
+    def test_scope_marks_error_status_on_exception(self):
+        buf = _buffer()
+        with pytest.raises(RuntimeError):
+            with span_scope("op", tracer=buf):
+                raise RuntimeError("boom")
+        end = buf.events()[-1]
+        assert end.name == SPAN_END
+        assert end.fields["status"] == "error"
+
+    def test_scope_ok_status_on_clean_exit(self):
+        buf = _buffer()
+        with span_scope("op", tracer=buf):
+            pass
+        assert buf.events()[-1].fields["status"] == "ok"
+
+
+class TestContextPropagation:
+    def test_inject_extract_round_trip(self):
+        span = SpanHandle(trace_id=5, span_id=9, parent_id=2, op="x")
+        carrier = inject(span)
+        remote = extract(carrier)
+        assert remote.trace_id == 5
+        assert remote.span_id == 9
+        assert remote.parent_id == 0  # remote parent is a local root
+
+    def test_inject_defaults_to_current_span(self):
+        buf = _buffer()
+        with span_scope("outer", tracer=buf) as outer:
+            carrier = inject()
+        assert carrier["span_id"] == outer.span_id
+
+    def test_inject_without_span_leaves_carrier_unchanged(self):
+        carrier = inject(carrier={"k": "v"})
+        assert carrier == {"k": "v"}
+
+    @pytest.mark.parametrize(
+        "carrier",
+        [{}, {"trace_id": 1}, {"trace_id": "x", "span_id": 2}, {"span_id": None}],
+    )
+    def test_extract_tolerates_malformed_carriers(self, carrier):
+        assert extract(carrier) is None
+
+
+class TestJsonlRoundTrip:
+    def test_span_events_survive_jsonl(self):
+        buf = _buffer()
+        with span_scope("outer", tracer=buf, n=2):
+            child = start_span("inner", tracer=buf)
+            finish_span(child, tracer=buf)
+        sink = io.StringIO()
+        buf.write_jsonl(sink)
+        events = read_jsonl(io.StringIO(sink.getvalue()))
+        assert events == buf.events()
+        names = [e.name for e in events]
+        assert names == [SPAN_START, SPAN_START, SPAN_END, SPAN_END]

@@ -82,6 +82,42 @@ class TestJsonlRoundTrip:
         assert TraceEvent.from_dict(event.to_dict()) == event
 
 
+class TestMetaHeader:
+    def test_written_file_starts_with_meta_record(self, tmp_path):
+        buf = TraceBuffer(capacity=3)
+        buf.enabled = True
+        for i in range(5):  # 2 dropped
+            buf.emit("e", i=i)
+        path = tmp_path / "trace.jsonl"
+        assert buf.write_jsonl(path) == 3  # meta excluded from the count
+        import json
+
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["name"] == "trace.meta"
+        assert first["fields"] == {"events": 3, "dropped": 2, "capacity": 3}
+        assert first["mono_ns"] == 0  # sorts before every real event
+
+    def test_read_jsonl_strips_meta_by_default(self, tmp_path):
+        buf = TraceBuffer()
+        buf.enabled = True
+        buf.emit("e", i=0)
+        path = tmp_path / "trace.jsonl"
+        buf.write_jsonl(path)
+        assert read_jsonl(path) == buf.events()
+        with_meta = read_jsonl(path, meta=True)
+        assert len(with_meta) == 2
+        assert with_meta[0].name == "trace.meta"
+        assert with_meta[1:] == buf.events()
+
+    def test_empty_buffer_still_writes_meta(self, tmp_path):
+        buf = TraceBuffer()
+        buf.enabled = True
+        path = tmp_path / "trace.jsonl"
+        assert buf.write_jsonl(path) == 0
+        (meta,) = read_jsonl(path, meta=True)
+        assert meta.fields["events"] == 0 and meta.fields["dropped"] == 0
+
+
 def test_event_taxonomy_names_are_dotted_and_unique():
     assert len(set(ALL_EVENTS)) == len(ALL_EVENTS)
     for name in ALL_EVENTS:

@@ -514,3 +514,138 @@ class TestStats:
         odd.write_text('{"weird": 1}')
         with pytest.raises(SystemExit, match="not a metrics snapshot"):
             main(["stats", str(odd)])
+
+    def test_format_json_round_trips(self, capsys):
+        code = main(["stats", "--format", "json"])
+        assert code == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["repro.sim.slots"]["kind"] == "counter"
+
+    def test_format_openmetrics_validates(self, capsys):
+        from repro.obs import validate_openmetrics
+
+        code = main(["stats", "--format", "openmetrics"])
+        assert code == 0
+        text = capsys.readouterr().out
+        validate_openmetrics(text)
+        assert "repro_sim_slots_total" in text
+
+    def test_snapshot_file_honors_format(self, tmp_path, capsys):
+        from repro.obs import validate_openmetrics
+
+        snap_file = tmp_path / "metrics.json"
+        assert main(["simulate", "fig5b", "--metrics-out", str(snap_file)]) == 0
+        capsys.readouterr()
+        code = main(["stats", str(snap_file), "--format", "openmetrics"])
+        assert code == 0
+        text = capsys.readouterr().out
+        validate_openmetrics(text)
+        assert "repro_sim_slots_total" in text
+
+
+class TestRunReports:
+    def test_simulate_report_matches_result_fairness(self, tmp_path, capsys):
+        rep_file = tmp_path / "report.json"
+        code = main(
+            ["simulate", "fig5b", "--report", "--report-json", str(rep_file)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "simulation report" in stdout
+        assert "Jain" in stdout
+        rep = json.loads(rep_file.read_text())
+        assert rep["kind"] == "simulation"
+        # The report's trajectory must reproduce the engine's per-slot
+        # Jain values, which --report recomputes from the result arrays.
+        from repro.obs.report import jain_trajectory
+        from repro.sim.scenarios import figure_5b
+
+        expected = jain_trajectory(figure_5b())
+        assert rep["fairness"]["trajectory"] == expected
+        assert rep["slots"] == len(expected)
+        assert rep["trace"]["sim_slots"] == rep["slots"]
+
+    def test_simulate_report_json_only_is_quiet(self, tmp_path, capsys):
+        rep_file = tmp_path / "report.json"
+        code = main(["simulate", "fig5b", "--report-json", str(rep_file)])
+        assert code == 0
+        assert "simulation report" not in capsys.readouterr().out
+        assert json.loads(rep_file.read_text())["kind"] == "simulation"
+
+    def test_download_report_aggregates_chunks(self, workspace, capsys):
+        tmp, src, out = workspace
+        encode(src, out)
+        rep_file = tmp / "report.json"
+        dest = tmp / "restored.bin"
+        code = main(
+            [
+                "download",
+                str(out / "peer0"),
+                str(out / "peer1"),
+                "--manifest", str(out / "manifest.json"),
+                "--secret", "s3cret",
+                "--digests", str(out / "digests.json"),
+                "--out", str(dest),
+                "--rate", "4",
+                "--faults", "1:pollute",
+                "--report",
+                "--report-json", str(rep_file),
+            ]
+        )
+        assert code == 0
+        assert dest.read_bytes() == src.read_bytes()
+        stdout = capsys.readouterr().out
+        assert "download report" in stdout
+        assert "critical path" in stdout
+        rep = json.loads(rep_file.read_text())
+        assert rep["kind"] == "download"
+        assert rep["chunks"] == 3
+        assert rep["complete"] is True
+        assert any(f["kind"] == "polluted" for f in rep["failures"])
+        assert rep["critical_path"][0]["op"] == "transfer.download"
+        assert rep["time_in_state"]["1"]["fault"] == "polluted"
+
+
+class TestTraceAnalyze:
+    def test_reconstructs_download_span_tree(self, workspace, tmp_path, capsys):
+        tmp, src, out = workspace
+        encode(src, out)
+        trace = tmp_path / "trace.jsonl"
+        dest = tmp / "restored.bin"
+        code = main(
+            [
+                "download",
+                str(out / "peer0"),
+                str(out / "peer1"),
+                "--manifest", str(out / "manifest.json"),
+                "--secret", "s3cret",
+                "--digests", str(out / "digests.json"),
+                "--out", str(dest),
+                "--rate", "4",
+                "--faults", "1:pollute",
+                "--trace", str(trace),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["trace", "analyze", str(trace)]) == 0
+        stdout = capsys.readouterr().out
+        assert "transfer.download" in stdout
+        assert "transfer.peer" in stdout
+        assert "transfer.quarantine" in stdout
+        assert "polluted" in stdout
+        assert "critical path:" in stdout
+        assert "time in state:" in stdout
+
+    def test_simulation_trace_fairness_summary(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["simulate", "fig5b", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "analyze", str(trace)]) == 0
+        stdout = capsys.readouterr().out
+        assert "sim.run" in stdout
+        assert "fairness timeline:" in stdout
+
+    def test_unreadable_trace_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            main(["trace", "analyze", str(tmp_path / "nope.jsonl")])

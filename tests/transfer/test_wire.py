@@ -142,3 +142,79 @@ class TestEndToEndHandshakeOverWire:
         # ... travels back to the peer ...
         answer = decode_frame(response_frame)
         assert verifier.verify(answer.challenge, answer.response)
+
+
+class TestContextEnvelope:
+    """Trace-context envelope (frame type 8) around any inner frame."""
+
+    def _span(self):
+        from repro.obs.spans import SpanHandle
+
+        return SpanHandle(trace_id=0xAB, span_id=0xCD, parent_id=0, op="x")
+
+    @pytest.mark.parametrize(
+        "frame", sample_frames(), ids=lambda f: type(f).__name__
+    )
+    def test_wrap_unwrap_every_frame_type(self, frame):
+        from repro.transfer.wire import extract_context, inject_context
+
+        wire = inject_context(encode_frame(frame), span=self._span())
+        assert wire[0] == 8
+        remote, inner = extract_context(wire)
+        assert remote.trace_id == 0xAB and remote.span_id == 0xCD
+        assert inner == encode_frame(frame)
+        decoded = decode_frame(inner)
+        assert type(decoded) is type(frame)
+
+    def test_no_span_means_no_envelope(self):
+        from repro.transfer.wire import extract_context, inject_context
+
+        wire = encode_frame(FileRequest(file_id=1))
+        assert inject_context(wire) == wire  # no active span
+        remote, inner = extract_context(wire)
+        assert remote is None and inner == wire
+
+    def test_current_span_is_picked_up(self):
+        from repro.obs import TRACER
+        from repro.obs.spans import span_scope
+        from repro.transfer.wire import extract_context, inject_context
+
+        prev = TRACER.enabled
+        TRACER.enabled = True
+        try:
+            with span_scope("send") as span:
+                wire = inject_context(encode_frame(FileRequest(file_id=2)))
+        finally:
+            TRACER.enabled = prev
+            TRACER.clear()
+        remote, _ = extract_context(wire)
+        assert remote.trace_id == span.trace_id
+        assert remote.span_id == span.span_id
+
+    def test_truncated_envelope_raises(self):
+        from repro.transfer.wire import extract_context, inject_context
+
+        wire = inject_context(
+            encode_frame(FileRequest(file_id=3)), span=self._span()
+        )
+        for cut in range(1, len(wire)):
+            with pytest.raises(WireFormatError):
+                extract_context(wire[:cut])
+
+    def test_trailing_garbage_raises(self):
+        from repro.transfer.wire import extract_context, inject_context
+
+        wire = inject_context(
+            encode_frame(FileRequest(file_id=4)), span=self._span()
+        )
+        with pytest.raises(WireFormatError):
+            extract_context(wire + b"\x00")
+
+    def test_empty_inner_frame_raises(self):
+        import struct
+
+        from repro.transfer.wire import extract_context
+
+        wire = bytes([8]) + struct.pack(">QQI", 1, 2, 0)
+        with pytest.raises(WireFormatError, match="empty frame"):
+            extract_context(wire)
