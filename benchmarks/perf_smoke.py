@@ -60,6 +60,19 @@ def measure_sim() -> tuple[str, float]:
     return key, bench_sim_scaling.seconds_per_slot(SIM_N, "batched")
 
 
+#: Repair probe: recombination throughput at the committed
+#: ``BENCH_repair.json`` operating point (GF(2^16), m=2^12, 16 helpers
+#: -> 8 fresh messages), reusing the bench module's own measurement.
+def measure_repair() -> tuple[str, int]:
+    import bench_repair
+
+    key = (
+        f"repair_recombine_p{bench_repair.P}_m{bench_repair.M}"
+        f"_h{bench_repair.HELPERS}_c{bench_repair.COUNT}"
+    )
+    return key, bench_repair.recombine_ns_per_message()
+
+
 #: Obs-overhead probe, enforcing the "<3% overhead" instrumentation
 #: claim with a 5% CI budget: the decode + sim-slot-loop workload with
 #: metrics AND tracing enabled may cost at most OVERHEAD_BUDGET times
@@ -176,6 +189,19 @@ def main() -> int:
     print(f"measured {sim_key}: {sim_ns} ns/op ({sim_seconds * 1e6:.0f} us/slot); "
           f"wrote {sim_path.name}")
     failures += _compare("BENCH_sim.json", sim_key, sim_ns)
+
+    repair_key, repair_ns = measure_repair()
+    repair_fresh = {
+        "schema": 1,
+        "results": {
+            repair_key: {"op": "recombine_per_message",
+                         "ns_per_op": repair_ns, "samples": 1}
+        },
+    }
+    repair_path = REPO_ROOT / "BENCH_repair.smoke.json"
+    repair_path.write_text(json.dumps(repair_fresh, indent=2, sort_keys=True) + "\n")
+    print(f"measured {repair_key}: {repair_ns} ns/op; wrote {repair_path.name}")
+    failures += _compare("BENCH_repair.json", repair_key, repair_ns)
 
     failures += measure_obs_overhead()
 

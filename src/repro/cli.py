@@ -323,6 +323,128 @@ def _load_coding(args: argparse.Namespace):
     return manifest, generator_source
 
 
+def _load_manifest(path: str) -> FileManifest:
+    """Read a manifest (versioned or plain) without needing the secret."""
+    try:
+        with open(path) as fh:
+            blob = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"cannot read manifest: {exc}") from exc
+    if "version" in blob:
+        return VersionedManifest.from_dict(blob).manifest()
+    return FileManifest.from_dict(blob)
+
+
+def _load_repairs(path: str) -> dict[int, list]:
+    """Read a repairs.json into ``{chunk_id: [RepairRecord, ...]}``."""
+    from .repair import RepairError, records_from_dict
+
+    try:
+        with open(path) as fh:
+            blob = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read repair records: {exc}") from exc
+    try:
+        return records_from_dict(blob)
+    except (RepairError, KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"bad repair records in {path}: {exc}") from exc
+
+
+def _write_repairs(path: str, records: dict[int, list]) -> int:
+    """Write the record registry as repairs.json; returns the count."""
+    from .repair import records_to_dict
+
+    flat = [record for chunk_id in sorted(records) for record in records[chunk_id]]
+    try:
+        with open(path, "w") as fh:
+            json.dump(records_to_dict(flat), fh, indent=2)
+    except OSError as exc:
+        raise SystemExit(f"cannot write repair records: {exc}") from exc
+    return len(flat)
+
+
+def _write_digests(path: str, digests: DigestStore, chunk_ids) -> int:
+    """Write a digests.json (the ``--digests`` format); returns entries."""
+    blob = {
+        str(chunk_id): {
+            str(mid): digest.hex()
+            for mid, digest in digests.slice_for_file(chunk_id).items()
+        }
+        for chunk_id in chunk_ids
+    }
+    try:
+        with open(path, "w") as fh:
+            json.dump(blob, fh, indent=2)
+    except OSError as exc:
+        raise SystemExit(f"cannot write digests: {exc}") from exc
+    return sum(len(v) for v in blob.values())
+
+
+class _RepairAwareSource:
+    """Generator source that also resolves repair-range message ids.
+
+    Wraps the secret-derived source so each per-chunk generator consults
+    the (live) repair-record registry — the CLI twin of the simulator's
+    bound encoder.  Ordinary ids pass straight through, so wrapping
+    never changes a repair-free download.
+    """
+
+    def __init__(self, base, manifest: FileManifest, records: dict[int, list]):
+        self._base = base
+        self._manifest = manifest
+        self._records = records
+
+    def coefficient_generator(self, index: int):
+        from .repair import RepairableCoefficients
+
+        base = self._base.coefficient_generator(index)
+        chunk_id = self._manifest.chunk_ids[index]
+        records = self._records
+        return RepairableCoefficients(
+            base, lambda cid=chunk_id: records.get(cid, ())
+        )
+
+
+def _local_repair_hook(chunk_id, holders, stores, records, field, digest_store):
+    """Mid-download repair over the local ``.dat`` stores.
+
+    Surviving stores recombine their messages into the first holder
+    still caching the chunk; the open serving cursor aliases that store,
+    so the fresh messages flow to the downloader without a new session.
+    Fresh digests are recorded straight from the minted payloads (local
+    stores are the trusted source in the CLI model) so the robust
+    policy accepts them.
+    """
+    from .repair import RepairCoordinator
+
+    coordinator = RepairCoordinator(field)
+
+    def hook(needed: int) -> int:
+        with_data = [pi for pi in holders if stores[pi].has_file(chunk_id)]
+        if not with_data:
+            return 0
+        target = with_data[0]
+        helper_pairs = [
+            (pi, lambda pi=pi: stores[pi].messages(chunk_id)) for pi in with_data
+        ]
+        epoch = len(records.get(chunk_id, []))
+        outcome = coordinator.repair(
+            chunk_id, helper_pairs, int(needed), epoch=epoch
+        )
+        if not outcome.ok:
+            return 0
+        records.setdefault(chunk_id, []).append(outcome.record)
+        if digest_store is not None:
+            for message in outcome.messages:
+                digest_store.record(
+                    chunk_id, message.message_id, message.payload_bytes()
+                )
+        stores[target].add_messages(outcome.messages)
+        return outcome.report.produced
+
+    return hook
+
+
 def cmd_decode(args: argparse.Namespace) -> int:
     return _with_obs(args, lambda: _decode(args))
 
@@ -333,6 +455,10 @@ def _decode(args: argparse.Namespace) -> int:
     dat_paths = _collect_dat_paths(args.sources)
     manifest, generator_source = _load_coding(args)
     digest_store = _load_digests(args.digests) if args.digests else None
+    if getattr(args, "repairs", None):
+        generator_source = _RepairAwareSource(
+            generator_source, manifest, _load_repairs(args.repairs)
+        )
     decoder = StreamingDecoder(
         manifest, generator_source, digest_store=digest_store
     )
@@ -382,6 +508,11 @@ class _ChunkTarget:
     @property
     def is_complete(self) -> bool:
         return self._streaming.needed_for_chunk(self._index) == 0
+
+    @property
+    def needed(self) -> int:
+        """Useful messages still missing — read by the repair trigger."""
+        return self._streaming.needed_for_chunk(self._index)
 
     def offer(self, message):
         return self._streaming.offer(message)
@@ -445,6 +576,20 @@ def _download(args: argparse.Namespace) -> int:
             store.load_dat(path, p=manifest.p, m=manifest.m)
         stores.append(store)
 
+    repair_records: dict[int, list] = (
+        _load_repairs(args.repairs) if args.repairs else {}
+    )
+    preloaded_repairs = {
+        chunk_id: len(lst) for chunk_id, lst in repair_records.items()
+    }
+    repair_enabled = args.repair_threshold is not None
+    if repair_enabled or repair_records:
+        # Only wrap when repair is in play: the plain path stays
+        # bit-identical to older builds.
+        generator_source = _RepairAwareSource(
+            generator_source, manifest, repair_records
+        )
+
     decoder = StreamingDecoder(manifest, generator_source)
     policy = RobustPolicy(
         digest_store=digest_store, stall_timeout_slots=args.stall_timeout
@@ -477,11 +622,28 @@ def _download(args: argparse.Namespace) -> int:
                 peer=pi,
             )
             sessions.append(serving)
+        repair = None
+        if repair_enabled:
+            from .gf import GF
+            from .repair import DownloadRepairTrigger
+
+            repair = DownloadRepairTrigger(
+                hook=_local_repair_hook(
+                    chunk_id,
+                    holders,
+                    stores,
+                    repair_records,
+                    GF(manifest.p),
+                    digest_store,
+                ),
+                threshold=args.repair_threshold,
+            )
         report = ParallelDownloader(
             sessions,
             _ChunkTarget(decoder, index),
             lambda i, t: args.rate,
             policy=policy,
+            repair=repair,
         ).run(args.max_slots, file_id=chunk_id)
         chunk_reports.append(report)
         total_slots += report.slots
@@ -495,6 +657,15 @@ def _download(args: argparse.Namespace) -> int:
         )
         if not report.complete:
             break
+
+    if repair_enabled:
+        minted = sum(
+            record.count
+            for chunk_id, lst in repair_records.items()
+            for record in lst[preloaded_repairs.get(chunk_id, 0):]
+        )
+        if minted:
+            print(f"repair: {minted} fresh message(s) recombined mid-download")
 
     for pi in sorted(failures):
         f = failures[pi]
@@ -532,6 +703,122 @@ def _download(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_repair(args: argparse.Namespace) -> int:
+    return _with_obs(args, lambda: _repair(args))
+
+
+def _repair(args: argparse.Namespace) -> int:
+    """Recombine surviving stores into fresh coded messages — no secret.
+
+    Each source argument is one helper peer's store.  For every chunk
+    below the redundancy target (or for ``--count`` messages when
+    given), the helpers' stored messages are recombined under public,
+    replayable coefficients into a new bundle written to ``--out``.
+    Digests of the fresh messages are computed locally from the minted
+    payloads — the owner's secret never leaves home, and no plaintext
+    is needed.  The repair records that make the new ids decodable are
+    appended to ``--repairs`` (pass the same file to ``repro download``
+    or a later ``repro repair``).
+    """
+    from .gf import GF
+    from .repair import RedundancyMonitor, RepairCoordinator
+
+    peer_paths = [_collect_dat_paths([source]) for source in args.sources]
+    manifest = _load_manifest(args.manifest)
+    params = CodingParams(p=manifest.p, m=manifest.m, file_bytes=manifest.chunk_bytes)
+    digest_store = _load_digests(args.digests) if args.digests else None
+    repairs_path = (
+        args.repairs
+        if args.repairs
+        else os.path.join(args.out, "repairs.json")
+    )
+    records: dict[int, list] = (
+        _load_repairs(repairs_path) if os.path.exists(repairs_path) else {}
+    )
+
+    stores = []
+    for paths in peer_paths:
+        store = MessageStore()
+        for path in paths:
+            store.load_dat(path, p=manifest.p, m=manifest.m)
+        stores.append(store)
+
+    field = GF(manifest.p)
+    monitor = RedundancyMonitor(params.k, threshold=args.threshold)
+    coordinator = RepairCoordinator(field, monitor=monitor)
+    fresh = MessageStore()
+    produced = degraded = bad = 0
+    for index, chunk_id in enumerate(manifest.chunk_ids):
+        supplies: dict[int, list] = {}
+        for pi, store in enumerate(stores):
+            if not store.has_file(chunk_id):
+                continue
+            messages = store.messages(chunk_id)
+            if digest_store is not None:
+                kept = [
+                    m
+                    for m in messages
+                    if digest_store.verify(chunk_id, m.message_id, m.payload_bytes())
+                ]
+                bad += len(messages) - len(kept)
+                messages = kept
+            if messages:
+                supplies[pi] = messages
+        live = sum(len(v) for v in supplies.values())
+        monitor.observe(chunk_id, live)
+        deficit = args.count if args.count is not None else monitor.deficit(chunk_id)
+        if deficit <= 0:
+            print(f"chunk {index} ({chunk_id:#x}): {live} live message(s), no deficit")
+            continue
+        helper_pairs = [
+            (pi, lambda pi=pi: supplies[pi]) for pi in sorted(supplies)
+        ]
+        epoch = len(records.get(chunk_id, []))
+        outcome = coordinator.repair(chunk_id, helper_pairs, deficit, epoch=epoch)
+        if not outcome.ok:
+            degraded += 1
+            print(
+                f"chunk {index} ({chunk_id:#x}): repair FAILED "
+                f"({'; '.join(outcome.report.warnings) or 'no helpers'})",
+                file=sys.stderr,
+            )
+            continue
+        records.setdefault(chunk_id, []).append(outcome.record)
+        if digest_store is not None:
+            for message in outcome.messages:
+                digest_store.record(
+                    chunk_id, message.message_id, message.payload_bytes()
+                )
+        fresh.add_messages(outcome.messages)
+        produced += outcome.report.produced
+        state = " (partial)" if outcome.report.degraded else ""
+        print(
+            f"chunk {index} ({chunk_id:#x}): +{outcome.report.produced} "
+            f"message(s) from {outcome.report.helpers_contacted} helper(s), "
+            f"epoch {outcome.record.epoch}{state}"
+        )
+
+    if bad:
+        print(f"WARNING: {bad} helper message(s) failed digest verification "
+              "and were excluded", file=sys.stderr)
+    if produced == 0 and degraded == 0:
+        print("nothing to repair: every chunk meets the redundancy target")
+        return 0
+    os.makedirs(args.out, exist_ok=True)
+    written = fresh.save_dat(args.out)
+    count = _write_repairs(repairs_path, records)
+    print(
+        f"repaired {produced} message(s) -> {args.out} "
+        f"({len(written)} .dat store(s)); {count} repair record(s) "
+        f"-> {repairs_path}"
+    )
+    if digest_store is not None:
+        digests_out = args.digests_out if args.digests_out else args.digests
+        entries = _write_digests(digests_out, digest_store, manifest.chunk_ids)
+        print(f"digests now hold {entries} MD5 entries -> {digests_out}")
+    return 1 if degraded else 0
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     store = MessageStore()
     for path in _collect_dat_paths(args.sources):
@@ -548,7 +835,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-_SCENARIOS = ("fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "faults")
+_SCENARIOS = ("fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "faults", "repair")
 
 #: Default fault schedule for ``repro simulate faults`` when no
 #: ``--faults`` spec is given: one permanent crash, one long stall, one
@@ -571,8 +858,12 @@ def _simulate(args: argparse.Namespace) -> int:
         figure_8b,
     )
 
-    if args.faults and args.scenario != "faults":
-        raise SystemExit("--faults only applies to the 'faults' scenario")
+    if args.faults and args.scenario not in ("faults", "repair"):
+        raise SystemExit(
+            "--faults only applies to the 'faults' and 'repair' scenarios"
+        )
+    if args.scenario == "repair":
+        return _simulate_repair(args)
 
     def _run_faults():
         from .faults import FaultPlan, FaultSpecError
@@ -616,6 +907,63 @@ def _simulate(args: argparse.Namespace) -> int:
         events = obs.TRACER.events() if obs.TRACER.enabled else None
         _emit_run_report(args, obs.report.simulation_report(result, events=events))
     return 0
+
+
+def _simulate_repair(args: argparse.Namespace) -> int:
+    """Run the repair-under-churn scenario and print its metrics.
+
+    ``--faults`` may cast the churn explicitly (``depart`` peers are
+    wiped for good, ``rejoin`` peers come back cache-empty and get
+    repaired); without it a seeded random 3-of-8 cast is used.
+    """
+    from .sim import repair_under_churn
+
+    plan = None
+    if args.faults:
+        from .faults import FaultPlan, FaultSpecError
+
+        try:
+            plan = FaultPlan.parse(f"seed={args.seed};{args.faults}")
+        except FaultSpecError as exc:
+            raise SystemExit(f"bad --faults spec: {exc}") from exc
+    try:
+        result = repair_under_churn(seed=args.seed, plan=plan)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(
+        f"scenario repair: {result['n']} peers, churn killed "
+        f"{result['killed']}"
+        + (f", rejoined {result['rejoined']}" if result["rejoined"] else "")
+        + f" ({result['dropped_message_fraction']:.0%} of coded messages lost)"
+    )
+    print(
+        f"decode probability under {result['further_failures']} further "
+        f"failure(s): pre-churn {result['prob_pre']:.2f} -> churned "
+        f"{result['prob_churn']:.2f} -> repaired {result['prob_repaired']:.2f}"
+    )
+    print(
+        f"repair: {result['produced']} fresh message(s), owner payload "
+        f"{result['owner_payload_bytes']} B, owner digests "
+        f"{result['owner_digest_bytes']} B, helper bandwidth "
+        f"{result['helper_bandwidth_bytes']} B"
+    )
+    if result["degraded_chunks"]:
+        print(
+            f"WARNING: {result['degraded_chunks']} chunk(s) repaired only "
+            "partially",
+            file=sys.stderr,
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"result -> {args.json}")
+    restored = result["prob_repaired"] >= result["prob_pre"]
+    if not restored:
+        print(
+            "repair did NOT restore the pre-churn decode probability",
+            file=sys.stderr,
+        )
+    return 0 if restored else 1
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -843,6 +1191,11 @@ def build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--secret", required=True)
     dec.add_argument("--out", required=True)
     dec.add_argument("--digests", default=None, help="digests.json for authentication")
+    dec.add_argument(
+        "--repairs", default=None, metavar="FILE",
+        help="repairs.json from `repro repair`, making its repaired "
+        "message ids decodable",
+    )
     _add_obs_flags(dec)
     dec.set_defaults(func=cmd_decode)
 
@@ -879,9 +1232,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine a peer silent for this many consecutive slots",
     )
     dl.add_argument("--seed", type=int, default=0, help="keypair/auth seed")
+    dl.add_argument(
+        "--repair-threshold", type=float, default=None, metavar="X",
+        help="arm mid-download repair: when undelivered supply falls below "
+        "X times what a chunk still needs, surviving stores recombine "
+        "fresh messages (omit for the exact legacy behaviour)",
+    )
+    dl.add_argument(
+        "--repairs", default=None, metavar="FILE",
+        help="repairs.json from `repro repair`, making its repaired "
+        "message ids decodable",
+    )
     _add_obs_flags(dl)
     _add_report_flags(dl)
     dl.set_defaults(func=cmd_download)
+
+    rep = sub.add_parser(
+        "repair",
+        help="recombine surviving .dat stores into fresh coded messages "
+        "(no secret or plaintext needed)",
+    )
+    rep.add_argument(
+        "sources", nargs="+",
+        help="one .dat file or peer directory per surviving helper",
+    )
+    rep.add_argument("--manifest", required=True)
+    rep.add_argument("--out", required=True, help="directory for the new bundle")
+    rep.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="mint exactly N fresh messages per chunk "
+        "(default: the deficit against --threshold)",
+    )
+    rep.add_argument(
+        "--threshold", type=float, default=1.0, metavar="X",
+        help="redundancy target in multiples of k (default 1.0)",
+    )
+    rep.add_argument(
+        "--digests", default=None,
+        help="digests.json; verifies helpers and records fresh digests",
+    )
+    rep.add_argument(
+        "--digests-out", default=None, metavar="FILE",
+        help="where to write the updated digests (default: --digests in place)",
+    )
+    rep.add_argument(
+        "--repairs", default=None, metavar="FILE",
+        help="repair-record registry to extend "
+        "(default: <out>/repairs.json, created if missing)",
+    )
+    _add_obs_flags(rep)
+    rep.set_defaults(func=cmd_repair)
 
     ins = sub.add_parser("inspect", help="show the contents of .dat stores")
     ins.add_argument("sources", nargs="+")

@@ -32,7 +32,8 @@ __all__ = ["FaultyServingSession"]
 
 
 class FaultyServingSession:
-    """A serving session that crashes, stalls, corrupts, pollutes or refuses.
+    """A serving session that crashes, stalls, corrupts, pollutes,
+    refuses, or churns (departs and rejoins).
 
     Parameters
     ----------
@@ -59,6 +60,9 @@ class FaultyServingSession:
         self._stalls = tuple(f for f in self._faults if f.kind == "stall")
         self._corrupt = next((f for f in self._faults if f.kind == "corrupt"), None)
         self._pollute = next((f for f in self._faults if f.kind == "pollute"), None)
+        self._depart = next((f for f in self._faults if f.kind == "depart"), None)
+        self._rejoins = tuple(f for f in self._faults if f.kind == "rejoin")
+        self._churns = tuple(f for f in self._faults if f.kind == "churn")
 
     # -- handshake (delegated, possibly refused) ------------------------
 
@@ -98,6 +102,19 @@ class FaultyServingSession:
             f.at_slot <= slot < f.at_slot + f.duration for f in self._stalls
         )
 
+    def _absent(self, slot: int) -> bool:
+        """Churn absence: not yet rejoined, or inside a churn window.
+
+        Unlike ``depart`` the absence is survivable — the peer returns
+        with its stored messages intact, so the wrapper goes silent
+        (budget buys nothing) rather than killing the session.
+        """
+        if any(slot < f.at_slot for f in self._rejoins):
+            return True
+        return any(
+            f.at_slot <= slot < f.at_slot + f.duration for f in self._churns
+        )
+
     def _tamper(self, message):
         """Apply corruption/pollution to one encoded message."""
         if self._pollute is not None and self._rng.random() < self._pollute.rate:
@@ -124,7 +141,13 @@ class FaultyServingSession:
                 f"peer {self.peer} already crashed after "
                 f"{self._streamed:.0f} bytes"
             )
-        if self._stalling(slot):
+        if self._depart is not None and slot >= self._depart.at_slot:
+            # Permanent churn: the peer leaves the system for good.
+            self._crashed = True
+            raise SessionCrashed(
+                f"peer {self.peer} departed at slot {self._depart.at_slot}"
+            )
+        if self._stalling(slot) or self._absent(slot):
             # The link is wedged: the granted budget buys nothing and no
             # bytes flow into the stream (the inner cursor stays put).
             return []

@@ -31,6 +31,18 @@ Fault kinds
 ``refuse``
     The peer refuses service: challenge-response authentication never
     succeeds, forcing the downloader's bounded-retry path.
+``depart``
+    Permanent churn: the peer leaves the system at local slot
+    ``at_slot`` and never comes back — its stored messages are gone,
+    which is what the repair subsystem exists to compensate.
+``rejoin``
+    The peer is absent until local slot ``at_slot``, then serves
+    normally — the arriving half of a churn event, typically a
+    freshly repaired replica coming online.
+``churn``
+    A departure/rejoin cycle: the peer drops at ``at_slot`` (the
+    connection dies like a crash) and returns ``duration`` slots later
+    with its stored messages intact.
 """
 
 from __future__ import annotations
@@ -42,7 +54,16 @@ import numpy as np
 
 __all__ = ["FaultPlan", "PeerFault", "FaultSpecError", "FAULT_KINDS"]
 
-FAULT_KINDS = ("crash", "stall", "corrupt", "pollute", "refuse")
+FAULT_KINDS = (
+    "crash",
+    "stall",
+    "corrupt",
+    "pollute",
+    "refuse",
+    "depart",
+    "rejoin",
+    "churn",
+)
 
 
 class FaultSpecError(ValueError):
@@ -54,8 +75,9 @@ class PeerFault:
     """One fault assigned to one peer.
 
     Only the parameters relevant to ``kind`` are consulted:
-    ``at_byte`` for ``crash``; ``at_slot``/``duration`` for ``stall``;
-    ``rate`` for ``corrupt`` and ``pollute``.
+    ``at_byte`` for ``crash``; ``at_slot``/``duration`` for ``stall``
+    and ``churn``; ``at_slot`` for ``depart`` and ``rejoin``; ``rate``
+    for ``corrupt`` and ``pollute``.
     """
 
     kind: str
@@ -80,6 +102,15 @@ class PeerFault:
             raise FaultSpecError(
                 f"{self.kind} rate must be in (0, 1], got {self.rate}"
             )
+        if self.kind in ("depart", "rejoin") and self.at_slot < 0:
+            raise FaultSpecError(
+                f"{self.kind} at_slot cannot be negative: {self.at_slot}"
+            )
+        if self.kind == "churn":
+            if self.at_slot < 0:
+                raise FaultSpecError(f"churn at_slot cannot be negative: {self.at_slot}")
+            if self.duration < 1:
+                raise FaultSpecError(f"churn duration must be >= 1: {self.duration}")
 
     def to_entry(self, peer: int) -> str:
         """The compact spec-string entry for this fault (see ``parse``)."""
@@ -87,6 +118,10 @@ class PeerFault:
             return f"{peer}:crash@{self.at_byte:g}"
         if self.kind == "stall":
             return f"{peer}:stall@{self.at_slot}+{self.duration}"
+        if self.kind == "churn":
+            return f"{peer}:churn@{self.at_slot}+{self.duration}"
+        if self.kind in ("depart", "rejoin"):
+            return f"{peer}:{self.kind}@{self.at_slot}"
         if self.kind in ("corrupt", "pollute"):
             if self.rate == 1.0:
                 return f"{peer}:{self.kind}"
@@ -115,6 +150,15 @@ def _parse_entry(entry: str) -> tuple[int, PeerFault]:
                 at_slot=int(at_slot_s) if at_slot_s else 0,
                 duration=int(duration_s) if duration_s else 1,
             )
+        if kind == "churn":
+            at_slot_s, _, duration_s = arg.partition("+")
+            return peer, PeerFault(
+                "churn",
+                at_slot=int(at_slot_s) if at_slot_s else 0,
+                duration=int(duration_s) if duration_s else 1,
+            )
+        if kind in ("depart", "rejoin"):
+            return peer, PeerFault(kind, at_slot=int(arg) if arg else 0)
         if kind in ("corrupt", "pollute"):
             return peer, PeerFault(kind, rate=float(arg) if arg else 1.0)
         if kind == "refuse":
@@ -176,6 +220,12 @@ class FaultPlan:
             and self._faults == other._faults
         )
 
+    def __hash__(self) -> int:
+        # Defining __eq__ suppresses the default hash; plans are
+        # logically immutable after construction, so hash the same state
+        # __eq__ compares (PeerFault is a frozen dataclass, hashable).
+        return hash((self.seed, tuple(sorted(self._faults.items()))))
+
     def rng_for(self, peer: int) -> np.random.Generator:
         """The deterministic generator backing peer ``peer``'s faults."""
         return np.random.default_rng((self.seed, peer))
@@ -193,7 +243,10 @@ class FaultPlan:
 
         ``crash@B`` cuts after ``B`` streamed bytes, ``stall@S+D``
         silences local slots ``[S, S+D)``, ``corrupt@R``/``pollute@R``
-        hit each message with probability ``R`` (default 1).
+        hit each message with probability ``R`` (default 1),
+        ``depart@S`` leaves for good at slot ``S``, ``rejoin@S`` is
+        absent until slot ``S``, ``churn@S+D`` drops at ``S`` and
+        returns at ``S+D``.
         """
         seed = 0
         faults: dict[int, list[PeerFault]] = {}
@@ -264,10 +317,14 @@ class FaultPlan:
             elif fault.kind == "crash":
                 start = int(np.ceil(fault.at_byte / bytes_per_slot))
                 off.append((min(start, slots), slots))
-            elif fault.kind == "stall":
+            elif fault.kind in ("stall", "churn"):
                 off.append(
                     (min(fault.at_slot, slots), min(fault.at_slot + fault.duration, slots))
                 )
+            elif fault.kind == "depart":
+                off.append((min(fault.at_slot, slots), slots))
+            elif fault.kind == "rejoin":
+                off.append((0, min(fault.at_slot, slots)))
         off = [(s, e) for s, e in off if e > s]
         if not off:
             return None

@@ -14,6 +14,9 @@ one place to read the vocabulary and lets tests assert exhaustively.
 | ``transfer.discard``| robust download path (per msg)   | ``slot``, ``peer``, ``message_id`` |
 | ``transfer.fault``  | robust download path (per peer)  | ``peer``, ``kind``, ``slot`` |
 | ``transfer.retry``  | ``DownloadSession`` handshakes   | ``peer``, ``attempt``, ``backoff_slots`` |
+| ``repair.start``    | ``RepairCoordinator.repair``     | ``file_id``, ``epoch``, ``helpers``, ``requested`` |
+| ``repair.done``     | ``RepairCoordinator.repair``     | ``file_id``, ``epoch``, ``produced``, ``degraded`` |
+| ``repair.failed``   | ``RepairCoordinator.repair``     | ``file_id``, ``epoch``, ``attempt``, ``reason`` |
 | ``sim.slot``        | ``Simulation.step``              | ``t``, ``requesting``, ``allocated_kbps``, ``jain`` |
 | ``sim.feedback``    | ``Simulation.step`` (on flush)   | ``t``, ``credited`` |
 | ``span.start``      | ``obs.spans.start_span``         | ``trace_id``, ``span_id``, ``parent_id``, ``op``, ``attrs`` |
@@ -40,6 +43,9 @@ __all__ = [
     "TRANSFER_DISCARD",
     "TRANSFER_FAULT",
     "TRANSFER_RETRY",
+    "REPAIR_START",
+    "REPAIR_DONE",
+    "REPAIR_FAILED",
     "SIM_SLOT",
     "SIM_FEEDBACK",
     "SPAN_START",
@@ -57,6 +63,9 @@ TRANSFER_STOP = "transfer.stop"
 TRANSFER_DISCARD = "transfer.discard"
 TRANSFER_FAULT = "transfer.fault"
 TRANSFER_RETRY = "transfer.retry"
+REPAIR_START = "repair.start"
+REPAIR_DONE = "repair.done"
+REPAIR_FAILED = "repair.failed"
 SIM_SLOT = "sim.slot"
 SIM_FEEDBACK = "sim.feedback"
 SPAN_START = "span.start"
@@ -75,6 +84,7 @@ SPAN_OPS = (
     "rlnc.encode",
     "sim.run",
     "sim.step",
+    "repair.run",
     "remote",
 )
 
@@ -88,6 +98,9 @@ ALL_EVENTS = (
     TRANSFER_DISCARD,
     TRANSFER_FAULT,
     TRANSFER_RETRY,
+    REPAIR_START,
+    REPAIR_DONE,
+    REPAIR_FAILED,
     SIM_SLOT,
     SIM_FEEDBACK,
     SPAN_START,
@@ -110,6 +123,9 @@ EVENT_FIELDS = {
     "transfer.discard": ("slot", "peer", "message_id"),
     "transfer.fault": ("peer", "kind", "slot"),
     "transfer.retry": ("peer", "attempt", "backoff_slots"),
+    "repair.start": ("file_id", "epoch", "helpers", "requested"),
+    "repair.done": ("file_id", "epoch", "produced", "degraded"),
+    "repair.failed": ("file_id", "epoch", "attempt", "reason"),
     "sim.slot": ("t", "requesting", "allocated_kbps", "jain"),
     "sim.feedback": ("t", "credited"),
     "span.start": ("trace_id", "span_id", "parent_id", "op", "attrs"),

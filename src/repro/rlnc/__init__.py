@@ -29,7 +29,7 @@ from .chunking import (
     derive_chunk_id,
     split_chunks,
 )
-from .coefficients import CoefficientGenerator
+from .coefficients import CoefficientGenerator, UnknownCoefficientError
 from .decoder import BlockDecoder, DecodeError, Offer, ProgressiveDecoder
 from .encoder import EncodedFile, FileEncoder
 from .message import HEADER_BYTES, EncodedMessage, MessageFormatError
@@ -52,6 +52,7 @@ __all__ = [
     "ONE_MEGABYTE",
     "PAPER_EXAMPLE",
     "CoefficientGenerator",
+    "UnknownCoefficientError",
     "FileEncoder",
     "EncodedFile",
     "BlockDecoder",

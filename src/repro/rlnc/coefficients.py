@@ -15,7 +15,26 @@ import numpy as np
 from ..gf import BinaryField
 from ..security.prng import KeyedStream, derive_key
 
-__all__ = ["CoefficientGenerator"]
+__all__ = ["CoefficientGenerator", "REPAIR_ID_BASE", "UnknownCoefficientError"]
+
+#: Message ids with the top bit set are reserved for *repaired* messages
+#: (see :mod:`repro.repair.recombine`): their coefficient rows are not a
+#: pure function of the secret — they additionally need the repair
+#: record naming the helper set.  The base generator refuses them so a
+#: stray repair id can never silently decode against a garbage row.
+REPAIR_ID_BASE = 1 << 63
+
+
+class UnknownCoefficientError(KeyError):
+    """A message id whose coefficient row cannot be derived.
+
+    Ordinary ids never raise this — their rows are a pure function of
+    the secret.  Ids in the reserved *repair* range (see
+    :mod:`repro.repair.recombine`) additionally need the repair record
+    naming their helper set; offering such a message to a decoder whose
+    generator has not registered that record raises this, and the
+    decoder rejects the message instead of crashing.
+    """
 
 
 class CoefficientGenerator:
@@ -51,6 +70,11 @@ class CoefficientGenerator:
         """
         cached = self._cache.get(message_id)
         if cached is None:
+            if message_id >= REPAIR_ID_BASE:
+                raise UnknownCoefficientError(
+                    f"id {message_id:#x} is in the reserved repair range; "
+                    "its row needs a registered repair record"
+                )
             symbols = self._stream.symbols(message_id, self.k, self.field.p)
             cached = self.field.asarray(symbols)
             cached.flags.writeable = False
@@ -67,6 +91,12 @@ class CoefficientGenerator:
         """
         ids = list(message_ids)
         missing = [mid for mid in dict.fromkeys(ids) if mid not in self._cache]
+        for mid in missing:
+            if mid >= REPAIR_ID_BASE:
+                raise UnknownCoefficientError(
+                    f"id {mid:#x} is in the reserved repair range; "
+                    "its row needs a registered repair record"
+                )
         if missing:
             block = self._stream.symbols_many(missing, self.k, self.field.p)
             for mid, symbols in zip(missing, block):

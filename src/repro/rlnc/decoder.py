@@ -28,7 +28,7 @@ from ..obs import span as _span
 from ..obs import spans as _spans
 from ..obs.events import RLNC_OFFER
 from ..security.integrity import DigestStore
-from .coefficients import CoefficientGenerator
+from .coefficients import CoefficientGenerator, UnknownCoefficientError
 from .message import EncodedMessage
 from .params import CodingParams
 from .symbols import symbols_to_bytes
@@ -240,11 +240,24 @@ class ProgressiveDecoder:
             eligible.append(j)
         if len(eligible) < 2 or not self._order:
             return prepared
+        coeff_rows: list[np.ndarray | None] = []
+        derivable: list[int] = []
+        for j in eligible:
+            # A repair-range id without its registered record has no
+            # derivable row; leave it to the ordinary path, which
+            # rejects it instead of crashing the batch.
+            try:
+                coeff_rows.append(self.coefficients.row(msgs[j].message_id))
+            except UnknownCoefficientError:
+                continue
+            derivable.append(j)
+        eligible = derivable
+        if not eligible:
+            return prepared
         rows = np.empty((len(eligible), k + m), dtype=field.dtype)
         for i, j in enumerate(eligible):
-            msg = msgs[j]
-            rows[i, :k] = self.coefficients.row(msg.message_id)
-            rows[i, k:] = msg.payload
+            rows[i, :k] = coeff_rows[i]
+            rows[i, k:] = msgs[j].payload
         batch_start = time.perf_counter_ns() if _OBS.enabled else None
         for pivot, ridx in self._order:
             factors = rows[:, pivot].copy()
@@ -303,8 +316,16 @@ class ProgressiveDecoder:
         elim_start = time.perf_counter_ns() if _OBS.enabled else None
         try:
             if prepared_row is None:
+                try:
+                    coeff_row = self.coefficients.row(message.message_id)
+                except UnknownCoefficientError:
+                    # Repair-range id with no registered repair record:
+                    # the row cannot be derived, so the message cannot
+                    # be used (or even checked for consistency).
+                    self.rejected += 1
+                    return Offer.REJECTED
                 row = np.empty(k + self.params.m, dtype=field.dtype)
-                row[:k] = self.coefficients.row(message.message_id)
+                row[:k] = coeff_row
                 row[k:] = message.payload
             else:
                 row = prepared_row

@@ -206,6 +206,16 @@ class VersionedEncoder:
             _versioned_chunk_id(self.base_file_id, index, version),
         )
 
+    def source_matrix_for(
+        self, manifest: VersionedManifest, chunk_data: bytes, chunk_index: int
+    ):
+        """The ``k x m`` source matrix of one chunk at the manifest's
+        version — what the owner needs to recompute repaired payloads
+        locally for digest registration (see
+        :func:`repro.repair.recombine.register_repair_digests`)."""
+        version = manifest.chunk_versions[chunk_index]
+        return self._encoder_for(chunk_index, version).source_matrix(chunk_data)
+
     # -- publish / update --------------------------------------------------
 
     def publish(

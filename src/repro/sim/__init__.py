@@ -39,6 +39,7 @@ from .scenarios import (
     figure_7,
     figure_8a,
     figure_8b,
+    repair_under_churn,
 )
 from .traces import DiurnalDemand, FlashCrowdDemand, TraceDemand
 
@@ -81,6 +82,7 @@ __all__ = [
     "churn_configs",
     "churn_network",
     "faulty_network",
+    "repair_under_churn",
     "FIG5A_CAPACITIES",
     "FIG5B_CAPACITIES",
     "FIG6_CAPACITIES",

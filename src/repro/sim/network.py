@@ -15,12 +15,14 @@ from __future__ import annotations
 
 import hashlib
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.allocation import Allocator
 from ..discovery.chord import ChordRing, PeerDirectory
+from ..repair.monitor import DownloadRepairTrigger, RedundancyMonitor, RepairCoordinator
+from ..repair.recombine import RepairableCoefficients, register_repair_digests
 from ..rlnc.chunking import FileManifest, StreamingDecoder, split_chunks
 from ..rlnc.params import CodingParams
 from ..rlnc.update import UpdateResult, VersionedEncoder, VersionedManifest
@@ -47,14 +49,35 @@ DEFAULT_SIM_PARAMS = CodingParams(p=16, m=512, file_bytes=8192)
 
 class _BoundEncoder:
     """Adapter giving a :class:`StreamingDecoder` per-chunk coefficient
-    generators for a specific manifest version."""
+    generators for a specific manifest version.
 
-    def __init__(self, encoder: VersionedEncoder, vmanifest: VersionedManifest):
+    When the network has run survivor repairs, the per-chunk generator
+    is wrapped so repair-range message ids resolve through the
+    registered :class:`~repro.repair.recombine.RepairRecord`s."""
+
+    def __init__(
+        self,
+        encoder: VersionedEncoder,
+        vmanifest: VersionedManifest,
+        repair_records: dict[int, list] | None = None,
+    ):
         self._encoder = encoder
         self._vmanifest = vmanifest
+        # `is not None` (not `or`): an empty dict is the usual *live*
+        # registry that repairs will fill later — it must stay shared.
+        self._repair_records = (
+            repair_records if repair_records is not None else {}
+        )
 
     def coefficient_generator(self, index: int):
-        return self._encoder.coefficient_generator_for(self._vmanifest, index)
+        base = self._encoder.coefficient_generator_for(self._vmanifest, index)
+        chunk_id = self._vmanifest.chunk_ids[index]
+        records = self._repair_records
+        # Live lookup: repairs run after this generator was built (e.g.
+        # mid-download) are still resolvable.
+        return RepairableCoefficients(
+            base, lambda cid=chunk_id: records.get(cid, ())
+        )
 
 
 @dataclass
@@ -76,6 +99,9 @@ class FileHandle:
     data: bytes = b""
     #: Monotone counter giving repair bundles disjoint id ranges.
     reseed_rounds: int = 0
+    #: Survivor-repair provenance, ``{chunk_id: [RepairRecord, ...]}``;
+    #: the list index doubles as the chunk's next repair epoch.
+    repair_records: dict[int, list] = field(default_factory=dict)
 
     @property
     def manifest(self) -> FileManifest:
@@ -91,7 +117,7 @@ class FileHandle:
         return self.vmanifest.n_chunks
 
     def bound_encoder(self) -> _BoundEncoder:
-        return _BoundEncoder(self.encoder, self.vmanifest)
+        return _BoundEncoder(self.encoder, self.vmanifest, self.repair_records)
 
 
 @dataclass(frozen=True)
@@ -323,6 +349,105 @@ class FileSharingNetwork:
             stored += self.stores[peer].add_messages(bundle, limit=message_limit)
         return stored
 
+    def churn_repair(
+        self,
+        name: str,
+        target: int,
+        helpers: list[int] | None = None,
+        count: int | None = None,
+        threshold: float = 1.0,
+        max_attempts: int = 3,
+        backoff_slots: int = 1,
+        chunk_ids=None,
+    ) -> dict:
+        """Survivor-side repair: restore redundancy without the owner.
+
+        Unlike :meth:`repair` (the owner re-encodes from plaintext over
+        its uplink), this recombines the *surviving peers'* stored
+        messages into fresh coded messages (see :mod:`repro.repair`) and
+        stores them at ``target``.  The owner's entire uplink
+        contribution is the per-message digest registration — payload
+        bytes shipped by the owner are zero by construction.
+
+        ``count`` forces a fixed number of fresh messages per chunk;
+        otherwise the deficit against ``threshold`` (in multiples of
+        ``k``) is minted.  ``helpers`` restricts the helper set (default:
+        every peer but ``target`` holding chunk data).  ``chunk_ids``
+        restricts repair to those chunks (default: all).
+        Returns a JSON-able summary with per-chunk reports.
+        """
+        handle = self.registry.get(name)
+        if handle is None:
+            raise KeyError(f"no published file named {name!r}")
+        self._check_peer(target)
+        manifest = handle.vmanifest
+        monitor = RedundancyMonitor(self.params.k, threshold=threshold)
+        coordinator = RepairCoordinator(
+            handle.encoder.field,
+            monitor=monitor,
+            max_attempts=max_attempts,
+            backoff_slots=backoff_slots,
+        )
+        wanted = set(chunk_ids) if chunk_ids is not None else None
+        chunks = split_chunks(handle.data, self.params.file_bytes)
+        # Repair-aware generator: helpers may themselves hold messages
+        # minted by earlier repair epochs (repair of repairs).
+        bound = handle.bound_encoder()
+        chunk_reports = []
+        produced = degraded = 0
+        helper_bandwidth = digest_bytes = 0
+        for index, chunk_id in enumerate(manifest.chunk_ids):
+            if wanted is not None and chunk_id not in wanted:
+                continue
+            live = sum(store.count(chunk_id) for store in self.stores)
+            monitor.observe(chunk_id, live)
+            deficit = count if count is not None else monitor.deficit(chunk_id)
+            if deficit <= 0:
+                continue
+            candidates = (
+                helpers
+                if helpers is not None
+                else [j for j in range(self.n) if j != target]
+            )
+            helper_pairs = [
+                (j, lambda j=j, cid=chunk_id: self.stores[j].messages(cid))
+                for j in candidates
+                if self.stores[j].has_file(chunk_id)
+            ]
+            # Epochs must stay monotone per chunk across calls; the
+            # record list length is exactly the next unused epoch.
+            epoch = len(handle.repair_records.get(chunk_id, []))
+            outcome = coordinator.repair(
+                chunk_id, helper_pairs, deficit, epoch=epoch
+            )
+            chunk_reports.append(outcome.report.to_dict())
+            helper_bandwidth += outcome.report.bandwidth_bytes
+            if not outcome.ok:
+                degraded += 1
+                continue
+            # Owner side: digests only — never payload bytes.
+            digest_bytes += register_repair_digests(
+                outcome.record,
+                bound.coefficient_generator(index),
+                handle.encoder.source_matrix_for(manifest, chunks[index], index),
+                self.digest_stores[handle.owner],
+            )
+            self.stores[target].add_messages(outcome.messages)
+            handle.repair_records.setdefault(chunk_id, []).append(outcome.record)
+            produced += outcome.report.produced
+            if outcome.report.degraded:
+                degraded += 1
+        return {
+            "file": name,
+            "target": target,
+            "produced": produced,
+            "degraded_chunks": degraded,
+            "owner_payload_bytes": 0,
+            "owner_digest_bytes": digest_bytes,
+            "helper_bandwidth_bytes": helper_bandwidth,
+            "chunks": chunk_reports,
+        }
+
     def initialization_seconds(self, handle: FileHandle) -> float:
         """How long the owner's upload link needs to seed the network.
 
@@ -344,6 +469,7 @@ class FileSharingNetwork:
         max_slots: int = 1_000_000,
         download_cap_kbps: float = math.inf,
         peers: list[int] | None = None,
+        repair_threshold: float | None = None,
     ) -> NetworkDownload:
         """Fetch a published file from the peer network for ``user``.
 
@@ -351,6 +477,13 @@ class FileSharingNetwork:
         parallel download across ``peers`` (default: all peers holding
         data, including the user's own home peer) at rates produced by
         the live allocation simulation.
+
+        ``repair_threshold`` arms mid-download repair: when the
+        undelivered supply across live peers falls below the threshold
+        times what the chunk still needs, survivors recombine fresh
+        messages into a live peer's store (see :meth:`churn_repair`)
+        and the download continues.  ``None`` leaves downloads
+        bit-identical to the repair-free path.
         """
         self._check_peer(user)
         handle = self.registry.get(name)
@@ -389,11 +522,20 @@ class FileSharingNetwork:
                     sessions.append(serving)
                 chunk_decoder = _ChunkView(streaming, chunk_id)
                 rate_fn = self._make_rate_fn(user, chunk_peers)
+                repair = None
+                if repair_threshold is not None:
+                    repair = DownloadRepairTrigger(
+                        hook=self._repair_hook(
+                            name, chunk_id, chunk_peers, sessions, user_digests
+                        ),
+                        threshold=repair_threshold,
+                    )
                 downloader = ParallelDownloader(
                     sessions,
                     chunk_decoder,
                     rate_fn,
                     download_cap_kbps=download_cap_kbps,
+                    repair=repair,
                 )
                 report = downloader.run(max_slots - total_slots, file_id=chunk_id)
                 reports.append(report)
@@ -404,6 +546,42 @@ class FileSharingNetwork:
             self._manual[user].requesting = False
         data = streaming.result() if streaming.is_complete else b""
         return NetworkDownload(data=data, reports=tuple(reports), slots=total_slots)
+
+    def _repair_hook(
+        self, name: str, chunk_id: int, chunk_peers, sessions, user_digests
+    ):
+        """Mid-download repair callback: mint into a live serving peer.
+
+        Fresh messages are appended to the target's store, whose open
+        serving cursor aliases the same message list — they flow to the
+        downloader with no new session.  A peer whose store dropped the
+        chunk is never picked: its cursor is stale and stays that way.
+        The owner's freshly registered digests are re-merged into the
+        user's digest slice (that shipment *is* the owner's entire
+        uplink cost for the repair).
+        """
+        owner = self.registry[name].owner
+
+        def hook(needed: int) -> int:
+            target = next(
+                (
+                    j
+                    for j, session in zip(chunk_peers, sessions)
+                    if session.authenticated and self.stores[j].has_file(chunk_id)
+                ),
+                None,
+            )
+            if target is None:
+                return 0
+            result = self.churn_repair(
+                name, target, count=int(needed), chunk_ids=(chunk_id,)
+            )
+            user_digests.merge(
+                chunk_id, self.digest_stores[owner].slice_for_file(chunk_id)
+            )
+            return result["produced"]
+
+        return hook
 
     def _make_rate_fn(self, user: int, serving_peers: list[int]):
         """Per-slot rates from the live allocation simulation.
@@ -591,6 +769,11 @@ class _ChunkView:
     def is_complete(self) -> bool:
         index = self._streaming.manifest.chunk_ids.index(self._chunk_id)
         return self._streaming.needed_for_chunk(index) == 0
+
+    @property
+    def needed(self) -> int:
+        index = self._streaming.manifest.chunk_ids.index(self._chunk_id)
+        return self._streaming.needed_for_chunk(index)
 
     def offer(self, message):
         return self._streaming.offer(message)

@@ -35,6 +35,7 @@ __all__ = [
     "churn_configs",
     "churn_network",
     "faulty_network",
+    "repair_under_churn",
     "FIG5A_CAPACITIES",
     "FIG5B_CAPACITIES",
     "FIG6_CAPACITIES",
@@ -296,6 +297,173 @@ def faulty_network(
         kinds = ",".join(f.kind for f in plan.faults_for(peer))
         configs[peer].label = f"Peer {peer} (faulty: {kinds})"
     return Simulation(configs, seed=seed, engine=engine).run(slots)
+
+
+def _decode_probability(net, handle, live, further: int) -> float:
+    """Fraction of ``further``-peer failure combinations that still decode.
+
+    For every way ``further`` of the ``live`` peers could additionally
+    fail, the remaining peers' stored coefficient rows (repair ids
+    resolved through the registered records) are rank-checked chunk by
+    chunk; success means every chunk retains rank >= k.  Exhaustive and
+    deterministic — no Monte Carlo — so scenario results are replayable.
+    """
+    from itertools import combinations
+
+    from ..gf.linalg import IncrementalRank
+
+    live = sorted(live)
+    if further > len(live):
+        return 0.0
+    field = handle.encoder.field
+    k = handle.params.k
+    bound = handle.bound_encoder()
+    combos = list(combinations(live, further))
+    wins = 0
+    for dead in combos:
+        remaining = [p for p in live if p not in dead]
+        ok = True
+        for index, chunk_id in enumerate(handle.vmanifest.chunk_ids):
+            generator = bound.coefficient_generator(index)
+            rank = IncrementalRank(field, k)
+            for p in remaining:
+                if not net.stores[p].has_file(chunk_id):
+                    continue
+                for message in net.stores[p].messages(chunk_id):
+                    rank.offer(generator.row(message.message_id))
+                    if rank.rank >= k:
+                        break
+                if rank.rank >= k:
+                    break
+            if rank.rank < k:
+                ok = False
+                break
+        if ok:
+            wins += 1
+    return wins / len(combos)
+
+
+def repair_under_churn(
+    n: int = 8,
+    kill: int = 3,
+    further_failures: int = 2,
+    seed: int = 0,
+    message_limit: int = 2,
+    repair: bool = True,
+    plan=None,
+) -> dict:
+    """Survivor-only repair after churn kills a chunk of the redundancy.
+
+    Publishes one file across ``n`` peers with ``message_limit`` coded
+    messages each (the space-saving mode, so redundancy is scarce), then
+    a seeded churn event wipes ``kill`` peers' caches — well over the
+    30% loss the robustness story targets with the defaults (3 of 8
+    peers = 37.5% of the coded messages).  Survivors then recombine
+    their stored messages into fresh ones (:mod:`repro.repair`) with the
+    owner contributing *digests only* — zero payload bytes.
+
+    The metric is the exhaustive decode probability under
+    ``further_failures`` additional peer losses, reported before churn
+    (``prob_pre``), after churn (``prob_churn``) and after repair
+    (``prob_repaired``); a successful repair restores ``prob_repaired``
+    to at least ``prob_pre``.  ``repair=False`` runs the no-repair
+    baseline (``prob_repaired`` then just re-measures the churned
+    state).
+
+    A :class:`~repro.faults.plan.FaultPlan` may drive the cast instead
+    of ``kill``/``seed``: peers with a ``depart`` fault are wiped and
+    stay gone; peers with a ``rejoin`` fault come back cache-empty and
+    become the repair targets.
+    """
+    import math as _math
+
+    from .network import DEFAULT_SIM_PARAMS, FileSharingNetwork
+
+    if plan is not None:
+        seed = plan.seed
+        rejoined = sorted(
+            p
+            for p in plan.peers
+            if any(f.kind == "rejoin" for f in plan.faults_for(p))
+        )
+        killed = sorted(
+            p
+            for p in plan.peers
+            if p not in rejoined
+            and any(f.kind in ("depart", "crash", "churn") for f in plan.faults_for(p))
+        )
+    else:
+        rejoined = []
+        rng = np.random.default_rng(seed)
+        killed = sorted(int(p) for p in rng.choice(n, size=kill, replace=False))
+    if any(not 0 <= p < n for p in killed + rejoined):
+        raise ValueError(f"churn cast {killed + rejoined} exceeds peers 0..{n - 1}")
+    if len(killed) >= n:
+        raise ValueError("churn cannot kill every peer")
+
+    net = FileSharingNetwork([512.0] * n, seed=seed)
+    params = DEFAULT_SIM_PARAMS
+    rng_data = np.random.default_rng(seed * 7919 + 1)
+    data = rng_data.integers(0, 256, size=params.file_bytes, dtype=np.uint8).tobytes()
+    handle = net.publish(0, "churned-file", data, message_limit=message_limit)
+    chunk_ids = handle.vmanifest.chunk_ids
+
+    everyone = list(range(n))
+    prob_pre = _decode_probability(net, handle, everyone, further_failures)
+    total_messages = sum(net.stores[p].count(c) for p in everyone for c in chunk_ids)
+    dropped = sum(net.stores[p].count(c) for p in killed + rejoined for c in chunk_ids)
+    for p in killed + rejoined:
+        net.drop_peer_data(p, "churned-file")
+    live = [p for p in everyone if p not in killed]
+    prob_churn = _decode_probability(net, handle, live, further_failures)
+
+    produced = degraded = digest_bytes = helper_bandwidth = 0
+    if repair:
+        # Enough fresh messages that any (live - further) survivors can
+        # still decode: top every target up to ceil(k / worst-case
+        # survivor count) messages per chunk.
+        targets = rejoined if rejoined else live
+        per_peer = _math.ceil(
+            handle.params.k / max(1, len(live) - further_failures)
+        )
+        for target in targets:
+            deficit = max(
+                per_peer - net.stores[target].count(c) for c in chunk_ids
+            )
+            if deficit <= 0:
+                continue
+            result = net.churn_repair(
+                "churned-file",
+                target,
+                helpers=[p for p in live if p != target],
+                count=deficit,
+            )
+            produced += result["produced"]
+            degraded += result["degraded_chunks"]
+            digest_bytes += result["owner_digest_bytes"]
+            helper_bandwidth += result["helper_bandwidth_bytes"]
+    prob_repaired = _decode_probability(net, handle, live, further_failures)
+
+    return {
+        "seed": seed,
+        "n": n,
+        "k": handle.params.k,
+        "message_limit": message_limit,
+        "killed": killed,
+        "rejoined": rejoined,
+        "further_failures": further_failures,
+        "repair": repair,
+        "dropped_message_fraction": dropped / total_messages,
+        "prob_pre": prob_pre,
+        "prob_churn": prob_churn,
+        "prob_repaired": prob_repaired,
+        "produced": produced,
+        "degraded_chunks": degraded,
+        "owner_payload_bytes": 0,
+        "owner_digest_bytes": digest_bytes,
+        "helper_bandwidth_bytes": helper_bandwidth,
+        "plan": plan.to_spec() if plan is not None else None,
+    }
 
 
 def bernoulli_network(

@@ -27,26 +27,63 @@ class ServingCursor:
     A new cursor is created per download session; it yields each stored
     message once, in storage order, exactly like a peer streaming its
     ``File-id.dat`` from the start.
+
+    Cursors opened through :meth:`MessageStore.open_cursor` observe the
+    store: messages appended to the file mid-session (e.g. by a repair)
+    flow straight to the open cursor, and dropping the file invalidates
+    the cursor — reading from a stale cursor raises
+    :class:`StorageError` rather than silently serving messages the
+    peer no longer stores.
     """
 
-    def __init__(self, messages: Sequence[EncodedMessage]):
+    def __init__(
+        self,
+        messages: Sequence[EncodedMessage],
+        store: "MessageStore | None" = None,
+        file_id: int | None = None,
+    ):
         self._messages = messages
         self._next = 0
+        self._store = store
+        self._file_id = file_id
+
+    @property
+    def stale(self) -> bool:
+        """``True`` once the backing file was dropped from its store."""
+        if self._store is None:
+            return False
+        return self._store._files.get(self._file_id) is not self._messages
+
+    def _check_stale(self) -> None:
+        if self.stale:
+            raise StorageError(
+                f"file {self._file_id:#x} was dropped while a serving "
+                "cursor was open; the session must be torn down, not fed "
+                "stale messages"
+            )
 
     @property
     def remaining(self) -> int:
+        if self.stale:
+            return 0
         return len(self._messages) - self._next
 
     @property
     def exhausted(self) -> bool:
+        # A stale cursor reports exhausted so `ServingSession.active`
+        # degrades gracefully; actually *reading* from it raises.
+        if self.stale:
+            return True
         return self._next >= len(self._messages)
 
     def peek(self) -> EncodedMessage | None:
+        self._check_stale()
         if self.exhausted:
             return None
         return self._messages[self._next]
 
     def advance(self) -> EncodedMessage:
+        self._check_stale()
         if self.exhausted:
             raise StorageError("cursor exhausted: peer has no more messages")
         msg = self._messages[self._next]
@@ -97,7 +134,7 @@ class MessageStore:
         """Start serial service of a file (one cursor per session)."""
         if file_id not in self._files:
             raise StorageError(f"no messages stored for file {file_id:#x}")
-        return ServingCursor(self._files[file_id])
+        return ServingCursor(self._files[file_id], store=self, file_id=file_id)
 
     def total_bytes(self) -> int:
         """Disk footprint: sum of wire sizes of everything stored."""

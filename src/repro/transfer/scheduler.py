@@ -408,6 +408,15 @@ class ParallelDownloader:
     policy:
         Optional :class:`RobustPolicy` enabling the failure-aware path.
         ``None`` (the default) preserves the trusting behaviour exactly.
+    repair:
+        Optional :class:`~repro.repair.monitor.DownloadRepairTrigger`.
+        Each slot the downloader compares the undelivered supply across
+        live sessions with what the decoder still needs; when supply
+        falls below the trigger's threshold it fires the repair hook,
+        which restores redundancy out-of-band (survivor recombination —
+        fresh messages appear in a live peer's store and flow through
+        its open serving cursor).  ``None`` (the default) changes
+        nothing: downloads are bit-identical with repair disabled.
     """
 
     def __init__(
@@ -419,6 +428,7 @@ class ParallelDownloader:
         slot_seconds: float = 1.0,
         latency=None,
         policy: RobustPolicy | None = None,
+        repair=None,
     ):
         if not sessions:
             raise ValueError("need at least one serving session")
@@ -436,6 +446,29 @@ class ParallelDownloader:
         self.slot_seconds = float(slot_seconds)
         self.latency = latency
         self.policy = policy
+        self.repair = repair
+
+    def _check_repair(self, slot: int, dead=None) -> None:
+        """Fire the repair trigger when surviving supply can't finish.
+
+        ``supply`` counts undelivered messages across sessions that are
+        still alive; duplicates and dependent rows make it an optimistic
+        estimate, which is the right bias — repair is a fallback, not a
+        first resort.
+        """
+        if self.repair is None or self.decoder.is_complete:
+            return
+        needed = getattr(self.decoder, "needed", None)
+        if needed is None:
+            return
+        needed = int(needed)
+        supply = sum(
+            int(getattr(session, "remaining", 0))
+            for i, session in enumerate(self.sessions)
+            if (dead is None or not dead[i]) and session.active
+        )
+        if self.repair.should_fire(needed, supply, slot):
+            self.repair.fire(needed, slot)
 
     def run(self, max_slots: int, file_id: int | None = None) -> DownloadReport:
         """Step until decode completes or ``max_slots`` elapse.
@@ -489,6 +522,7 @@ class ParallelDownloader:
         for t in range(max_slots):
             if self.decoder.is_complete:
                 break
+            self._check_repair(t)
             rates = [self.rate_fn(i, t) for i in range(len(self.sessions))]
             total = sum(rates)
             if total > self.download_cap_kbps > 0:
@@ -570,6 +604,7 @@ class ParallelDownloader:
         for t in range(max_slots):
             if self.decoder.is_complete:
                 break
+            self._check_repair(t, dead=state.dead)
             rates = state.adjust_rates(
                 [self.rate_fn(i, t) for i in range(n)], self.sessions
             )

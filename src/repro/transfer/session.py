@@ -91,6 +91,17 @@ class ServingSession:
             and not self._cursor.exhausted
         )
 
+    @property
+    def remaining(self) -> int:
+        """Undelivered stored messages this session can still stream.
+
+        The redundancy monitor sums this across live sessions to decide
+        whether the surviving supply can still complete the decode.
+        """
+        if self._cursor is None or self._stopped:
+            return 0
+        return self._cursor.remaining
+
     def serve(self, byte_budget: float) -> list[DataMessage]:
         """Stream up to ``byte_budget`` bytes; returns completed messages.
 

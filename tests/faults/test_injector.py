@@ -155,3 +155,42 @@ class TestDelegation:
         assert [d.message.message_id for d in a] == [d.message.message_id for d in b]
         assert session.bytes_sent == inner.bytes_sent
         assert session.messages_sent == inner.messages_sent
+
+
+class TestChurnKinds:
+    def test_depart_kills_the_session_for_good(self, setup, keys):
+        _, store, _ = setup
+        session = wrapped(store, keys, PeerFault("depart", at_slot=2))
+        wire = store.messages(FILE_ID)[0].wire_size()
+        assert session.serve(wire)  # slot 0: still present
+        assert session.serve(wire)  # slot 1
+        with pytest.raises(SessionCrashed, match="departed at slot 2"):
+            session.serve(wire)
+        assert not session.active
+        with pytest.raises(SessionCrashed):
+            session.serve(wire)  # stays dead
+
+    def test_rejoin_serves_nothing_until_arrival(self, setup, keys):
+        _, store, _ = setup
+        session = wrapped(store, keys, PeerFault("rejoin", at_slot=3))
+        wire = store.messages(FILE_ID)[0].wire_size()
+        for _ in range(3):
+            assert session.serve(wire) == []  # absent, but survivable
+        assert session.active
+        delivered = session.serve(wire)
+        assert len(delivered) == 1  # back with stored messages intact
+
+    def test_churn_window_is_a_survivable_outage(self, setup, keys):
+        _, store, _ = setup
+        session = wrapped(store, keys, PeerFault("churn", at_slot=1, duration=2))
+        wire = store.messages(FILE_ID)[0].wire_size()
+        first = session.serve(wire)
+        assert len(first) == 1  # slot 0: before the window
+        assert session.serve(wire) == []  # slots 1-2: gone
+        assert session.serve(wire) == []
+        assert session.active
+        back = session.serve(wire)
+        assert len(back) == 1
+        # The cursor did not advance during the outage: delivery resumes
+        # exactly where it left off.
+        assert back[0].message.message_id == first[0].message.message_id + 1

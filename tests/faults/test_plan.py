@@ -145,3 +145,70 @@ class TestWrap:
         assert wrapped[2] is sessions[2]
         assert isinstance(wrapped[1], FaultyServingSession)
         assert wrapped[1].peer == 1
+
+
+class TestChurnKinds:
+    def test_parse_and_round_trip(self):
+        plan = FaultPlan.parse("seed=3;0:depart@5;1:rejoin@9;2:churn@4+6")
+        assert plan.faults_for(0) == (PeerFault("depart", at_slot=5),)
+        assert plan.faults_for(1) == (PeerFault("rejoin", at_slot=9),)
+        assert plan.faults_for(2) == (PeerFault("churn", at_slot=4, duration=6),)
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    def test_spec_strings(self):
+        assert PeerFault("depart", at_slot=5).to_entry(0) == "0:depart@5"
+        assert PeerFault("rejoin", at_slot=9).to_entry(1) == "1:rejoin@9"
+        assert PeerFault("churn", at_slot=4, duration=6).to_entry(2) == "2:churn@4+6"
+
+    def test_churn_duration_defaults_to_one_slot(self):
+        assert FaultPlan.parse("0:churn@4").faults_for(0) == (
+            PeerFault("churn", at_slot=4, duration=1),
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["0:depart@-1", "0:rejoin@x", "0:churn@4+0", "0:depart@1+2"],
+    )
+    def test_malformed_churn_specs_raise(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(bad)
+
+    def test_validation(self):
+        with pytest.raises(FaultSpecError):
+            PeerFault("depart", at_slot=-1)
+        with pytest.raises(FaultSpecError):
+            PeerFault("churn", at_slot=-1, duration=3)
+        with pytest.raises(FaultSpecError):
+            PeerFault("churn", at_slot=0, duration=0)
+
+    def test_capacity_profiles(self):
+        depart = FaultPlan(seed=0, faults={0: PeerFault("depart", at_slot=5)})
+        assert depart.capacity_profile(0, 512.0, 100) == [(0, 512.0), (5, 0.0)]
+        rejoin = FaultPlan(seed=0, faults={0: PeerFault("rejoin", at_slot=9)})
+        assert rejoin.capacity_profile(0, 512.0, 100) == [(0, 0.0), (9, 512.0)]
+        churn = FaultPlan(
+            seed=0, faults={0: PeerFault("churn", at_slot=4, duration=6)}
+        )
+        assert churn.capacity_profile(0, 512.0, 100) == [
+            (0, 512.0),
+            (4, 0.0),
+            (10, 512.0),
+        ]
+
+
+class TestHashing:
+    def test_equal_plans_hash_equal(self):
+        # Regression: defining __eq__ used to suppress __hash__, making
+        # plans unusable as dict keys / set members.
+        a = FaultPlan.parse(SPEC)
+        b = FaultPlan.parse(SPEC)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+        assert {a: "x"}[b] == "x"
+
+    def test_distinct_plans_usually_hash_apart(self):
+        a = FaultPlan.parse("seed=1;0:refuse")
+        b = FaultPlan.parse("seed=2;0:refuse")
+        c = FaultPlan.parse("seed=1;1:refuse")
+        assert len({a, b, c}) == 3

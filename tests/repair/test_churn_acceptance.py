@@ -1,0 +1,107 @@
+"""Acceptance scenario for survivor repair under churn.
+
+After seeded churn kills peers holding at least 30% of a file's coded
+messages, survivor-only recombination must restore decode success to at
+least the pre-churn baseline while the owner ships zero payload bytes
+(digests only), repaired messages must pass digest verification, and
+downloads must be bit-identical when repair is disabled.
+
+``REPRO_FAULT_SEED`` overrides the churn seed (the CI fault matrix runs
+three of them).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.sim import FileSharingNetwork, repair_under_churn
+from repro.sim.network import DEFAULT_SIM_PARAMS
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "7"))
+
+
+class TestChurnScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return repair_under_churn(seed=SEED)
+
+    def test_churn_is_substantial(self, result):
+        assert result["dropped_message_fraction"] >= 0.30
+        assert result["prob_churn"] < result["prob_pre"]
+
+    def test_repair_restores_decode_success(self, result):
+        assert result["prob_repaired"] >= result["prob_pre"]
+        assert result["produced"] > 0
+        assert result["degraded_chunks"] == 0
+
+    def test_owner_ships_digests_only(self, result):
+        assert result["owner_payload_bytes"] == 0
+        # 16 digest bytes per fresh message, nothing else.
+        assert result["owner_digest_bytes"] == 16 * result["produced"]
+        assert result["helper_bandwidth_bytes"] > 0
+
+    def test_no_repair_baseline_stays_degraded(self):
+        baseline = repair_under_churn(seed=SEED, repair=False)
+        assert baseline["produced"] == 0
+        assert baseline["prob_repaired"] == baseline["prob_churn"]
+        assert baseline["prob_repaired"] < baseline["prob_pre"]
+
+    def test_scenario_is_deterministic(self, result):
+        replay = repair_under_churn(seed=SEED)
+        assert replay == result
+
+
+class TestNetworkRepair:
+    def _network(self, n=6, message_limit=2):
+        net = FileSharingNetwork([512.0] * n, seed=SEED)
+        rng = np.random.default_rng(SEED * 31 + 5)
+        data = rng.integers(
+            0, 256, size=DEFAULT_SIM_PARAMS.file_bytes, dtype=np.uint8
+        ).tobytes()
+        net.publish(0, "f", data, message_limit=message_limit)
+        return net, data
+
+    def test_repaired_messages_pass_digest_verification(self):
+        net, _ = self._network()
+        for peer in (3, 4, 5):
+            net.drop_peer_data(peer, "f")
+        result = net.churn_repair("f", target=1, count=4)
+        assert result["produced"] > 0
+        assert result["owner_payload_bytes"] == 0
+        handle = net.registry["f"]
+        owner_digests = net.digest_stores[handle.owner]
+        for chunk_id in handle.manifest.chunk_ids:
+            for message in net.stores[1].messages(chunk_id):
+                assert owner_digests.verify(
+                    chunk_id, message.message_id, message.payload_bytes()
+                )
+
+    def test_mid_download_repair_completes_the_transfer(self):
+        # Serving only peers 0 and 1 (4 of the needed 8 messages), the
+        # download stalls without repair and completes with it: the
+        # trigger recombines the *other* peers' stored rank into a live
+        # serving peer's store mid-flight.
+        net, data = self._network()
+        stalled = net.download(1, "f", max_slots=30, peers=[0, 1])
+        assert not stalled.complete
+
+        net2, data2 = self._network()
+        repaired = net2.download(
+            1, "f", max_slots=30, peers=[0, 1], repair_threshold=1.0
+        )
+        assert repaired.complete
+        assert repaired.data == data2
+
+    def test_downloads_bit_identical_when_repair_disabled(self):
+        # A healthy network never fires the trigger, so an armed download
+        # must equal the unarmed one byte for byte; and the default
+        # (None) must be exactly the legacy no-repair path.
+        net_a, _ = self._network()
+        plain = net_a.download(1, "f", max_slots=200)
+        net_b, _ = self._network()
+        armed = net_b.download(1, "f", max_slots=200, repair_threshold=1.0)
+        assert plain.complete and armed.complete
+        assert plain.data == armed.data
+        assert plain.slots == armed.slots
+        assert plain.reports == armed.reports

@@ -1,0 +1,180 @@
+"""Unit tests for the repair control loop (repro.repair.monitor)."""
+
+import pytest
+
+from repro.gf import GF
+from repro.repair import (
+    DownloadRepairTrigger,
+    RedundancyMonitor,
+    RepairCoordinator,
+)
+from repro.rlnc import CodingParams, FileEncoder
+
+PARAMS = CodingParams(p=16, m=32, file_bytes=512)  # k = 8
+FILE_ID = 0xF00D
+
+
+@pytest.fixture
+def helpers(rng):
+    encoder = FileEncoder(PARAMS, b"owner-secret", file_id=FILE_ID)
+    source = encoder.source_matrix(rng.bytes(PARAMS.file_bytes))
+    return encoder.encode_ids(source, list(range(12)))
+
+
+class TestRedundancyMonitor:
+    def test_target_rounds_up(self):
+        assert RedundancyMonitor(8, threshold=1.0).target == 8
+        assert RedundancyMonitor(8, threshold=1.5).target == 12
+        assert RedundancyMonitor(8, threshold=1.1).target == 9
+
+    def test_deficit_tracks_census(self):
+        monitor = RedundancyMonitor(8)
+        assert monitor.live(FILE_ID) == 0
+        assert monitor.deficit(FILE_ID) == 8
+        monitor.observe(FILE_ID, 5)
+        assert monitor.live(FILE_ID) == 5
+        assert monitor.deficit(FILE_ID) == 3
+        assert monitor.needs_repair(FILE_ID)
+        monitor.observe(FILE_ID, 11)
+        assert monitor.deficit(FILE_ID) == 0
+        assert not monitor.needs_repair(FILE_ID)
+
+    def test_epochs_are_monotone_per_file(self):
+        monitor = RedundancyMonitor(8)
+        assert [monitor.next_epoch(1) for _ in range(3)] == [0, 1, 2]
+        assert monitor.next_epoch(2) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RedundancyMonitor(0)
+        with pytest.raises(ValueError):
+            RedundancyMonitor(8, threshold=0.0)
+        with pytest.raises(ValueError):
+            RedundancyMonitor(8).observe(FILE_ID, -1)
+
+
+class TestRepairCoordinator:
+    def _coordinator(self, **kwargs):
+        return RepairCoordinator(GF(16), **kwargs)
+
+    def test_successful_epoch(self, helpers):
+        outcome = self._coordinator().repair(
+            FILE_ID,
+            [(0, lambda: helpers[:4]), (1, lambda: helpers[4:8])],
+            count=3,
+            epoch=0,
+        )
+        assert outcome.ok
+        assert outcome.report.produced == 3
+        assert len(outcome.messages) == 3
+        assert not outcome.report.degraded
+        assert outcome.record.helper_ids == tuple(range(8))
+
+    def test_duplicate_helper_messages_are_deduped(self, helpers):
+        outcome = self._coordinator().repair(
+            FILE_ID,
+            [(0, lambda: helpers[:4]), (1, lambda: helpers[:4])],
+            count=2,
+            epoch=0,
+        )
+        assert outcome.ok
+        assert outcome.report.helper_messages == 4
+
+    def test_failed_helper_is_excluded_with_warning(self, helpers):
+        def dies():
+            raise OSError("connection reset")
+
+        outcome = self._coordinator().repair(
+            FILE_ID,
+            [(0, dies), (1, lambda: helpers[:6])],
+            count=4,
+            epoch=0,
+        )
+        assert outcome.ok
+        assert outcome.report.helpers_failed == 1
+        assert any("helper 0 failed" in w for w in outcome.report.warnings)
+
+    def test_partial_repair_degrades_gracefully(self, helpers):
+        outcome = self._coordinator().repair(
+            FILE_ID, [(0, lambda: helpers[:3])], count=5, epoch=0
+        )
+        assert outcome.ok
+        assert outcome.report.produced == 3
+        assert outcome.report.degraded
+        assert any("partial repair" in w for w in outcome.report.warnings)
+
+    def test_total_failure_backs_off_and_reports(self):
+        def dies():
+            raise OSError("gone")
+
+        outcome = self._coordinator(max_attempts=3, backoff_slots=2).repair(
+            FILE_ID, [(0, dies)], count=4, epoch=0
+        )
+        assert not outcome.ok
+        assert outcome.record is None
+        assert outcome.messages == ()
+        assert outcome.report.degraded
+        assert outcome.report.attempts == 3
+        assert outcome.report.waited_slots == 4  # backoff before retries 2 and 3
+
+    def test_foreign_file_messages_ignored(self, helpers, rng):
+        other = FileEncoder(PARAMS, b"owner-secret", file_id=0xBEEF)
+        rogue = other.encode_ids(
+            other.source_matrix(rng.bytes(64)), list(range(4))
+        )
+        outcome = self._coordinator().repair(
+            FILE_ID, [(0, lambda: rogue + helpers[:4])], count=2, epoch=0
+        )
+        assert outcome.ok
+        assert outcome.report.helper_messages == 4
+
+    def test_epoch_from_monitor(self, helpers):
+        monitor = RedundancyMonitor(PARAMS.k)
+        coordinator = RepairCoordinator(GF(16), monitor=monitor)
+        first = coordinator.repair(FILE_ID, [(0, lambda: helpers[:4])], count=2)
+        second = coordinator.repair(FILE_ID, [(0, lambda: helpers[:4])], count=2)
+        assert first.record.epoch == 0
+        assert second.record.epoch == 1
+
+    def test_epoch_required_without_monitor(self, helpers):
+        with pytest.raises(ValueError):
+            self._coordinator().repair(FILE_ID, [(0, lambda: helpers)], count=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._coordinator(max_attempts=0)
+        with pytest.raises(ValueError):
+            self._coordinator(backoff_slots=-1)
+
+
+class TestDownloadRepairTrigger:
+    def test_fires_below_threshold(self):
+        calls = []
+        trigger = DownloadRepairTrigger(hook=lambda n: calls.append(n) or 3)
+        assert not trigger.should_fire(needed=4, supply=4, slot=0)
+        assert trigger.should_fire(needed=4, supply=3, slot=0)
+        assert trigger.fire(4, slot=0) == 3
+        assert calls == [4]
+        assert trigger.injected == 3
+
+    def test_threshold_scales_need(self):
+        trigger = DownloadRepairTrigger(hook=lambda n: 0, threshold=2.0)
+        assert trigger.should_fire(needed=4, supply=7, slot=0)
+        assert not trigger.should_fire(needed=4, supply=8, slot=0)
+
+    def test_max_fires(self):
+        trigger = DownloadRepairTrigger(hook=lambda n: 0, max_fires=1)
+        trigger.fire(4, slot=0)
+        assert not trigger.should_fire(needed=4, supply=0, slot=99)
+
+    def test_cooldown(self):
+        trigger = DownloadRepairTrigger(
+            hook=lambda n: 0, max_fires=5, cooldown_slots=10
+        )
+        trigger.fire(4, slot=0)
+        assert not trigger.should_fire(needed=4, supply=0, slot=5)
+        assert trigger.should_fire(needed=4, supply=0, slot=11)
+
+    def test_complete_download_never_fires(self):
+        trigger = DownloadRepairTrigger(hook=lambda n: 0)
+        assert not trigger.should_fire(needed=0, supply=0, slot=0)

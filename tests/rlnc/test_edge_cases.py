@@ -92,12 +92,14 @@ class TestAllZeroAndAllOnes:
 
 
 class TestLargeMessageIds:
-    def test_id_near_2_64(self, rng):
+    def test_id_near_reserved_boundary(self, rng):
+        # Ids with the top bit set belong to the repair range (see
+        # repro.repair); the largest *ordinary* id is 2^63 - 1.
         params = CodingParams(p=16, m=8, file_bytes=64)
         data = rng.bytes(64)
         encoder = FileEncoder(params, b"s", file_id=6)
         source = encoder.source_matrix(data)
-        big_id = (1 << 64) - 7
+        big_id = (1 << 63) - 7
         msg = encoder.encode_message(source, big_id)
         assert msg.message_id == big_id
         # Decodable when combined with enough independent rows.
@@ -108,3 +110,14 @@ class TestLargeMessageIds:
             decoder.offer(encoder.encode_message(source, mid))
             mid += 1
         assert decoder.result(64) == data
+
+    def test_reserved_repair_ids_refused(self):
+        from repro.rlnc import UnknownCoefficientError
+        from repro.rlnc.coefficients import REPAIR_ID_BASE
+
+        params = CodingParams(p=16, m=8, file_bytes=64)
+        encoder = FileEncoder(params, b"s", file_id=6)
+        with pytest.raises(UnknownCoefficientError):
+            encoder.coefficients.row(REPAIR_ID_BASE)
+        with pytest.raises(UnknownCoefficientError):
+            encoder.coefficients.matrix([0, REPAIR_ID_BASE + 5])

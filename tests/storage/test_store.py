@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.rlnc import CodingParams, FileEncoder
-from repro.storage import MessageStore, StorageError
+from repro.storage import MessageStore, ServingCursor, StorageError
 
 PARAMS = CodingParams(p=16, m=32, file_bytes=512)  # k = 8
 
@@ -132,3 +132,47 @@ class TestDatPersistence:
             enc = FileEncoder(PARAMS, b"s", file_id=fid)
             store.add_messages(enc.encode_bundles(rng.bytes(100), 1).all_messages())
         assert len(store.save_dat(str(tmp_path))) == 2
+
+
+class TestCursorStaleness:
+    def test_drop_file_invalidates_open_cursor(self, messages):
+        # Regression: dropping a file used to leave open cursors serving
+        # from the orphaned message list as if nothing happened.
+        store = MessageStore()
+        store.add_messages(messages)
+        cursor = store.open_cursor(0x11)
+        cursor.advance()
+        store.drop_file(0x11)
+        assert cursor.stale
+        assert cursor.remaining == 0
+        assert cursor.exhausted  # ServingSession.active degrades cleanly
+        with pytest.raises(StorageError, match="dropped while a serving"):
+            cursor.peek()
+        with pytest.raises(StorageError, match="dropped while a serving"):
+            cursor.advance()
+
+    def test_republished_file_does_not_revive_old_cursor(self, messages):
+        store = MessageStore()
+        store.add_messages(messages)
+        cursor = store.open_cursor(0x11)
+        store.drop_file(0x11)
+        store.add_messages(messages)  # fresh backing list, same file id
+        assert cursor.stale
+        with pytest.raises(StorageError):
+            cursor.peek()
+        assert not store.open_cursor(0x11).stale
+
+    def test_dropping_other_file_leaves_cursor_live(self, rng, messages):
+        other = FileEncoder(PARAMS, b"s", file_id=0x22)
+        store = MessageStore()
+        store.add_messages(messages)
+        store.add_messages(other.encode_bundles(rng.bytes(64), n_peers=1).all_messages())
+        cursor = store.open_cursor(0x11)
+        store.drop_file(0x22)
+        assert not cursor.stale
+        assert cursor.peek() is not None
+
+    def test_detached_cursor_never_goes_stale(self, messages):
+        cursor = ServingCursor(messages)
+        assert not cursor.stale
+        assert cursor.advance() is messages[0]
