@@ -21,11 +21,19 @@ __all__ = [
     "attach_obs_snapshot",
     "metered",
     "median",
+    "peak_rss_bytes",
     "write_bench_json",
+    "BENCH_SCHEMA",
     "REPO_ROOT",
 ]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Results-file schema: version 2 adds the optional memory columns
+#: ``peak_rss_bytes`` and ``bytes_per_peer`` next to ``ns_per_op``
+#: (written by the scale points of ``bench_sim_scaling.py``).  Readers
+#: of version-1 files need no changes — the new fields are additive.
+BENCH_SCHEMA = 2
 
 
 def median(samples) -> float:
@@ -34,16 +42,29 @@ def median(samples) -> float:
     return ordered[(len(ordered) - 1) // 2]
 
 
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (Linux/macOS)."""
+    import resource
+    import sys
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
+
+
 def write_bench_json(filename: str, results: dict, merge: bool = True) -> Path:
     """Write (or merge into) a machine-readable results file at repo root.
 
     ``results`` maps point keys (e.g. ``"decode_p8_k64"``) to dicts with
-    at least ``ns_per_op``.  With ``merge`` (the default) existing keys
-    in the file are updated and unrelated keys preserved, so several
-    benchmark modules can contribute to one trajectory file.
+    at least ``ns_per_op``; scale points may add the schema-2 memory
+    columns ``peak_rss_bytes`` and ``bytes_per_peer``.  With ``merge``
+    (the default) existing keys in the file are updated and unrelated
+    keys preserved, so several benchmark modules can contribute to one
+    trajectory file (version-1 files are upgraded in place; their
+    entries are valid version-2 entries as-is).
     """
     path = REPO_ROOT / filename
-    payload: dict = {"schema": 1, "results": {}}
+    payload: dict = {"schema": BENCH_SCHEMA, "results": {}}
     if merge and path.exists():
         try:
             existing = json.loads(path.read_text())

@@ -1,4 +1,4 @@
-"""Slot-loop scaling — batched allocation engine vs the reference loop.
+"""Slot-loop scaling — batched and sparse engines vs the reference loop.
 
 The reference engine walks peers one by one per slot, so its cost grows
 like ``n`` python-level allocator calls plus ``n`` ledger updates; the
@@ -8,11 +8,22 @@ equivalence suite in ``tests/sim/test_engine_batched.py`` enforces it);
 this benchmark pins down the speedup across network sizes and records
 the per-slot medians in ``BENCH_sim.json`` so future PRs can diff them.
 
+The sparse engine (PR 8) drops the dense ``(n, n)`` state entirely:
+per-peer CSR-style ledger rows plus active-set allocation make per-slot
+cost scale with the requesting cohort, not the population.  Its scale
+points (the cohort-structured :func:`repro.sim.sparse_population_sim`
+workload at n=8192 and n=100000, and the million-peer smoke) record
+``bytes_per_peer`` and ``peak_rss_bytes`` alongside ``ns_per_op`` —
+the schema-2 memory columns of ``BENCH_sim.json``.
+
 Shape claims asserted:
 
 * >= 10x per-slot speedup at n=1024 (the tentpole target);
 * no regression at n=16 (the batched engine must not lose on the small
-  networks every paper scenario uses).
+  networks every paper scenario uses);
+* sparse engine state stays under 4 KiB/peer at n=100000 (the dense
+  credit matrix alone would be 800 KiB/peer);
+* the million-peer smoke finishes within its documented memory cap.
 """
 
 import time
@@ -20,7 +31,14 @@ import time
 from repro.core.allocation import PeerwiseProportionalAllocator
 from repro.sim import AlwaysOn, PeerConfig, Simulation
 
-from _util import format_seconds, median, print_header, print_table, write_bench_json
+from _util import (
+    format_seconds,
+    median,
+    peak_rss_bytes,
+    print_header,
+    print_table,
+    write_bench_json,
+)
 
 SIZES = (16, 128, 1024)
 #: Slots timed per run — scaled down as n grows to keep the reference
@@ -91,3 +109,118 @@ def test_batched_engine_scaling(benchmark):
     assert timings[(1024, "reference")] / timings[(1024, "batched")] >= 10.0
     # No small-n regression (0.8 leaves margin for timer noise).
     assert timings[(16, "reference")] / timings[(16, "batched")] >= 0.8
+
+
+#: Sparse scale points: n -> timed slots of the cohort-structured
+#: population (64 request cohorts, 16 dedicated givers).
+SPARSE_POINTS = {8192: 96, 100_000: 32}
+SPARSE_COHORTS = 64
+SPARSE_GIVERS = 16
+SPARSE_REPS = 3
+
+
+def sparse_slot_stats(n: int, slots: int | None = None, reps: int = SPARSE_REPS):
+    """Median per-slot seconds + engine state bytes for the sparse engine.
+
+    Times whole ``run(history="none")`` passes (the engine's fast path
+    — ``step()`` would materialise a dense allocation matrix for its
+    return value) on fresh simulations, so ledger growth is included.
+    """
+    from repro.sim import sparse_population_sim
+
+    slots = SPARSE_POINTS.get(n, 32) if slots is None else slots
+    samples = []
+    state_bytes = 0
+    for _ in range(reps):
+        sim = sparse_population_sim(
+            n=n,
+            cohorts=SPARSE_COHORTS,
+            givers=SPARSE_GIVERS,
+            slots=slots,
+            seed=7,
+            engine="sparse",
+        )
+        start = time.perf_counter()
+        sim.run(slots, history="none")
+        samples.append((time.perf_counter() - start) / slots)
+        state_bytes = sim.memory_bytes()
+    return median(samples), state_bytes
+
+
+def test_sparse_engine_scale_points(benchmark):
+    def run_points():
+        return {n: sparse_slot_stats(n) for n in sorted(SPARSE_POINTS)}
+
+    stats = benchmark.pedantic(run_points, rounds=1, iterations=1)
+    rss = peak_rss_bytes()
+    backend = Simulation(_configs(2), engine="sparse").backend
+
+    print_header(f"Sparse engine scale points ({backend})")
+    rows = []
+    results = {}
+    for n, (secs, state_bytes) in stats.items():
+        per_peer = state_bytes / n
+        rows.append(
+            [n, format_seconds(secs), f"{per_peer:.0f}", f"{rss >> 20}MiB"]
+        )
+        results[f"sim_step_n{n}_sparse"] = {
+            "n": n,
+            "engine": "sparse",
+            "op": "sim_step",
+            "ns_per_op": int(secs * 1e9),
+            "bytes_per_peer": round(per_peer, 1),
+            "peak_rss_bytes": rss,
+            "samples": SPARSE_REPS,
+        }
+    print_table(["n", "sparse/slot", "state B/peer", "peak rss"], rows)
+
+    path = write_bench_json("BENCH_sim.json", results)
+    print(f"\nbackend: {backend}; wrote {path.name}")
+
+    # The dense engines need 8n bytes/peer of credit matrix alone
+    # (800 KiB/peer at n=100k); the sparse ledgers must stay O(partners).
+    assert stats[100_000][1] / 100_000 < 4096
+    # Per-slot cost tracks the active cohort, not n: generous absolute
+    # budget so shared-runner noise cannot flap the job.
+    assert stats[100_000][0] < 0.25
+
+
+def test_million_peer_smoke(benchmark):
+    from repro.sim import million_peer_smoke
+
+    def run():
+        start = time.perf_counter()
+        result = million_peer_smoke()
+        result["wall_seconds"] = time.perf_counter() - start
+        return result
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Million-peer smoke (sparse engine)")
+    print_table(
+        ["n", "slots", "backend", "state B/peer", "peak rss", "cap"],
+        [[
+            out["n"],
+            out["slots"],
+            out["backend"],
+            f"{out['bytes_per_peer']:.0f}",
+            f"{out['peak_rss_bytes'] >> 20}MiB",
+            f"{out['memory_cap_bytes'] >> 30}GiB",
+        ]],
+    )
+    results = {
+        "sim_smoke_n1000000_sparse": {
+            "n": out["n"],
+            "engine": "sparse",
+            "op": "sim_smoke",  # whole build + 4-slot run; memory is the budget
+            "ns_per_op": int(out["wall_seconds"] * 1e9),
+            "bytes_per_peer": round(out["bytes_per_peer"], 1),
+            "peak_rss_bytes": out["peak_rss_bytes"],
+            "samples": 1,
+        }
+    }
+    path = write_bench_json("BENCH_sim.json", results)
+    print(f"wrote {path.name}")
+    assert out["within_cap"], (
+        f"million-peer smoke peak RSS {out['peak_rss_bytes']} exceeds "
+        f"the documented cap {out['memory_cap_bytes']}"
+    )

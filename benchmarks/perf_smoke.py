@@ -60,6 +60,22 @@ def measure_sim() -> tuple[str, float]:
     return key, bench_sim_scaling.seconds_per_slot(SIM_N, "batched")
 
 
+#: Sparse probe: per-slot time of the sparse engine on the scaling
+#: benchmark's cohort-structured population at n=8192 (CI-sized; the
+#: committed n=100k point stays a bench-suite deliverable).
+SPARSE_N = 8192
+
+
+def measure_sim_sparse() -> tuple[str, float, float]:
+    import bench_sim_scaling
+
+    key = f"sim_step_n{SPARSE_N}_sparse"
+    seconds, state_bytes = bench_sim_scaling.sparse_slot_stats(
+        SPARSE_N, slots=48, reps=1
+    )
+    return key, seconds, state_bytes / SPARSE_N
+
+
 #: Repair probe: recombination throughput at the committed
 #: ``BENCH_repair.json`` operating point (GF(2^16), m=2^12, 16 helpers
 #: -> 8 fresh messages), reusing the bench module's own measurement.
@@ -177,11 +193,17 @@ def main() -> int:
 
     sim_key, sim_seconds = measure_sim()
     sim_ns = int(sim_seconds * 1e9)
+    sparse_key, sparse_seconds, sparse_bpp = measure_sim_sparse()
+    sparse_ns = int(sparse_seconds * 1e9)
     sim_fresh = {
-        "schema": 1,
+        "schema": 2,
         "results": {
             sim_key: {"n": SIM_N, "engine": "batched", "op": "sim_step",
-                      "ns_per_op": sim_ns, "samples": 1}
+                      "ns_per_op": sim_ns, "samples": 1},
+            sparse_key: {"n": SPARSE_N, "engine": "sparse", "op": "sim_step",
+                         "ns_per_op": sparse_ns,
+                         "bytes_per_peer": round(sparse_bpp, 1),
+                         "samples": 1},
         },
     }
     sim_path = REPO_ROOT / "BENCH_sim.smoke.json"
@@ -189,6 +211,10 @@ def main() -> int:
     print(f"measured {sim_key}: {sim_ns} ns/op ({sim_seconds * 1e6:.0f} us/slot); "
           f"wrote {sim_path.name}")
     failures += _compare("BENCH_sim.json", sim_key, sim_ns)
+    print(f"measured {sparse_key}: {sparse_ns} ns/op "
+          f"({sparse_seconds * 1e6:.0f} us/slot, "
+          f"{sparse_bpp:.0f} B/peer of engine state)")
+    failures += _compare("BENCH_sim.json", sparse_key, sparse_ns)
 
     repair_key, repair_ns = measure_repair()
     repair_fresh = {

@@ -1,0 +1,87 @@
+"""Density rules: keep the simulation layer O(active set), not O(n^2).
+
+PR 8's sparse ledger engine exists so populations of 10^5-10^6 peers
+never materialise an ``(n, n)`` credit matrix.  A stray dense square
+allocation in ``sim/`` silently reinstates the quadratic memory wall,
+so any numpy constructor called with a square symbolic shape — both
+dimensions the *same non-constant expression*, the ``(n, n)`` idiom —
+is flagged.  The reference engine, the explicit materialisation
+helpers, and full-history recording are legitimately dense; those
+sites carry ``# repro: allow[sim-dense-alloc]`` with the reason beside
+them.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .._astutil import ImportMap
+from ..findings import Finding
+from ..registry import rule
+
+#: numpy constructors that allocate a fresh array of a given shape.
+_DENSE_CTORS = frozenset(
+    {
+        "numpy.zeros",
+        "numpy.ones",
+        "numpy.empty",
+        "numpy.full",
+    }
+)
+
+#: Only the simulation layer is under the sparse-scaling contract; the
+#: core reference implementations are allowed to stay textbook-dense.
+_SIM_SCOPE = ("src/repro/sim/",)
+
+
+def _shape_argument(call: ast.Call) -> ast.expr | None:
+    """The shape passed to a numpy constructor, positionally or by kw."""
+    for kw in call.keywords:
+        if kw.arg == "shape":
+            return kw.value
+    if call.args:
+        return call.args[0]
+    return None
+
+
+def _is_square_symbolic(shape: ast.expr) -> bool:
+    """True for ``(expr, expr)`` with a non-constant repeated dimension.
+
+    Literal squares like ``(3, 3)`` are fixed-size scratch space, not
+    population-scaling state, so only symbolic dims count.
+    """
+    if not isinstance(shape, ast.Tuple) or len(shape.elts) != 2:
+        return False
+    first, second = shape.elts
+    if isinstance(first, ast.Constant) or isinstance(second, ast.Constant):
+        return False
+    return ast.dump(first) == ast.dump(second)
+
+
+@rule(
+    "sim-dense-alloc",
+    rationale="a dense (n, n) allocation in the simulation layer "
+    "reinstates the quadratic memory wall the sparse ledger engine "
+    "removes; keep per-slot state proportional to the active set, or "
+    "mark deliberate dense paths (reference engine, materialisation) "
+    "with `# repro: allow[sim-dense-alloc]`",
+    scope=_SIM_SCOPE,
+)
+def check_dense_square_alloc(ctx) -> Iterator[Finding]:
+    imap = ImportMap.from_tree(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if imap.resolve(node.func) not in _DENSE_CTORS:
+            continue
+        shape = _shape_argument(node)
+        if shape is None or not _is_square_symbolic(shape):
+            continue
+        yield ctx.finding(
+            "sim-dense-alloc",
+            node,
+            "dense square (n, n) array allocated in simulation code; "
+            "use the sparse ledger store, or annotate a deliberate "
+            "dense path with `# repro: allow[sim-dense-alloc]`",
+        )

@@ -17,6 +17,7 @@ one place to read the vocabulary and lets tests assert exhaustively.
 | ``repair.start``    | ``RepairCoordinator.repair``     | ``file_id``, ``epoch``, ``helpers``, ``requested`` |
 | ``repair.done``     | ``RepairCoordinator.repair``     | ``file_id``, ``epoch``, ``produced``, ``degraded`` |
 | ``repair.failed``   | ``RepairCoordinator.repair``     | ``file_id``, ``epoch``, ``attempt``, ``reason`` |
+| ``sim.engine_selected`` | ``Simulation.__init__``      | ``engine``, ``n``, ``reason`` |
 | ``sim.slot``        | ``Simulation.step``              | ``t``, ``requesting``, ``allocated_kbps``, ``jain`` |
 | ``sim.feedback``    | ``Simulation.step`` (on flush)   | ``t``, ``credited`` |
 | ``span.start``      | ``obs.spans.start_span``         | ``trace_id``, ``span_id``, ``parent_id``, ``op``, ``attrs`` |
@@ -46,6 +47,7 @@ __all__ = [
     "REPAIR_START",
     "REPAIR_DONE",
     "REPAIR_FAILED",
+    "SIM_ENGINE_SELECTED",
     "SIM_SLOT",
     "SIM_FEEDBACK",
     "SPAN_START",
@@ -66,6 +68,7 @@ TRANSFER_RETRY = "transfer.retry"
 REPAIR_START = "repair.start"
 REPAIR_DONE = "repair.done"
 REPAIR_FAILED = "repair.failed"
+SIM_ENGINE_SELECTED = "sim.engine_selected"
 SIM_SLOT = "sim.slot"
 SIM_FEEDBACK = "sim.feedback"
 SPAN_START = "span.start"
@@ -101,6 +104,7 @@ ALL_EVENTS = (
     REPAIR_START,
     REPAIR_DONE,
     REPAIR_FAILED,
+    SIM_ENGINE_SELECTED,
     SIM_SLOT,
     SIM_FEEDBACK,
     SPAN_START,
@@ -126,6 +130,7 @@ EVENT_FIELDS = {
     "repair.start": ("file_id", "epoch", "helpers", "requested"),
     "repair.done": ("file_id", "epoch", "produced", "degraded"),
     "repair.failed": ("file_id", "epoch", "attempt", "reason"),
+    "sim.engine_selected": ("engine", "n", "reason"),
     "sim.slot": ("t", "requesting", "allocated_kbps", "jain"),
     "sim.feedback": ("t", "credited"),
     "span.start": ("trace_id", "span_id", "parent_id", "op", "attrs"),

@@ -39,7 +39,10 @@ from .scenarios import (
     figure_7,
     figure_8a,
     figure_8b,
+    million_peer_smoke,
     repair_under_churn,
+    sparse_population,
+    sparse_population_sim,
 )
 from .traces import DiurnalDemand, FlashCrowdDemand, TraceDemand
 
@@ -82,7 +85,10 @@ __all__ = [
     "churn_configs",
     "churn_network",
     "faulty_network",
+    "million_peer_smoke",
     "repair_under_churn",
+    "sparse_population",
+    "sparse_population_sim",
     "FIG5A_CAPACITIES",
     "FIG5B_CAPACITIES",
     "FIG6_CAPACITIES",

@@ -18,6 +18,7 @@
  *    would change results by an ulp.
  */
 
+#include <pthread.h>
 #include <stdint.h>
 
 #define PW_BLOCKSIZE 128
@@ -162,6 +163,421 @@ void repro_alloc_rows_shared(const double *weights, double total,
         }
         feasibility_tail(o, n, cap);
     }
+}
+
+/* ------------------------------------------------------------------ *
+ * Sparse active-set kernels (the "sparse" engine).
+ *
+ * The dense vectors of the reference pipeline are represented by their
+ * (sorted position, value) entries only; every reduction below replays
+ * numpy's pairwise recursion over the *dense* extent, exploiting that
+ * the absent cells are exactly +0.0 and x + 0.0 == x bitwise for the
+ * non-negative values the engine sums (the python side guarantees no
+ * -0.0 inputs).  Ledger rows are reached through address tables
+ * (idx_addr/val_addr) published by repro.sim.sparse.SparseLedgers, and
+ * forgetting decay is caught up lazily inside the kernels — each
+ * missed feedback flush is one more in-place multiply, the same
+ * rounded operations the reference ledger performed eagerly.
+ *
+ * Threading: workers own contiguous shards of independent rows (givers
+ * for the allocation kernels, receivers for the scatter), so results
+ * are identical for every thread count — the self-check fuzzes that.
+ * ------------------------------------------------------------------ */
+
+#define MAX_THREADS 64
+
+static int64_t lower_bound(const int64_t *a, int64_t n, int64_t key)
+{
+    int64_t lo = 0, hi = n;
+    while (lo < hi) {
+        int64_t mid = lo + ((hi - lo) >> 1);
+        if (a[mid] < key) {
+            lo = mid + 1;
+        }
+        else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+/* numpy's pairwise_sum_DOUBLE over a dense vector of extent `len`
+ * starting at dense offset `off`, given only its `cnt` materialised
+ * entries at sorted dense positions pos[] with values val[]. */
+static double sparse_pw(const int64_t *pos, const double *val, int64_t cnt,
+                        int64_t off, int64_t len)
+{
+    if (cnt == 0) {
+        /* An all-zero dense range reduces to +0.0 in every branch of
+         * the recursion, so the whole subtree collapses. */
+        return 0.0;
+    }
+    if (len < 8) {
+        double res = 0.;
+        for (int64_t i = 0; i < cnt; i++) {
+            res += val[i];
+        }
+        return res;
+    }
+    if (len <= PW_BLOCKSIZE) {
+        /* Eight accumulator chains keyed by position residue mod 8 (the
+         * dense kernel's unrolled lanes), then the fixed reduction tree
+         * and the sequential tail past the last multiple of 8. */
+        int64_t lim = len - len % 8;
+        double r[8] = {0., 0., 0., 0., 0., 0., 0., 0.};
+        double res;
+        int64_t k = 0;
+        for (; k < cnt && pos[k] - off < lim; k++) {
+            r[(pos[k] - off) & 7] += val[k];
+        }
+        res = ((r[0] + r[1]) + (r[2] + r[3])) + ((r[4] + r[5]) + (r[6] + r[7]));
+        for (; k < cnt; k++) {
+            res += val[k];
+        }
+        return res;
+    }
+    {
+        int64_t half = len / 2;
+        int64_t split;
+        half -= half % 8;
+        split = lower_bound(pos, cnt, off + half);
+        return sparse_pw(pos, val, split, off, half)
+             + sparse_pw(pos + split, val + split, cnt - split,
+                         off + half, len - half);
+    }
+}
+
+double repro_sparse_pairwise(const int64_t *pos, const double *val,
+                             int64_t cnt, int64_t len)
+{
+    return sparse_pw(pos, val, cnt, 0, len);
+}
+
+/* Lazy forgetting catch-up for one sparse row: one in-place multiply
+ * per missed flush — the exact rounded ops of the eager reference. */
+static void catch_up_row(int64_t i, double *val, int64_t cnt,
+                         const double *forgetting, int64_t epoch,
+                         int64_t *stamps)
+{
+    int64_t lag = epoch - stamps[i];
+    if (lag > 0) {
+        double f = forgetting[i];
+        if (f < 1.0) {
+            for (int64_t t = 0; t < lag; t++) {
+                for (int64_t j = 0; j < cnt; j++) {
+                    val[j] *= f;
+                }
+            }
+        }
+        stamps[i] = epoch;
+    }
+}
+
+/* enforce_feasibility() over the compact request set: o[] are the row's
+ * values at dense positions R[]; every reduction replays the dense sum
+ * and the rare cumsum-clamp is compaction-safe (the dense running sum
+ * never crosses cap at an absent cell).  cap > 0 guaranteed. */
+static void sparse_feasibility_tail(double *o, const int64_t *R, int64_t A,
+                                    int64_t n, double cap)
+{
+    double t2 = sparse_pw(R, o, A, 0, n);
+    if (t2 > cap) {
+        double s2 = cap / t2;
+        for (int64_t a = 0; a < A; a++) {
+            o[a] *= s2;
+        }
+        if (sparse_pw(R, o, A, 0, n) > cap) {
+            double run = 0.0, prev = 0.0;
+            for (int64_t a = 0; a < A; a++) {
+                double m;
+                run += o[a];
+                m = run < cap ? run : cap;
+                o[a] = m - prev;
+                prev = m;
+            }
+        }
+    }
+}
+
+/* Shared context of the sparse row kernels; [lo, hi) is the worker's
+ * shard of the active-giver list (disjoint rows => no locks needed and
+ * bitwise scheduling invariance). */
+typedef struct {
+    const int64_t *act;
+    const int64_t *rowpos;
+    const int64_t *R;
+    int64_t A;
+    int64_t n;
+    const double *caps;
+    const double *background;
+    const double *forgetting;
+    int64_t epoch;
+    int64_t *stamps;
+    int64_t *nnz;
+    const int64_t *idx_addr;
+    const int64_t *val_addr;
+    const double *wR;      /* eq3 only: shared masked weights at R */
+    double total;          /* eq3 only: shared weight total */
+    const double *M_in;    /* scatter only */
+    double weight;         /* scatter only */
+    uint8_t *ok;           /* scatter only */
+    int64_t nact;          /* scatter only: giver count */
+    double *M;
+    int64_t lo, hi;
+} sparse_job;
+
+/* Equation (2) rows: for each active giver act[r], gather its credits
+ * at the requesters R (explicit entries over the decayed background),
+ * total them with the dense-extent pairwise sum, then cap*w/tot and
+ * the feasibility chain — all written into M[rowpos[r]]. */
+static void eq2_shard(sparse_job *job)
+{
+    const int64_t *R = job->R;
+    int64_t A = job->A, n = job->n;
+    for (int64_t r = job->lo; r < job->hi; r++) {
+        int64_t i = job->act[r];
+        double cap = job->caps[r];
+        double *o = job->M + job->rowpos[r] * A;
+        double bg = job->background[i];
+        int64_t cnt = job->nnz[i];
+        double tot;
+        if (cnt > 0) {
+            const int64_t *idx = (const int64_t *)job->idx_addr[i];
+            double *vals = (double *)job->val_addr[i];
+            int64_t p = 0;
+            catch_up_row(i, vals, cnt, job->forgetting, job->epoch,
+                         job->stamps);
+            for (int64_t a = 0; a < A; a++) {
+                int64_t col = R[a];
+                while (p < cnt && idx[p] < col) {
+                    p++;
+                }
+                o[a] = (p < cnt && idx[p] == col) ? vals[p] : bg;
+            }
+        }
+        else {
+            for (int64_t a = 0; a < A; a++) {
+                o[a] = bg;
+            }
+        }
+        tot = sparse_pw(R, o, A, 0, n);
+        if (tot <= 0.0) {
+            for (int64_t a = 0; a < A; a++) {
+                o[a] = 0.0;
+            }
+            continue;
+        }
+        /* Multiply before dividing, like the reference. */
+        for (int64_t a = 0; a < A; a++) {
+            o[a] = cap * o[a] / tot;
+        }
+        sparse_feasibility_tail(o, R, A, n, cap);
+    }
+}
+
+/* Equation (3) rows: one shared weight vector and total.  Declared
+ * capacities may be negative (lies go both ways), so clip like
+ * enforce_feasibility before summing. */
+static void eq3_shard(sparse_job *job)
+{
+    const int64_t *R = job->R;
+    int64_t A = job->A, n = job->n;
+    for (int64_t r = job->lo; r < job->hi; r++) {
+        double cap = job->caps[r];
+        double *o = job->M + job->rowpos[r] * A;
+        for (int64_t a = 0; a < A; a++) {
+            o[a] = cap * job->wR[a] / job->total;
+        }
+        for (int64_t a = 0; a < A; a++) {
+            if (o[a] < 0.0) {
+                o[a] = 0.0;
+            }
+        }
+        sparse_feasibility_tail(o, R, A, n, cap);
+    }
+}
+
+/* Fused feedback scatter: receiver R[a] gains M[r][a] * weight from
+ * every active giver act[r].  Workers own contiguous shards of the
+ * *receiver* list.  Rows whose explicit entries already contain every
+ * active giver take the in-place path (catch-up decay, then one
+ * multiply + one add per cell, the reference's two-op rounding);
+ * anything else — first contact (new entries), empty rows, dense
+ * islands — reports ok=0 and is merged by the python store. */
+static void scatter_shard(sparse_job *job)
+{
+    const int64_t *act = job->act;
+    int64_t nact = job->nact, A = job->A;
+    double w = job->weight;
+    for (int64_t a = job->lo; a < job->hi; a++) {
+        int64_t j = job->R[a];
+        int64_t cnt = job->nnz[j];
+        const int64_t *idx;
+        double *vals;
+        int64_t p = 0, contained = 1;
+        if (cnt < nact) {   /* covers empty (0) and dense island (-1) */
+            job->ok[a] = 0;
+            continue;
+        }
+        idx = (const int64_t *)job->idx_addr[j];
+        vals = (double *)job->val_addr[j];
+        for (int64_t r = 0; r < nact; r++) {
+            int64_t col = act[r];
+            while (p < cnt && idx[p] < col) {
+                p++;
+            }
+            if (p >= cnt || idx[p] != col) {
+                contained = 0;
+                break;
+            }
+            p++;
+        }
+        if (!contained) {
+            job->ok[a] = 0;
+            continue;
+        }
+        catch_up_row(j, vals, cnt, job->forgetting, job->epoch, job->stamps);
+        p = 0;
+        for (int64_t r = 0; r < nact; r++) {
+            int64_t col = act[r];
+            while (idx[p] < col) {
+                p++;
+            }
+            vals[p] += job->M_in[r * A + a] * w;
+            p++;
+        }
+        job->ok[a] = 1;
+    }
+}
+
+typedef void (*shard_fn)(sparse_job *);
+
+typedef struct {
+    sparse_job job;
+    shard_fn fn;
+} sparse_task;
+
+static void *sparse_worker(void *p)
+{
+    sparse_task *task = (sparse_task *)p;
+    task->fn(&task->job);
+    return NULL;
+}
+
+/* Run `fn` over [0, count) split into contiguous per-thread shards.
+ * Thread-count never changes the bits (rows are independent); a failed
+ * pthread_create just runs that shard inline. */
+static void run_sharded(const sparse_job *proto, shard_fn fn, int64_t count,
+                        int64_t nthreads)
+{
+    sparse_task tasks[MAX_THREADS];
+    pthread_t tids[MAX_THREADS];
+    int started[MAX_THREADS];
+    int64_t chunk, t, nt = nthreads;
+    if (nt > count) {
+        nt = count;
+    }
+    if (nt > MAX_THREADS) {
+        nt = MAX_THREADS;
+    }
+    if (nt <= 1) {
+        sparse_job job = *proto;
+        job.lo = 0;
+        job.hi = count;
+        fn(&job);
+        return;
+    }
+    chunk = (count + nt - 1) / nt;
+    for (t = 0; t < nt; t++) {
+        tasks[t].job = *proto;
+        tasks[t].fn = fn;
+        tasks[t].job.lo = t * chunk;
+        tasks[t].job.hi = (t + 1) * chunk < count ? (t + 1) * chunk : count;
+        if (tasks[t].job.lo >= tasks[t].job.hi) {
+            started[t] = 0;
+            continue;
+        }
+        started[t] = pthread_create(&tids[t], NULL, sparse_worker,
+                                    &tasks[t]) == 0;
+        if (!started[t]) {
+            tasks[t].fn(&tasks[t].job);
+        }
+    }
+    for (t = 0; t < nt; t++) {
+        if (started[t]) {
+            pthread_join(tids[t], NULL);
+        }
+    }
+}
+
+void repro_sparse_rows_eq2(const int64_t *act, const int64_t *rowpos,
+                           int64_t nact, const int64_t *R, int64_t A,
+                           int64_t n, const double *caps,
+                           const double *background,
+                           const double *forgetting, int64_t epoch,
+                           int64_t *stamps, int64_t *nnz,
+                           const int64_t *idx_addr, const int64_t *val_addr,
+                           double *M, int64_t nthreads)
+{
+    sparse_job job = {0};
+    job.act = act;
+    job.rowpos = rowpos;
+    job.R = R;
+    job.A = A;
+    job.n = n;
+    job.caps = caps;
+    job.background = background;
+    job.forgetting = forgetting;
+    job.epoch = epoch;
+    job.stamps = stamps;
+    job.nnz = nnz;
+    job.idx_addr = idx_addr;
+    job.val_addr = val_addr;
+    job.M = M;
+    run_sharded(&job, eq2_shard, nact, nthreads);
+}
+
+void repro_sparse_rows_shared(const int64_t *act, const int64_t *rowpos,
+                              int64_t nact, const int64_t *R, int64_t A,
+                              int64_t n, const double *wR, double total,
+                              const double *caps, double *M,
+                              int64_t nthreads)
+{
+    sparse_job job = {0};
+    job.act = act;
+    job.rowpos = rowpos;
+    job.R = R;
+    job.A = A;
+    job.n = n;
+    job.caps = caps;
+    job.wR = wR;
+    job.total = total;
+    job.M = M;
+    run_sharded(&job, eq3_shard, nact, nthreads);
+}
+
+void repro_sparse_scatter(const int64_t *act, int64_t nact,
+                          const int64_t *R, int64_t A, const double *M,
+                          double weight, const double *forgetting,
+                          int64_t epoch, int64_t *stamps, int64_t *nnz,
+                          const int64_t *idx_addr, const int64_t *val_addr,
+                          uint8_t *ok, int64_t nthreads)
+{
+    sparse_job job = {0};
+    job.act = act;
+    job.nact = nact;
+    job.R = R;
+    job.A = A;
+    job.M_in = M;
+    job.weight = weight;
+    job.forgetting = forgetting;
+    job.epoch = epoch;
+    job.stamps = stamps;
+    job.nnz = nnz;
+    job.idx_addr = idx_addr;
+    job.val_addr = val_addr;
+    job.ok = ok;
+    run_sharded(&job, scatter_shard, A, nthreads);
 }
 
 /* led += alloc.T * w, 64x64 tiles so both matrices stream through the

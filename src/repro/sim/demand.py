@@ -45,6 +45,13 @@ class DemandProcess(ABC):
     #: keeps sampling them slot by slot.
     blockable = False
 
+    #: Whether ``sample``/``sample_block`` never touch the rng — a pure
+    #: function of ``t`` alone.  The sparse engine groups deterministic
+    #: demands so one ``sample_block`` call (rng ``None``) can serve
+    #: every peer sharing an equivalent process, instead of consuming n
+    #: per-peer streams; stochastic processes must leave this ``False``.
+    deterministic = False
+
     @abstractmethod
     def sample(self, t: int, rng: np.random.Generator) -> bool:
         """Indicator ``I(t)``; ``rng`` is a per-peer stream for stochastic
@@ -100,6 +107,7 @@ class AlwaysOn(DemandProcess):
     """Saturated user (``gamma -> 1``): requests every slot."""
 
     blockable = True
+    deterministic = True
 
     def sample(self, t: int, rng: np.random.Generator) -> bool:
         return True
@@ -118,6 +126,7 @@ class NeverRequests(DemandProcess):
     """Pure contributor: never downloads (``gamma = 0``)."""
 
     blockable = True
+    deterministic = True
 
     def sample(self, t: int, rng: np.random.Generator) -> bool:
         return False
@@ -140,6 +149,7 @@ class ScheduleDemand(DemandProcess):
     """
 
     blockable = True
+    deterministic = True
 
     def __init__(self, intervals: Iterable[tuple[int, int]]):
         self.intervals = tuple((int(a), int(b)) for a, b in intervals)
@@ -164,6 +174,7 @@ class DutyCycleDemand(DemandProcess):
     """Requests during fixed hours-of-day, repeating daily."""
 
     blockable = True
+    deterministic = True
 
     def __init__(self, active_hours: Iterable[int], slot_seconds: float = 1.0):
         self.active_hours = frozenset(int(h) for h in active_hours)

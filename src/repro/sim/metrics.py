@@ -5,11 +5,18 @@ checks need: the ``(T, n)`` user download-rate matrix, the request
 indicators, realised capacities, and the time-average allocation matrix
 ``mean_alloc[i, j] = (1/T) sum_t mu_ij(t)`` (the ``mu_bar_ij`` of
 Section IV-C).
+
+Large-population runs (``Simulation.run(history="rates")`` or
+``history="none"``) omit some of those records: ``mean_alloc`` may be
+``None``, and in aggregate-only mode the per-slot arrays are ``None``
+too, replaced by a :attr:`summary` of O(n) running sums.  Every derived
+measurement either degrades to the summary or raises a ``ValueError``
+naming the history mode it needs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -25,52 +32,90 @@ class SimulationResult:
     Attributes
     ----------
     rates:
-        ``(T, n)`` — download rate (kbps) each user enjoyed per slot.
+        ``(T, n)`` — download rate (kbps) each user enjoyed per slot
+        (``None`` under ``history="none"``).
     requesting:
-        ``(T, n)`` boolean — the request indicators ``I(t)``.
+        ``(T, n)`` boolean — the request indicators ``I(t)``
+        (``None`` under ``history="none"``).
     capacities:
-        ``(T, n)`` — realised upload capacities ``mu_i(t)``.
+        ``(T, n)`` — realised upload capacities ``mu_i(t)``
+        (``None`` under ``history="none"``).
     mean_alloc:
         ``(n, n)`` — time-average of ``mu_ij(t)`` with ``[from, to]``
-        indexing (peer ``i`` to user ``j``).
+        indexing (peer ``i`` to user ``j``); ``None`` when the run did
+        not record allocation matrices.
     slot_seconds:
         Wall-clock duration one slot represents.
     alloc_history:
         Optional ``(T, n, n)`` full allocation tensor (memory permitting).
     labels:
         Display names per peer.
+    summary:
+        Aggregate-only record (``history="none"``): ``slots``, ``n``,
+        and per-peer ``rate_sum``, ``request_count``, ``capacity_sum``,
+        ``isolation_sum`` arrays.
     """
 
-    rates: np.ndarray
-    requesting: np.ndarray
-    capacities: np.ndarray
-    mean_alloc: np.ndarray
+    rates: np.ndarray | None
+    requesting: np.ndarray | None
+    capacities: np.ndarray | None
+    mean_alloc: np.ndarray | None
     slot_seconds: float = 1.0
     alloc_history: np.ndarray | None = None
     labels: tuple[str, ...] = ()
+    summary: dict | None = field(default=None, repr=False)
+
+    def _need(self, what: str, array, name: str):
+        if array is None:
+            raise ValueError(
+                f"{what} needs the {name} record; this result was produced "
+                "with a reduced history mode (see Simulation.run(history=...))"
+            )
+        return array
 
     @property
     def slots(self) -> int:
-        return int(self.rates.shape[0])
+        if self.rates is not None:
+            return int(self.rates.shape[0])
+        return int(self.summary["slots"])
 
     @property
     def n(self) -> int:
-        return int(self.rates.shape[1])
+        if self.rates is not None:
+            return int(self.rates.shape[1])
+        return int(self.summary["n"])
 
     def smoothed_rates(self, window: int = 10) -> np.ndarray:
         """The paper's presentation: a 10-slot running average."""
-        return running_average(self.rates, window=window)
+        return running_average(
+            self._need("smoothed_rates", self.rates, "per-slot rates"),
+            window=window,
+        )
 
     def empirical_gamma(self) -> np.ndarray:
         """Measured request frequency per user."""
-        return self.requesting.mean(axis=0)
+        if self.requesting is not None:
+            return self.requesting.mean(axis=0)
+        return self.summary["request_count"] / self.slots
 
     def mean_capacity(self) -> np.ndarray:
         """Time-average upload capacity per peer."""
-        return self.capacities.mean(axis=0)
+        if self.capacities is not None:
+            return self.capacities.mean(axis=0)
+        return self.summary["capacity_sum"] / self.slots
 
     def mean_rate_while_requesting(self) -> np.ndarray:
         """Average download rate per user over its requesting slots only."""
+        if self.rates is None:
+            # Rates are zero outside a user's requesting slots, so the
+            # aggregate sum divided by the request count is the same
+            # conditional mean (up to summation-order rounding).
+            counts = self.summary["request_count"]
+            out = np.zeros(self.n)
+            np.divide(
+                self.summary["rate_sum"], counts, out=out, where=counts > 0
+            )
+            return out
         out = np.zeros(self.n)
         for j in range(self.n):
             mask = self.requesting[:, j]
@@ -80,7 +125,9 @@ class SimulationResult:
 
     def mean_download_bandwidth(self) -> np.ndarray:
         """The ``mu_bar_j`` of Theorem 1: time-average over *all* slots."""
-        return self.rates.mean(axis=0)
+        if self.rates is not None:
+            return self.rates.mean(axis=0)
+        return self.summary["rate_sum"] / self.slots
 
     def isolation_baseline(self) -> np.ndarray:
         """Average bandwidth each user would get operating alone.
@@ -90,15 +137,22 @@ class SimulationResult:
         ``gamma_j mu_j`` of Section IV-A, using realised indicators and
         capacities.
         """
-        return (self.requesting * self.capacities).mean(axis=0)
+        if self.requesting is not None:
+            return (self.requesting * self.capacities).mean(axis=0)
+        return self.summary["isolation_sum"] / self.slots
 
     def gains_over_isolation(self) -> np.ndarray:
         """Per-user average rate gain over isolation while requesting
         (the shaded regions of Figs. 6-7)."""
-        return cooperation_gain(self.rates, self.capacities, self.requesting)
+        return cooperation_gain(
+            self._need("gains_over_isolation", self.rates, "per-slot rates"),
+            self.capacities,
+            self.requesting,
+        )
 
     def window_mean_rates(self, start: int, end: int) -> np.ndarray:
         """Mean rates over a slot window (figure annotations)."""
+        self._need("window_mean_rates", self.rates, "per-slot rates")
         if not 0 <= start < end <= self.slots:
             raise ValueError(f"bad window [{start}, {end}) for {self.slots} slots")
         return self.rates[start:end].mean(axis=0)
@@ -115,30 +169,60 @@ class SimulationResult:
         (potentially large) full allocation tensor even when recorded.
         """
         out = {
-            "rates": self.rates.tolist(),
-            "requesting": self.requesting.tolist(),
-            "capacities": self.capacities.tolist(),
-            "mean_alloc": self.mean_alloc.tolist(),
+            "rates": self.rates.tolist() if self.rates is not None else None,
+            "requesting": (
+                self.requesting.tolist() if self.requesting is not None else None
+            ),
+            "capacities": (
+                self.capacities.tolist() if self.capacities is not None else None
+            ),
+            "mean_alloc": (
+                self.mean_alloc.tolist() if self.mean_alloc is not None else None
+            ),
             "slot_seconds": self.slot_seconds,
             "labels": list(self.labels),
             "alloc_history": None,
         }
         if include_history and self.alloc_history is not None:
             out["alloc_history"] = self.alloc_history.tolist()
+        if self.summary is not None:
+            out["summary"] = {
+                "slots": int(self.summary["slots"]),
+                "n": int(self.summary["n"]),
+                "rate_sum": self.summary["rate_sum"].tolist(),
+                "request_count": self.summary["request_count"].tolist(),
+                "capacity_sum": self.summary["capacity_sum"].tolist(),
+                "isolation_sum": self.summary["isolation_sum"].tolist(),
+            }
         return out
 
     @classmethod
     def from_dict(cls, blob: dict) -> "SimulationResult":
         """Inverse of :meth:`to_dict`; round-trips bit-exactly via JSON."""
-        history = blob.get("alloc_history")
+
+        def arr(key, dtype):
+            value = blob.get(key)
+            return np.asarray(value, dtype=dtype) if value is not None else None
+
+        summary = blob.get("summary")
+        if summary is not None:
+            summary = {
+                "slots": int(summary["slots"]),
+                "n": int(summary["n"]),
+                "rate_sum": np.asarray(summary["rate_sum"], dtype=float),
+                "request_count": np.asarray(
+                    summary["request_count"], dtype=np.int64
+                ),
+                "capacity_sum": np.asarray(summary["capacity_sum"], dtype=float),
+                "isolation_sum": np.asarray(summary["isolation_sum"], dtype=float),
+            }
         return cls(
-            rates=np.asarray(blob["rates"], dtype=float),
-            requesting=np.asarray(blob["requesting"], dtype=bool),
-            capacities=np.asarray(blob["capacities"], dtype=float),
-            mean_alloc=np.asarray(blob["mean_alloc"], dtype=float),
+            rates=arr("rates", float),
+            requesting=arr("requesting", bool),
+            capacities=arr("capacities", float),
+            mean_alloc=arr("mean_alloc", float),
             slot_seconds=float(blob.get("slot_seconds", 1.0)),
-            alloc_history=(
-                np.asarray(history, dtype=float) if history is not None else None
-            ),
+            alloc_history=arr("alloc_history", float),
             labels=tuple(blob.get("labels", ())),
+            summary=summary,
         )

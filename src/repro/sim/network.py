@@ -158,6 +158,10 @@ class FileSharingNetwork:
     background_gamma:
         Request probability of every *other* user while a download runs,
         creating allocation contention; 0 disables contention.
+    engine:
+        Slot-loop implementation for the embedded
+        :class:`~repro.sim.engine.Simulation` (``"auto"``,
+        ``"reference"``, ``"batched"`` or ``"sparse"``).
     """
 
     def __init__(
@@ -169,6 +173,7 @@ class FileSharingNetwork:
         background_gamma: float = 0.0,
         key_bits: int = _DEFAULT_KEY_BITS,
         use_discovery: bool = False,
+        engine: str = "auto",
     ):
         self.capacities = [float(c) for c in capacities_kbps]
         self.n = len(self.capacities)
@@ -200,7 +205,7 @@ class FileSharingNetwork:
             if allocators and i in allocators:
                 cfg.allocator = allocators[i]
             configs.append(cfg)
-        self._sim = Simulation(configs, seed=seed)
+        self._sim = Simulation(configs, seed=seed, engine=engine)
         # Optional DHT-based content location (the Section II pattern):
         # peers form a Chord ring; publish registers chunk holders and
         # download resolves them instead of consulting the registry.

@@ -53,8 +53,13 @@ class PeerState:
     ``credit_buffer`` optionally backs the peer's ledger with an
     engine-owned row of the shared credit matrix (see
     :class:`~repro.core.ledger.ContributionLedger`); semantics are
-    identical either way.
+    identical either way.  The sparse engine instead passes a
+    pre-built ``ledger`` (a read-only view over its CSR store for
+    fast-path peers); ``__slots__`` keeps the per-peer footprint flat
+    at the 10^5-10^6 peer populations that engine targets.
     """
+
+    __slots__ = ("index", "config", "ledger")
 
     def __init__(
         self,
@@ -63,10 +68,11 @@ class PeerState:
         n: int,
         initial_credit: float,
         credit_buffer=None,
+        ledger=None,
     ):
         self.index = index
         self.config = config
-        self.ledger = ContributionLedger(
+        self.ledger = ledger if ledger is not None else ContributionLedger(
             n,
             initial=initial_credit if initial_credit > 0 else DEFAULT_INITIAL_CREDIT,
             forgetting=config.forgetting,

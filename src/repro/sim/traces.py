@@ -27,6 +27,7 @@ class TraceDemand(DemandProcess):
     """
 
     blockable = True
+    deterministic = True
 
     def __init__(self, indicators, wrap: bool = True):
         self.indicators = np.asarray(indicators, dtype=bool)

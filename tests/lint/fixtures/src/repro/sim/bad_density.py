@@ -1,0 +1,19 @@
+"""Planted density violations; tests pin these exact lines."""
+
+import numpy as np
+
+
+def dense_state(n):
+    credit = np.zeros((n, n))  # line 7: sim-dense-alloc
+    pending = np.empty(shape=(n, n))  # line 8: sim-dense-alloc
+    mask = np.full((n, n), 0.5)  # line 9: sim-dense-alloc
+    return credit, pending, mask
+
+
+def fine_forms(n, m, rows):
+    rectangular = np.zeros((n, m))
+    literal = np.ones((3, 3))
+    vector = np.empty(n)
+    active = np.zeros((len(rows), len(rows) + 1))
+    reference = np.zeros((n, n))  # repro: allow[sim-dense-alloc] fixture
+    return rectangular, literal, vector, active, reference

@@ -55,6 +55,26 @@ class TestFloatSafetyFamily:
         assert not [line for line, _ in got if line >= 19]
 
 
+class TestDensityFamily:
+    def test_planted_violations(self):
+        got, _ = findings_for("sim/bad_density.py")
+        assert (7, "sim-dense-alloc") in got
+        assert (8, "sim-dense-alloc") in got
+        assert (9, "sim-dense-alloc") in got
+
+    def test_safe_and_allowed_forms_stay_clean(self):
+        # fine_forms() spans lines 13-19: rectangular, literal-square,
+        # 1-D, distinct-dims and allow-annotated allocations are all ok.
+        got, _ = findings_for("sim/bad_density.py")
+        assert not [line for line, _ in got if line >= 13]
+
+    def test_rule_scoped_to_sim_layer(self):
+        # The same (n, n) allocation in core/ (the reference rules are
+        # allowed to stay textbook-dense) must not fire this rule.
+        got, _ = findings_for("core/bad_float.py")
+        assert "sim-dense-alloc" not in {rule for _, rule in got}
+
+
 class TestTraceFamily:
     def test_planted_violations(self):
         got, _ = findings_for("transfer/bad_trace.py")

@@ -37,28 +37,37 @@ from repro.sim import (
 from repro.sim.traces import DiurnalDemand, FlashCrowdDemand, TraceDemand
 
 
-def assert_equivalent(make_configs, slots=40, seed=3, **sim_kwargs):
-    """Run both engines on freshly built configs and compare all bits.
+def assert_equivalent(
+    make_configs,
+    slots=40,
+    seed=3,
+    engines=("reference", "batched"),
+    **sim_kwargs,
+):
+    """Run each engine on freshly built configs and compare all bits.
 
     ``make_configs`` is a zero-argument factory: stateful allocators
-    (e.g. :class:`RandomAllocator`) must be fresh per engine so both
-    runs consume identical private streams.
+    (e.g. :class:`RandomAllocator`) must be fresh per engine so all
+    runs consume identical private streams.  The first engine listed is
+    the oracle every other engine is compared against.
     """
     sims = {}
     results = {}
-    for engine in ("reference", "batched"):
+    for engine in engines:
         sim = Simulation(make_configs(), seed=seed, engine=engine, **sim_kwargs)
         results[engine] = sim.run(slots, record_allocations=True)
         sims[engine] = sim
-    ref, bat = results["reference"], results["batched"]
-    assert ref.rates.tobytes() == bat.rates.tobytes()
-    assert ref.requesting.tobytes() == bat.requesting.tobytes()
-    assert ref.capacities.tobytes() == bat.capacities.tobytes()
-    assert ref.alloc_history.tobytes() == bat.alloc_history.tobytes()
-    assert ref.mean_alloc.tobytes() == bat.mean_alloc.tobytes()
-    ref_credit = sims["reference"]._credit_matrix
-    bat_credit = sims["batched"]._credit_matrix
-    assert ref_credit.tobytes() == bat_credit.tobytes()
+    oracle = engines[0]
+    ref = results[oracle]
+    ref_credit = sims[oracle].credit_matrix()
+    for engine in engines[1:]:
+        got = results[engine]
+        assert ref.rates.tobytes() == got.rates.tobytes(), engine
+        assert ref.requesting.tobytes() == got.requesting.tobytes(), engine
+        assert ref.capacities.tobytes() == got.capacities.tobytes(), engine
+        assert ref.alloc_history.tobytes() == got.alloc_history.tobytes(), engine
+        assert ref.mean_alloc.tobytes() == got.mean_alloc.tobytes(), engine
+        assert ref_credit.tobytes() == sims[engine].credit_matrix().tobytes(), engine
     return ref
 
 

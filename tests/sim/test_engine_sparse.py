@@ -1,0 +1,338 @@
+"""Bit-identity and behaviour of the sparse ledger engine (PR 8).
+
+The sparse engine holds CSR-style per-peer ledger rows instead of the
+dense ``(n, n)`` credit matrix and allocates over the active-request
+set only — yet its contract is the same as the batched engine's: every
+observable output must match the reference slot loop *bit for bit*,
+native kernels or numpy fallback, at any thread count.  These tests
+reuse the equivalence harness of ``test_engine_batched.py`` with
+``engine="sparse"`` and add the sparse-only surfaces: reduced history
+modes, auto-selection (with its ``sim.engine_selected`` trace event),
+thread-count invariance, and the scale scenario plumbing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core import (
+    EqualSplitAllocator,
+    GlobalProportionalAllocator,
+    IsolationAllocator,
+    PeerwiseProportionalAllocator,
+    RandomAllocator,
+    WithholdingAllocator,
+)
+from repro.sim import (
+    AlwaysOn,
+    BernoulliDemand,
+    NeverRequests,
+    PeerConfig,
+    ScheduleDemand,
+    Simulation,
+    StepCapacity,
+    million_peer_smoke,
+    sparse_population,
+    sparse_population_sim,
+)
+
+from test_engine_batched import adversarial_configs, assert_equivalent
+
+ENGINES = ("reference", "sparse")
+
+
+@pytest.mark.parametrize("feedback_interval", [1, 3])
+@pytest.mark.parametrize("slot_seconds", [1.0, 7.5])
+def test_adversarial_mix_bit_identical(feedback_interval, slot_seconds):
+    assert_equivalent(
+        adversarial_configs,
+        slots=37,
+        feedback_interval=feedback_interval,
+        slot_seconds=slot_seconds,
+        engines=ENGINES,
+    )
+
+
+def test_three_engines_agree_on_forgetting_mix():
+    """reference, batched and sparse in one run, with lazy decay live."""
+
+    def configs():
+        return [
+            PeerConfig(capacity=500.0, demand=BernoulliDemand(0.6),
+                       forgetting=0.9),
+            PeerConfig(capacity=300.0, demand=AlwaysOn(), forgetting=0.8),
+            PeerConfig(capacity=700.0, demand=BernoulliDemand(0.4),
+                       allocator=GlobalProportionalAllocator(),
+                       declared_capacity=1500.0),
+            PeerConfig(capacity=0.0, demand=AlwaysOn()),
+            PeerConfig(capacity=400.0, demand=NeverRequests(), forgetting=0.95),
+        ]
+
+    assert_equivalent(
+        configs,
+        slots=50,
+        feedback_interval=2,
+        engines=("reference", "batched", "sparse"),
+    )
+
+
+def test_numpy_fallback_bit_identical(monkeypatch):
+    """With native kernels disabled the sparse path must still match."""
+    from repro.sim import engine as engine_mod
+
+    monkeypatch.setattr(engine_mod.fastpath, "load", lambda: None)
+    sim = Simulation(adversarial_configs(), engine="sparse")
+    assert sim.backend == "sparse"
+    assert_equivalent(
+        adversarial_configs, slots=31, feedback_interval=2, engines=ENGINES
+    )
+
+
+def test_thread_count_invariance(monkeypatch):
+    """Sharded kernels must produce identical bits at any thread count."""
+    def configs():
+        return [
+            PeerConfig(
+                capacity=100.0 + 13.0 * (i % 7),
+                demand=BernoulliDemand(0.4),
+                forgetting=0.9 if i % 3 == 0 else 1.0,
+            )
+            for i in range(64)
+        ]
+
+    baselines = None
+    for threads in ("1", "3", "8"):
+        monkeypatch.setenv("REPRO_SIM_THREADS", threads)
+        sim = Simulation(configs(), seed=11, engine="sparse",
+                         feedback_interval=2)
+        result = sim.run(25)
+        blob = (result.rates.tobytes(), sim.credit_matrix().tobytes())
+        if baselines is None:
+            baselines = blob
+        assert blob == baselines, f"threads={threads} diverged"
+
+
+@given(data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_sparse_equivalence_property(data):
+    """Random networks: fast-path and island allocators, any feedback."""
+    factories = [
+        PeerwiseProportionalAllocator,
+        GlobalProportionalAllocator,
+        IsolationAllocator,
+        EqualSplitAllocator,
+        lambda: WithholdingAllocator(0.5),
+        lambda: RandomAllocator(seed=5),
+    ]
+    n = data.draw(st.integers(min_value=1, max_value=7))
+    chosen = [
+        data.draw(st.sampled_from(factories), label=f"alloc{i}")
+        for i in range(n)
+    ]
+    caps = [
+        data.draw(st.floats(min_value=0.0, max_value=2000.0), label=f"cap{i}")
+        for i in range(n)
+    ]
+    gammas = [
+        data.draw(st.floats(min_value=0.0, max_value=1.0), label=f"gamma{i}")
+        for i in range(n)
+    ]
+    forgettings = [
+        data.draw(st.sampled_from([1.0, 0.9]), label=f"forget{i}")
+        for i in range(n)
+    ]
+    feedback = data.draw(st.integers(min_value=1, max_value=4))
+    seed = data.draw(st.integers(min_value=0, max_value=10_000))
+
+    def make_configs():
+        return [
+            PeerConfig(
+                capacity=caps[i],
+                demand=BernoulliDemand(gammas[i]),
+                allocator=chosen[i](),
+                forgetting=forgettings[i],
+            )
+            for i in range(n)
+        ]
+
+    assert_equivalent(make_configs, slots=25, seed=seed,
+                      feedback_interval=feedback, engines=ENGINES)
+
+
+# -- reduced history modes -------------------------------------------------
+
+
+def _history_configs():
+    return [
+        PeerConfig(capacity=400.0, demand=BernoulliDemand(0.5)),
+        PeerConfig(capacity=StepCapacity([(0, 100.0), (9, 700.0)]),
+                   demand=AlwaysOn()),
+        PeerConfig(capacity=300.0, demand=ScheduleDemand([(3, 14)])),
+    ]
+
+
+@pytest.mark.parametrize("engine", ["batched", "sparse"])
+def test_history_modes_consistent(engine):
+    full = Simulation(_history_configs(), seed=4, engine=engine).run(20)
+    rates_only = Simulation(_history_configs(), seed=4, engine=engine).run(
+        20, history="rates"
+    )
+    none = Simulation(_history_configs(), seed=4, engine=engine).run(
+        20, history="none"
+    )
+
+    assert full.rates.tobytes() == rates_only.rates.tobytes()
+    assert full.requesting.tobytes() == rates_only.requesting.tobytes()
+    assert full.capacities.tobytes() == rates_only.capacities.tobytes()
+    assert rates_only.mean_alloc is None
+
+    assert none.rates is None and none.summary is not None
+    assert none.slots == full.slots and none.n == full.n
+    np.testing.assert_allclose(
+        none.summary["rate_sum"], full.rates.sum(axis=0), rtol=1e-12
+    )
+    np.testing.assert_array_equal(
+        none.summary["request_count"], full.requesting.sum(axis=0)
+    )
+    np.testing.assert_allclose(
+        none.mean_download_bandwidth(), full.mean_download_bandwidth(),
+        rtol=1e-12,
+    )
+    np.testing.assert_allclose(
+        none.isolation_baseline(), full.isolation_baseline(), rtol=1e-12
+    )
+    np.testing.assert_allclose(
+        none.mean_rate_while_requesting(),
+        full.mean_rate_while_requesting(),
+        rtol=1e-12,
+    )
+
+
+def test_reduced_history_raises_and_roundtrips():
+    sim = Simulation(_history_configs(), seed=4)
+    none = sim.run(15, history="none")
+    with pytest.raises(ValueError, match="reduced history"):
+        none.smoothed_rates()
+    with pytest.raises(ValueError, match="reduced history"):
+        none.gains_over_isolation()
+    with pytest.raises(ValueError, match="reduced history"):
+        none.window_mean_rates(0, 5)
+
+    # Aggregate results survive the JSON round trip bit-exactly.
+    from repro.sim import SimulationResult
+
+    back = SimulationResult.from_dict(none.to_dict())
+    assert back.rates is None
+    assert back.summary["rate_sum"].tobytes() == none.summary["rate_sum"].tobytes()
+
+    with pytest.raises(ValueError, match="record_allocations"):
+        Simulation(_history_configs(), seed=4).run(
+            5, record_allocations=True, history="rates"
+        )
+    with pytest.raises(ValueError, match="history"):
+        Simulation(_history_configs(), seed=4).run(5, history="bogus")
+
+
+# -- auto-selection and its trace event ------------------------------------
+
+
+def test_auto_selects_sparse_past_threshold(monkeypatch):
+    from repro.sim import engine as engine_mod
+
+    monkeypatch.setattr(engine_mod, "_SPARSE_N_THRESHOLD", 4)
+    configs = [
+        PeerConfig(capacity=100.0, demand=BernoulliDemand(0.5))
+        for _ in range(6)
+    ]
+    with obs.observability(tracing=True, reset=True):
+        sim = Simulation(configs, engine="auto")
+        events = [
+            e for e in obs.TRACER.events() if e.name == "sim.engine_selected"
+        ]
+    assert sim.backend.startswith("sparse")
+    (event,) = events
+    assert event.fields["engine"] == "sparse"
+    assert event.fields["n"] == 6
+    assert "threshold" in event.fields["reason"]
+
+
+def test_auto_keeps_batched_below_threshold():
+    configs = [
+        PeerConfig(capacity=100.0, demand=AlwaysOn()) for _ in range(3)
+    ]
+    with obs.observability(tracing=True, reset=True):
+        sim = Simulation(configs, engine="auto")
+        events = [
+            e for e in obs.TRACER.events() if e.name == "sim.engine_selected"
+        ]
+    assert sim.backend.startswith("batched")
+    (event,) = events
+    assert event.fields["engine"] == "batched"
+
+
+def test_auto_considers_available_memory(monkeypatch):
+    from repro.sim import engine as engine_mod
+
+    # Pretend the machine has 1 MiB free: even a small dense matrix
+    # (3 arrays of 8 n^2 bytes with the 4x headroom factor) won't fit.
+    monkeypatch.setattr(
+        engine_mod, "_available_memory_bytes", lambda: 1 << 20
+    )
+    configs = [
+        PeerConfig(capacity=100.0, demand=BernoulliDemand(0.5))
+        for _ in range(128)
+    ]
+    sim = Simulation(configs, engine="auto")
+    assert sim.backend.startswith("sparse")
+
+
+# -- scale scenarios --------------------------------------------------------
+
+
+def test_sparse_population_matches_reference_at_small_n():
+    """The cohort scenario itself is engine-agnostic: tiny instance."""
+    kwargs = dict(n=40, cohorts=8, givers=4, slots=16, seed=3)
+    ref = sparse_population(engine="reference", history="full", **kwargs)
+    sparse = sparse_population(engine="sparse", history="full", **kwargs)
+    assert ref.rates.tobytes() == sparse.rates.tobytes()
+    assert ref.requesting.tobytes() == sparse.requesting.tobytes()
+
+
+def test_sparse_population_sim_shape_and_accounting():
+    sim = sparse_population_sim(n=256, cohorts=16, givers=8, slots=32)
+    result = sim.run(32, history="none")
+    # Givers never request; every consumer cohort got its slots.
+    assert result.summary["request_count"][:8].sum() == 0
+    assert result.summary["request_count"][8:].sum() == 32 * (256 - 8) // 16
+    assert sim.memory_bytes() > 0
+    # At scale the sparse state must undercut even ONE dense credit
+    # matrix (8 n^2 bytes); small n is block-buffer dominated, so probe
+    # the claim at n=4096 where the dense matrix would be 134 MiB.
+    big = sparse_population_sim(
+        n=4096, cohorts=16, givers=8, slots=8, engine="sparse"
+    )
+    big.run(8, history="none")
+    assert big.memory_bytes() < 8 * 4096 * 4096 // 4
+    with pytest.raises(ValueError):
+        sparse_population_sim(n=8, givers=8)
+    with pytest.raises(ValueError):
+        sparse_population_sim(n=8, cohorts=0)
+
+
+def test_million_peer_smoke_scaled_down():
+    """The smoke scenario's accounting contract at a CI-friendly size."""
+    out = million_peer_smoke(n=5000, slots=4, cohorts=64, givers=4)
+    assert out["backend"].startswith("sparse")
+    assert out["within_cap"]
+    assert out["state_bytes"] > 0
+    assert out["bytes_per_peer"] < 4096
+    assert out["request_slots"] > 0
+
+
+def test_network_engine_plumbing():
+    from repro.sim import FileSharingNetwork
+
+    net = FileSharingNetwork([256.0, 512.0], seed=1, engine="sparse")
+    assert net._sim.backend.startswith("sparse")
