@@ -836,7 +836,8 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 
 _SCENARIOS = (
-    "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "faults", "repair", "scale"
+    "fig5a", "fig5b", "fig6", "fig7", "fig8a", "fig8b", "faults", "repair",
+    "scale", "churn-scale",
 )
 
 #: Default fault schedule for ``repro simulate faults`` when no
@@ -864,10 +865,18 @@ def _simulate(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--faults only applies to the 'faults' and 'repair' scenarios"
         )
+    if args.workers is not None and args.scenario not in ("scale", "churn-scale"):
+        raise SystemExit(
+            "--workers only applies to the 'scale' and 'churn-scale' scenarios"
+        )
+    if args.evict_age is not None and args.scenario != "churn-scale":
+        raise SystemExit("--evict-age only applies to the 'churn-scale' scenario")
     if args.scenario == "repair":
         return _simulate_repair(args)
     if args.scenario == "scale":
         return _simulate_scale(args)
+    if args.scenario == "churn-scale":
+        return _simulate_churn_scale(args)
 
     def _run_faults():
         from .faults import FaultPlan, FaultSpecError
@@ -930,8 +939,11 @@ def _simulate_scale(args: argparse.Namespace) -> int:
         slots=slots,
         seed=args.seed,
         engine=args.engine,
+        workers=args.workers,
     )
-    result = sim.run(slots, history="none")
+    with sim:
+        result = sim.run(slots, history="none")
+        state = sim.memory_bytes()
     summary = result.summary
     served = float(summary["rate_sum"].sum())
     requests = int(summary["request_count"].sum())
@@ -939,7 +951,53 @@ def _simulate_scale(args: argparse.Namespace) -> int:
         f"scenario scale: {slots} slots x {n} peers "
         f"({givers} givers, {cohorts} request cohorts, backend {sim.backend})"
     )
-    print(f"engine state: {sim.memory_bytes() / n:.1f} bytes/peer")
+    print(f"engine state: {state / n:.1f} bytes/peer")
+    print(
+        f"served {served:.0f} kbps-slots over {requests} request-slots "
+        f"({served / max(1, requests):.1f} kbps mean while requesting)"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh)
+        print(f"result -> {args.json}")
+    return 0
+
+
+def _simulate_churn_scale(args: argparse.Namespace) -> int:
+    """Run the giver-churn scale scenario (ledger-eviction showcase).
+
+    Contributor generations join and leave; with ``--evict-age`` the
+    sparse store sweeps the departed generations' ledger entries and
+    the printed bytes/peer stays bounded by the live giver set.
+    """
+    from .sim import sparse_population_churn
+
+    n, cohorts, per_phase, phases, phase_slots = 20_000, 32, 16, 4, 32
+    sim = sparse_population_churn(
+        n=n,
+        cohorts=cohorts,
+        givers_per_phase=per_phase,
+        phases=phases,
+        phase_slots=phase_slots,
+        seed=args.seed,
+        engine=args.engine,
+        workers=args.workers,
+        evict_age=args.evict_age,
+    )
+    slots = phases * phase_slots
+    with sim:
+        result = sim.run(slots, history="none")
+        state = sim.memory_bytes()
+    summary = result.summary
+    served = float(summary["rate_sum"].sum())
+    requests = int(summary["request_count"].sum())
+    print(
+        f"scenario churn-scale: {slots} slots x {n} peers "
+        f"({phases} giver generations x {per_phase}, {cohorts} request "
+        f"cohorts, backend {sim.backend})"
+    )
+    evict = "off" if args.evict_age is None else f"age {args.evict_age}"
+    print(f"engine state: {state / n:.1f} bytes/peer (eviction {evict})")
     print(
         f"served {served:.0f} kbps-slots over {requests} request-slots "
         f"({served / max(1, requests):.1f} kbps mean while requesting)"
@@ -1335,11 +1393,23 @@ def build_parser() -> argparse.ArgumentParser:
     simp.add_argument("scenario", choices=_SCENARIOS)
     simp.add_argument("--seed", type=int, default=0)
     simp.add_argument(
-        "--engine", choices=("auto", "reference", "batched", "sparse"),
+        "--engine",
+        choices=("auto", "reference", "batched", "sparse", "procs"),
         default="auto",
         help="slot-loop implementation: 'auto' picks the batched engine, "
-        "or the sparse engine for large populations (all bit-identical "
-        "to 'reference')",
+        "the sparse engine for large populations, or the process-sharded "
+        "engine when enough CPUs are usable (all bit-identical to "
+        "'reference')",
+    )
+    simp.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="shard worker processes for the procs engine "
+        "(default: min(4, usable CPUs))",
+    )
+    simp.add_argument(
+        "--evict-age", type=int, default=None, metavar="EPOCHS",
+        help="churn-scale only: evict sparse ledger entries unwritten "
+        "for this many feedback flushes (changes results; off by default)",
     )
     simp.add_argument(
         "--faults", default=None, metavar="SPEC",

@@ -120,17 +120,22 @@ def cooperation_gain(
     isolation a requesting user would get exactly its own peer's
     capacity, so the gain is ``rate - capacity`` averaged over
     requesting slots — the shaded regions of Figs. 6 and 7.
+
+    The reduction is a slot-sequential masked sum divided by the
+    request count, so a streaming accumulator updating
+    ``gain_sum[j] += rate - capacity`` per requesting slot reproduces
+    it bit for bit (``history="none"`` runs report the same gains as
+    full-history runs).
     """
     rates = np.asarray(rates, dtype=float)
     requesting = np.asarray(requesting, dtype=bool)
     capacity = np.asarray(capacity, dtype=float)
     if capacity.ndim == 1:
         capacity = np.broadcast_to(capacity, rates.shape)
+    sums = np.where(requesting, rates - capacity, 0.0).sum(axis=0)
+    counts = requesting.sum(axis=0)
     gains = np.zeros(rates.shape[1])
-    for j in range(rates.shape[1]):
-        mask = requesting[:, j]
-        if mask.any():
-            gains[j] = float((rates[mask, j] - capacity[mask, j]).mean())
+    np.divide(sums, counts, out=gains, where=counts > 0)
     return gains
 
 

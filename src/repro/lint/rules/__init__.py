@@ -2,6 +2,6 @@
 
 from __future__ import annotations
 
-from . import api, density, determinism, floatsafety, tracing
+from . import api, density, determinism, floatsafety, sharedstate, tracing
 
-__all__ = ["api", "density", "determinism", "floatsafety", "tracing"]
+__all__ = ["api", "density", "determinism", "floatsafety", "sharedstate", "tracing"]

@@ -1,0 +1,62 @@
+"""Shared-state rule: shard memory only crosses via the message layer.
+
+The process-sharded engine's correctness argument (see
+``repro.sim.procs``) rests on every cross-shard byte travelling through
+one of two audited channels — the :class:`~repro.sim.shardmsg.SlotVectors`
+segment or a pickled :class:`~repro.sim.shardmsg.CreditBatch` — so the
+pipe round-trips are the only synchronisation anyone has to reason
+about.  A ``SharedMemory`` handle or a raw ``.buf`` view anywhere else
+under ``repro.sim`` would open an unaudited side channel between the
+coordinator and a worker; this rule keeps those constructs confined to
+``sim/shardmsg.py``, the designated message layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .._astutil import ImportMap
+from ..findings import Finding
+from ..registry import rule
+
+_SIM_SCOPE = ("src/repro/sim/",)
+
+#: The one module allowed to hold SharedMemory handles and .buf views.
+_MESSAGE_LAYER = "/shardmsg.py"
+
+
+@rule(
+    "sim-shared-state",
+    rationale="cross-shard state must travel through the shardmsg "
+    "message layer; a SharedMemory handle or raw .buf view elsewhere in "
+    "the simulator is an unaudited side channel between processes",
+    scope=_SIM_SCOPE,
+)
+def check_shared_state(ctx) -> Iterator[Finding]:
+    if ctx.relpath.endswith(_MESSAGE_LAYER):
+        return
+    imap = ImportMap.from_tree(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            resolved = imap.resolve(node.func)
+            if resolved is None:
+                continue
+            if (
+                resolved == "multiprocessing.shared_memory.SharedMemory"
+                or resolved.endswith("shared_memory.SharedMemory")
+            ):
+                yield ctx.finding(
+                    "sim-shared-state",
+                    node,
+                    "SharedMemory constructed outside sim/shardmsg.py; "
+                    "shard state must cross through SlotVectors or a "
+                    "CreditBatch message",
+                )
+        elif isinstance(node, ast.Attribute) and node.attr == "buf":
+            yield ctx.finding(
+                "sim-shared-state",
+                node,
+                "raw .buf view outside sim/shardmsg.py; read the typed "
+                "SlotVectors arrays instead of the shared buffer",
+            )

@@ -38,10 +38,23 @@ def jain_trajectory(result) -> list[float]:
 
     Matches the ``jain`` field of each ``sim.slot`` trace event exactly:
     ``jain_index(rates[t][requesting[t]])``, or 1.0 for slots in which
-    nobody requested.
+    nobody requested.  ``history="none"`` results carry the identical
+    per-slot values in their streaming summary (the engine records them
+    with the same expression as it steps), so reduced-history runs
+    report the same trajectory bit for bit.
     """
     from ..core.fairness import jain_index
 
+    if result.requesting is None:
+        summary = result.summary or {}
+        jain = summary.get("jain")
+        if jain is None:
+            raise ValueError(
+                "jain_trajectory needs per-slot history or a streaming "
+                "summary with the jain record; this result was produced "
+                "with a reduced history mode (older summary format)"
+            )
+        return [float(v) for v in jain]
     out = []
     for t in range(result.slots):
         req = result.requesting[t]

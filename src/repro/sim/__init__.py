@@ -22,7 +22,7 @@ from .demand import (
 )
 from .dissemination import DisseminationReport, DisseminationSimulator, SeedingOrder
 from .engine import Simulation
-from .metrics import SimulationResult
+from .metrics import SimulationResult, StreamingMetrics
 from .network import FileHandle, FileSharingNetwork, NetworkDownload
 from .peer import PeerConfig, PeerState
 from .scenarios import (
@@ -42,6 +42,7 @@ from .scenarios import (
     million_peer_smoke,
     repair_under_churn,
     sparse_population,
+    sparse_population_churn,
     sparse_population_sim,
 )
 from .traces import DiurnalDemand, FlashCrowdDemand, TraceDemand
@@ -49,6 +50,7 @@ from .traces import DiurnalDemand, FlashCrowdDemand, TraceDemand
 __all__ = [
     "Simulation",
     "SimulationResult",
+    "StreamingMetrics",
     "FileSharingNetwork",
     "FileHandle",
     "NetworkDownload",
@@ -88,6 +90,7 @@ __all__ = [
     "million_peer_smoke",
     "repair_under_churn",
     "sparse_population",
+    "sparse_population_churn",
     "sparse_population_sim",
     "FIG5A_CAPACITIES",
     "FIG5B_CAPACITIES",

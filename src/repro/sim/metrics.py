@@ -20,9 +20,89 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.fairness import cooperation_gain, running_average
+from ..core.fairness import cooperation_gain, jain_index, running_average
 
-__all__ = ["SimulationResult"]
+__all__ = ["SimulationResult", "StreamingMetrics"]
+
+
+class StreamingMetrics:
+    """O(n) per-slot accumulators for ``history="none"`` runs.
+
+    Replaces the ``(T, n)`` per-slot records with running sums chosen so
+    every report quantity comes out **bit-identical** to the
+    full-history computation: per-slot accumulation reproduces numpy's
+    slot-sequential ``axis=0`` reductions exactly, the per-slot Jain
+    trajectory is recorded as the engine computes it, the masked gain
+    sum mirrors :func:`~repro.core.fairness.cooperation_gain`, and the
+    report's final rate window (``max(1, slots // 10)`` trailing slots)
+    is pre-registered at run start.  The procs engine keeps the same
+    accumulators shard-locally inside each worker and the coordinator
+    merges the disjoint slices.
+    """
+
+    def __init__(self, n: int, slots: int):
+        self.n = int(n)
+        self.slots = int(slots)
+        self.window_slots = max(1, self.slots // 10)
+        self.window_start = self.slots - self.window_slots
+        self.rate_sum = np.zeros(self.n)
+        self.request_count = np.zeros(self.n, dtype=np.int64)
+        self.capacity_sum = np.zeros(self.n)
+        self.isolation_sum = np.zeros(self.n)
+        self.gain_sum = np.zeros(self.n)
+        self.window_rate_sum = np.zeros(self.n)
+        self.jain: list[float] = []
+
+    def update_dense(
+        self, s: int, rates_t: np.ndarray, req: np.ndarray, caps: np.ndarray
+    ) -> None:
+        """Fold one slot from dense vectors (``rates_t = alloc.sum(axis=0)``)."""
+        self.rate_sum += rates_t
+        self.request_count += req
+        self.capacity_sum += caps
+        self.isolation_sum += np.where(req, caps, 0.0)
+        self.gain_sum += np.where(req, rates_t - caps, 0.0)
+        if s >= self.window_start:
+            self.window_rate_sum += rates_t
+        self.jain.append(
+            jain_index(rates_t[req]) if bool(req.any()) else 1.0
+        )
+
+    def update_compact(
+        self,
+        s: int,
+        R: np.ndarray,
+        rates_c: np.ndarray,
+        req: np.ndarray,
+        caps: np.ndarray,
+    ) -> None:
+        """Fold one slot from the compact request set (``rates_c`` are
+        the requesters' rates at sorted positions ``R``); zero cells
+        outside ``R`` are exact no-ops in every sum."""
+        if R.size:
+            self.rate_sum[R] += rates_c
+            self.gain_sum[R] += rates_c - caps[R]
+            if s >= self.window_start:
+                self.window_rate_sum[R] += rates_c
+        self.request_count += req
+        self.capacity_sum += caps
+        self.isolation_sum += np.where(req, caps, 0.0)
+        self.jain.append(jain_index(rates_c) if R.size else 1.0)
+
+    def summary(self) -> dict:
+        """The :attr:`SimulationResult.summary` dict for this run."""
+        return {
+            "slots": self.slots,
+            "n": self.n,
+            "rate_sum": self.rate_sum,
+            "request_count": self.request_count,
+            "capacity_sum": self.capacity_sum,
+            "isolation_sum": self.isolation_sum,
+            "gain_sum": self.gain_sum,
+            "window_rate_sum": self.window_rate_sum,
+            "window_slots": self.window_slots,
+            "jain": self.jain,
+        }
 
 
 @dataclass(frozen=True)
@@ -53,7 +133,11 @@ class SimulationResult:
     summary:
         Aggregate-only record (``history="none"``): ``slots``, ``n``,
         and per-peer ``rate_sum``, ``request_count``, ``capacity_sum``,
-        ``isolation_sum`` arrays.
+        ``isolation_sum`` arrays, plus the :class:`StreamingMetrics`
+        extras (``gain_sum``, ``window_rate_sum``, ``window_slots`` and
+        the per-slot ``jain`` trajectory) that let
+        :func:`repro.obs.report.simulation_report` reproduce the
+        full-history report bit for bit.
     """
 
     rates: np.ndarray | None
@@ -143,18 +227,50 @@ class SimulationResult:
 
     def gains_over_isolation(self) -> np.ndarray:
         """Per-user average rate gain over isolation while requesting
-        (the shaded regions of Figs. 6-7)."""
-        return cooperation_gain(
-            self._need("gains_over_isolation", self.rates, "per-slot rates"),
-            self.capacities,
-            self.requesting,
-        )
+        (the shaded regions of Figs. 6-7).
+
+        Works from the streaming summary too (``history="none"``): the
+        accumulated masked gain sum divided by the request count is the
+        same reduction :func:`~repro.core.fairness.cooperation_gain`
+        performs over the full record, bit for bit.
+        """
+        if self.rates is None:
+            summary = self.summary or {}
+            if "gain_sum" not in summary:
+                raise ValueError(
+                    "gains_over_isolation needs the per-slot rates record or "
+                    "a streaming gain_sum; this result was produced with a "
+                    "reduced history mode lacking both (older summary format)"
+                )
+            counts = summary["request_count"]
+            out = np.zeros(self.n)
+            np.divide(summary["gain_sum"], counts, out=out, where=counts > 0)
+            return out
+        return cooperation_gain(self.rates, self.capacities, self.requesting)
 
     def window_mean_rates(self, start: int, end: int) -> np.ndarray:
-        """Mean rates over a slot window (figure annotations)."""
-        self._need("window_mean_rates", self.rates, "per-slot rates")
+        """Mean rates over a slot window (figure annotations).
+
+        Summary-only results serve exactly the pre-registered final
+        report window (the trailing ``max(1, slots // 10)`` slots); any
+        other window needs the per-slot record.
+        """
         if not 0 <= start < end <= self.slots:
             raise ValueError(f"bad window [{start}, {end}) for {self.slots} slots")
+        if self.rates is None:
+            summary = self.summary or {}
+            ws = summary.get("window_slots")
+            if (
+                ws is not None
+                and start == self.slots - ws
+                and end == self.slots
+            ):
+                return summary["window_rate_sum"] / ws
+            raise ValueError(
+                "window_mean_rates outside the recorded final window needs "
+                "the per-slot rates record; this result was produced with a "
+                "reduced history mode (see Simulation.run(history=...))"
+            )
         return self.rates[start:end].mean(axis=0)
 
     def label_of(self, index: int) -> str:
@@ -186,7 +302,7 @@ class SimulationResult:
         if include_history and self.alloc_history is not None:
             out["alloc_history"] = self.alloc_history.tolist()
         if self.summary is not None:
-            out["summary"] = {
+            blob = {
                 "slots": int(self.summary["slots"]),
                 "n": int(self.summary["n"]),
                 "rate_sum": self.summary["rate_sum"].tolist(),
@@ -194,6 +310,12 @@ class SimulationResult:
                 "capacity_sum": self.summary["capacity_sum"].tolist(),
                 "isolation_sum": self.summary["isolation_sum"].tolist(),
             }
+            if "gain_sum" in self.summary:
+                blob["gain_sum"] = self.summary["gain_sum"].tolist()
+                blob["window_rate_sum"] = self.summary["window_rate_sum"].tolist()
+                blob["window_slots"] = int(self.summary["window_slots"])
+                blob["jain"] = [float(v) for v in self.summary["jain"]]
+            out["summary"] = blob
         return out
 
     @classmethod
@@ -206,7 +328,7 @@ class SimulationResult:
 
         summary = blob.get("summary")
         if summary is not None:
-            summary = {
+            parsed = {
                 "slots": int(summary["slots"]),
                 "n": int(summary["n"]),
                 "rate_sum": np.asarray(summary["rate_sum"], dtype=float),
@@ -216,6 +338,14 @@ class SimulationResult:
                 "capacity_sum": np.asarray(summary["capacity_sum"], dtype=float),
                 "isolation_sum": np.asarray(summary["isolation_sum"], dtype=float),
             }
+            if "gain_sum" in summary:
+                parsed["gain_sum"] = np.asarray(summary["gain_sum"], dtype=float)
+                parsed["window_rate_sum"] = np.asarray(
+                    summary["window_rate_sum"], dtype=float
+                )
+                parsed["window_slots"] = int(summary["window_slots"])
+                parsed["jain"] = [float(v) for v in summary["jain"]]
+            summary = parsed
         return cls(
             rates=arr("rates", float),
             requesting=arr("requesting", bool),

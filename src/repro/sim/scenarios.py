@@ -39,6 +39,7 @@ __all__ = [
     "million_peer_smoke",
     "repair_under_churn",
     "sparse_population",
+    "sparse_population_churn",
     "sparse_population_sim",
     "FIG5A_CAPACITIES",
     "FIG5B_CAPACITIES",
@@ -478,6 +479,8 @@ def sparse_population_sim(
     kbps: float = 1024.0,
     seed: int = 0,
     engine: str = "auto",
+    workers: int | None = None,
+    evict_age: int | None = None,
 ) -> Simulation:
     """Cohort-structured population for the 10^5-10^6-peer scale runs.
 
@@ -521,7 +524,9 @@ def sparse_population_sim(
         PeerConfig(capacity=idle_cap, demand=cohort_demand[(i - givers) % cohorts])
         for i in range(givers, n)
     ]
-    return Simulation(configs, seed=seed, engine=engine)
+    return Simulation(
+        configs, seed=seed, engine=engine, workers=workers, evict_age=evict_age
+    )
 
 
 def sparse_population(
@@ -532,6 +537,7 @@ def sparse_population(
     kbps: float = 1024.0,
     seed: int = 0,
     engine: str = "auto",
+    workers: int | None = None,
     history: str | None = "none",
 ) -> SimulationResult:
     """Run :func:`sparse_population_sim` for ``slots`` slots.
@@ -548,8 +554,90 @@ def sparse_population(
         kbps=kbps,
         seed=seed,
         engine=engine,
+        workers=workers,
     )
-    return sim.run(slots, history=history)
+    with sim:
+        return sim.run(slots, history=history)
+
+
+def sparse_population_churn(
+    n: int = 100_000,
+    cohorts: int = 64,
+    givers_per_phase: int = 16,
+    phases: int = 4,
+    phase_slots: int = 32,
+    kbps: float = 1024.0,
+    seed: int = 0,
+    engine: str = "auto",
+    workers: int | None = None,
+    evict_age: int | None = None,
+) -> Simulation:
+    """Giver churn at scale: contributor generations that join and leave.
+
+    ``phases`` successive generations of ``givers_per_phase`` dedicated
+    contributors each upload only during their own ``phase_slots``-slot
+    phase (a :class:`~repro.sim.capacity.StepCapacity` window) and are
+    silent forever after — departed peers.  Consumers rotate through
+    ``cohorts`` exactly as in :func:`sparse_population_sim`, so every
+    generation writes a fresh set of explicit ledger entries into each
+    consumer row it serves and then never touches them again.
+
+    Without eviction those dead entries accumulate (~``phases *
+    givers_per_phase`` per consumer row); with ``evict_age`` set the
+    sweep drops entries unwritten for that many feedback flushes and
+    per-peer ledger bytes stay bounded by the *live* giver set — the
+    property the churn benchmark asserts.  Because departed givers
+    never request, the swept entries are never read again and this
+    scenario's results are unchanged by eviction; it stays opt-in
+    because that is not true in general (a peer whose row is swept
+    while idle and then uploads reweights its requesters).
+    """
+    if n < 2:
+        raise ValueError(f"a sparse population needs >= 2 peers, got {n}")
+    if phases < 1 or givers_per_phase < 1:
+        raise ValueError(
+            f"need >= 1 phase of >= 1 giver, got {phases} x {givers_per_phase}"
+        )
+    if phase_slots < 1:
+        raise ValueError(f"phase_slots must be positive, got {phase_slots}")
+    total_givers = phases * givers_per_phase
+    if total_givers >= n:
+        raise ValueError(
+            f"{total_givers} givers leave no consumers in a {n}-peer network"
+        )
+    if cohorts < 1:
+        raise ValueError(f"cohorts must be positive, got {cohorts}")
+    slots = phases * phase_slots
+    never = NeverRequests()
+    idle_cap = ConstantCapacity(0.0)
+    # StepCapacity yields 0.0 before its first step, so generation g
+    # simply steps up at its phase start and back down at its phase end.
+    phase_caps = [
+        StepCapacity([(g * phase_slots, kbps), ((g + 1) * phase_slots, 0.0)])
+        for g in range(phases)
+    ]
+    configs = [
+        PeerConfig(
+            capacity=phase_caps[i // givers_per_phase],
+            demand=never,
+            label=f"Giver {i} (gen {i // givers_per_phase})",
+        )
+        for i in range(total_givers)
+    ]
+    cohort_demand = [
+        ScheduleDemand([(t, t + 1) for t in range(c, slots, cohorts)])
+        for c in range(cohorts)
+    ]
+    configs += [
+        PeerConfig(
+            capacity=idle_cap,
+            demand=cohort_demand[(i - total_givers) % cohorts],
+        )
+        for i in range(total_givers, n)
+    ]
+    return Simulation(
+        configs, seed=seed, engine=engine, workers=workers, evict_age=evict_age
+    )
 
 
 def million_peer_smoke(
@@ -559,38 +647,56 @@ def million_peer_smoke(
     givers: int = 8,
     seed: int = 0,
     memory_cap_bytes: int = 2 << 30,
+    engine: str = "sparse",
+    workers: int | None = None,
 ) -> dict:
     """Million-peer smoke: build, step and account a 10^6-peer network.
 
-    Uses the sparse engine explicitly (the auto heuristic would pick it
-    anyway at this size) with ``history="none"``.  The return dict
-    reports the engine's own state accounting
+    Uses the sparse engine by default (the auto heuristic would pick a
+    large-``n`` engine anyway at this size) with ``history="none"``;
+    pass ``engine="procs"`` (and optionally ``workers``) to smoke the
+    process-sharded engine instead.  The return dict reports the
+    engine's own state accounting
     (:meth:`~repro.sim.engine.Simulation.memory_bytes`, bytes/peer) and
-    the process peak RSS against ``memory_cap_bytes`` — the documented
-    cap in EXPERIMENTS.md.  ``within_cap`` is the smoke verdict.
+    the peak RSS — parent plus, under procs, the reaped worker
+    children — against ``memory_cap_bytes`` — the documented cap in
+    EXPERIMENTS.md.  ``within_cap`` is the smoke verdict.
     """
     import resource
 
     sim = sparse_population_sim(
-        n=n, cohorts=cohorts, givers=givers, slots=slots, seed=seed, engine="sparse"
+        n=n,
+        cohorts=cohorts,
+        givers=givers,
+        slots=slots,
+        seed=seed,
+        engine=engine,
+        workers=workers,
     )
-    result = sim.run(slots, history="none")
-    state_bytes = sim.memory_bytes()
+    with sim:
+        result = sim.run(slots, history="none")
+        state_bytes = sim.memory_bytes()
+        backend = sim.backend
+        sim_workers = sim._workers
     # ru_maxrss is KiB on Linux; the whole-process peak, so it bounds
-    # (conservatively) what the scenario itself needed.
+    # (conservatively) what the scenario itself needed.  Workers are
+    # reaped by the `with` close above, so RUSAGE_CHILDREN covers the
+    # procs engine's shards (max over children, not a sum).
     peak_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    child_rss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * 1024
     return {
         "n": n,
         "slots": slots,
         "cohorts": cohorts,
         "givers": givers,
         "seed": seed,
-        "backend": sim.backend,
+        "backend": backend,
+        "workers": int(sim_workers),
         "state_bytes": int(state_bytes),
         "bytes_per_peer": state_bytes / n,
-        "peak_rss_bytes": int(peak_rss),
+        "peak_rss_bytes": int(max(peak_rss, child_rss)),
         "memory_cap_bytes": int(memory_cap_bytes),
-        "within_cap": bool(peak_rss <= memory_cap_bytes),
+        "within_cap": bool(max(peak_rss, child_rss) <= memory_cap_bytes),
         "rate_sum_total": float(result.summary["rate_sum"].sum()),
         "request_slots": int(result.summary["request_count"].sum()),
         "capacity_sum_total": float(result.summary["capacity_sum"].sum()),

@@ -1,0 +1,139 @@
+"""Message types and shared slot vectors for the process-sharded engine.
+
+This module is the **designated message layer** between the procs
+coordinator and its shard workers.  Exactly two things cross the
+process boundary:
+
+* the four O(n) per-slot vectors — request indicators, realised
+  capacities, declared capacities and the compact rate vector — living
+  in one :class:`multiprocessing.shared_memory.SharedMemory` segment
+  wrapped by :class:`SlotVectors`, and
+* pickled messages over per-worker pipes: phase commands and
+  :class:`CreditBatch` credit-delta batches (giver ids, taker ids and
+  the compact amount block for one shard's receivers).
+
+Every ``SharedMemory`` handle and every ``.buf`` view in the simulator
+lives in this file; the ``sim-shared-state`` lint rule flags either
+anywhere else under ``repro.sim`` so cross-shard state can only travel
+through these explicit channels.
+
+Layout of the shared segment (float64 slabs first so everything stays
+8-byte aligned)::
+
+    [0,   8n)  capacities   float64[n]   written by workers (own slice)
+    [8n, 16n)  declared     float64[n]   written by workers (own slice)
+    [16n,24n)  rates        float64[n]   written by the coordinator
+                                         (compact: first |R| cells)
+    [24n,25n)  requesting   bool[n]      written by workers (own slice)
+
+Workers only ever write their shard's slice of the worker-owned
+vectors and only read the coordinator-owned one, so no cell has two
+writers within a phase and the pipe round-trips are the barriers.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ShardSpec", "CreditBatch", "SlotVectors", "dump_configs", "load_configs"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to build its shard.
+
+    ``lo``/``hi`` bound the contiguous global peer ids this shard owns;
+    ``configs_blob`` is the pickled ``PeerConfig`` slice (pickling gives
+    each worker private copies of stateful allocator/demand objects).
+    ``needs_declared`` is a *global* property — if any shard anywhere
+    has Equation (3) or slow rows, every shard must publish its declared
+    slice each slot.
+    """
+
+    lo: int
+    hi: int
+    n: int
+    seed: int
+    initial_credit: float
+    slot_seconds: float
+    feedback_interval: int
+    evict_age: int | None
+    needs_declared: bool
+    configs_blob: bytes
+
+
+@dataclass
+class CreditBatch:
+    """One slot's cross-shard credit deltas for one receiving shard.
+
+    Ledger row ``takers[a]`` (global receiver ids owned by the shard,
+    sorted) gains ``amounts[r, a] * weight`` at column ``givers[r]``
+    (global, sorted) — ``amounts`` is the receiving shard's contiguous
+    column block of the slot's compact allocation matrix ``M``, so the
+    owning worker replays exactly the scatter the single-process loop
+    would have performed for those rows.
+    """
+
+    givers: np.ndarray
+    takers: np.ndarray
+    amounts: np.ndarray
+    weight: float
+
+
+def dump_configs(configs) -> bytes:
+    """Pickle a ``PeerConfig`` slice for a :class:`ShardSpec`."""
+    return pickle.dumps(list(configs), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_configs(blob: bytes) -> list:
+    """Inverse of :func:`dump_configs` (runs inside the worker)."""
+    return pickle.loads(blob)
+
+
+class SlotVectors:
+    """The four O(n) per-slot vectors shared between the processes."""
+
+    #: Segment bytes per peer (three float64 vectors + one bool).
+    BYTES_PER_PEER = 25
+
+    def __init__(self, n: int, name: str | None = None):
+        self.n = int(n)
+        size = self.BYTES_PER_PEER * self.n
+        if name is None:
+            self._shm = shared_memory.SharedMemory(create=True, size=size)
+            self._owner = True
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+        buf = self._shm.buf
+        n = self.n
+        self.capacities = np.ndarray((n,), dtype=np.float64, buffer=buf)
+        self.declared = np.ndarray((n,), dtype=np.float64, buffer=buf, offset=8 * n)
+        self.rates = np.ndarray((n,), dtype=np.float64, buffer=buf, offset=16 * n)
+        self.requesting = np.ndarray((n,), dtype=bool, buffer=buf, offset=24 * n)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self.BYTES_PER_PEER * self.n
+
+    def close(self) -> None:
+        """Drop the array views and the mapping; the creating process
+        also unlinks the segment.  Idempotent."""
+        if self._shm is None:
+            return
+        self.capacities = self.declared = self.rates = self.requesting = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm = None

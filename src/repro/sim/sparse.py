@@ -50,11 +50,23 @@ class SparseLedgers:
     Parameters
     ----------
     n:
-        Number of peers.
+        Number of peers (the column span of every row).
     initial:
         Initial credit (the background value of every row).
     forgetting:
-        ``(n,)`` per-row forgetting factors in ``(0, 1]``.
+        ``(rows,)`` per-row forgetting factors in ``(0, 1]``.
+    rows:
+        Number of rows this store owns.  Defaults to ``n``; a
+        shard-local store (the procs engine) owns a contiguous row
+        slice while its columns still span the whole population, so
+        row indices are *local* and column/partner indices *global*.
+    evict_age:
+        Optional entry time-to-live in epochs.  When set, every
+        explicit entry records the epoch it was last written; entries
+        untouched for more than ``evict_age`` flushes are dropped on a
+        sweep (the cell reverts to the background), bounding memory
+        under giver churn.  Eviction intentionally *breaks* the dense
+        bit-identity contract — it is opt-in and off by default.
 
     Alongside the Python-dict row storage, the store maintains flat
     metadata arrays (:attr:`nnz`, :attr:`idx_addr`, :attr:`val_addr`,
@@ -64,23 +76,38 @@ class SparseLedgers:
     peers keep a real dense ledger vector, eagerly decayed).
     """
 
-    def __init__(self, n: int, initial: float, forgetting: np.ndarray):
+    def __init__(
+        self,
+        n: int,
+        initial: float,
+        forgetting: np.ndarray,
+        rows: int | None = None,
+        evict_age: int | None = None,
+    ):
         self.n = int(n)
-        self.background = np.full(self.n, float(initial))
+        self.rows = self.n if rows is None else int(rows)
+        if evict_age is not None and evict_age < 1:
+            raise ValueError(f"evict_age must be >= 1 epoch, got {evict_age}")
+        self.evict_age = evict_age
+        self.background = np.full(self.rows, float(initial))
         self.forgetting = np.ascontiguousarray(forgetting, dtype=np.float64)
         #: Feedback flushes seen so far (the decay clock).
         self.epoch = 0
         #: Last epoch each sparse row's explicit values were decayed to.
-        self.stamps = np.zeros(self.n, dtype=np.int64)
+        self.stamps = np.zeros(self.rows, dtype=np.int64)
         #: Explicit entries per row; -1 flags a dense island row.
-        self.nnz = np.zeros(self.n, dtype=np.int64)
+        self.nnz = np.zeros(self.rows, dtype=np.int64)
         #: Base addresses of each row's int64 index / float64 value
         #: arrays (0 when the row has none) — the native kernels' view.
-        self.idx_addr = np.zeros(self.n, dtype=np.int64)
-        self.val_addr = np.zeros(self.n, dtype=np.int64)
+        self.idx_addr = np.zeros(self.rows, dtype=np.int64)
+        self.val_addr = np.zeros(self.rows, dtype=np.int64)
         self._idx: dict[int, np.ndarray] = {}
         self._val: dict[int, np.ndarray] = {}
         self._dense: dict[int, np.ndarray] = {}
+        #: Per-entry last-write epochs (eviction mode only).
+        self._wstamp: dict[int, np.ndarray] = {}
+        #: Entries dropped by eviction sweeps so far.
+        self.evicted = 0
         self._any_forgetting = bool((self.forgetting < 1.0).any())
 
     # -- row lifecycle -------------------------------------------------
@@ -103,14 +130,44 @@ class SparseLedgers:
         """One feedback flush: decay backgrounds and dense islands now,
         stamp the clock so sparse rows catch up lazily."""
         self.epoch += 1
-        if not self._any_forgetting:
-            return
-        # forgetting == 1.0 rows multiply by exactly 1.0 — bitwise no-op.
-        self.background *= self.forgetting
-        for i, row in self._dense.items():
-            f = self.forgetting[i]
-            if f < 1.0:
-                row *= f
+        if self._any_forgetting:
+            # forgetting == 1.0 rows multiply by exactly 1.0 — bitwise
+            # no-op.
+            self.background *= self.forgetting
+            for i, row in self._dense.items():
+                f = self.forgetting[i]
+                if f < 1.0:
+                    row *= f
+        if self.evict_age is not None and self.epoch % self.evict_age == 0:
+            self._evict_stale()
+
+    def _evict_stale(self) -> None:
+        """Drop explicit entries not written for > ``evict_age`` epochs.
+
+        Evicted cells revert to the row background.  Remaining entries
+        keep their lazy-decay stamps (values are not caught up here), so
+        later reads decay them exactly as before the sweep.  Runs every
+        ``evict_age``-th flush, amortising the O(entries) scan.
+        """
+        cutoff = self.epoch - self.evict_age
+        for i in list(self._wstamp):
+            ws = self._wstamp[i]
+            keep = ws >= cutoff
+            if keep.all():
+                continue
+            self.evicted += int(ws.size - int(keep.sum()))
+            if not keep.any():
+                del self._idx[i], self._val[i], self._wstamp[i]
+                self.nnz[i] = 0
+                self.idx_addr[i] = 0
+                self.val_addr[i] = 0
+                continue
+            self._publish(
+                i,
+                np.ascontiguousarray(self._idx[i][keep]),
+                np.ascontiguousarray(self._val[i][keep]),
+            )
+            self._wstamp[i] = np.ascontiguousarray(ws[keep])
 
     def catch_up(self, i: int) -> None:
         """Apply any missed flush decays to row ``i``'s explicit values.
@@ -150,8 +207,8 @@ class SparseLedgers:
         return self.nnz[i] != 0
 
     def materialize(self) -> np.ndarray:
-        """Dense ``(n, n)`` snapshot (tests / small-n interop only)."""
-        out = np.empty((self.n, self.n))  # repro: allow[sim-dense-alloc]
+        """Dense ``(rows, n)`` snapshot (tests / small-n interop only)."""
+        out = np.empty((self.rows, self.n))  # repro: allow[sim-dense-alloc]
         out[:] = self.background[:, None]
         for i, idx in self._idx.items():
             self.catch_up(i)
@@ -186,6 +243,9 @@ class SparseLedgers:
         if idx is None:
             self.stamps[i] = self.epoch
             self._publish(i, add_idx.copy(), self.background[i] + add_val)
+            if self.evict_age is not None:
+                self._wstamp[i] = np.full(add_idx.size, self.epoch,
+                                          dtype=np.int64)
             return
         self.catch_up(i)
         val = self._val[i]
@@ -195,14 +255,65 @@ class SparseLedgers:
         hit[inb] = idx[pos[inb]] == add_idx[inb]
         if hit.all():
             val[pos] += add_val
+            if self.evict_age is not None:
+                self._wstamp[i][pos] = self.epoch
             return
         miss = ~hit
         val[pos[hit]] += add_val[hit]
         new_idx = np.concatenate([idx, add_idx[miss]])
         new_val = np.concatenate([val, self.background[i] + add_val[miss]])
         order = np.argsort(new_idx, kind="stable")
+        if self.evict_age is not None:
+            ws = self._wstamp[i]
+            ws[pos[hit]] = self.epoch
+            new_ws = np.concatenate(
+                [ws, np.full(int(miss.sum()), self.epoch, dtype=np.int64)]
+            )
+            self._wstamp[i] = np.ascontiguousarray(new_ws[order])
         self._publish(i, np.ascontiguousarray(new_idx[order]),
                       np.ascontiguousarray(new_val[order]))
+
+    def bulk_insert(
+        self, rows: np.ndarray, add_idx: np.ndarray, add_val: np.ndarray
+    ) -> None:
+        """Vectorised first-write: ``add_compact(rows[m], add_idx,
+        add_val[m])`` for rows with **no explicit entries yet**.
+
+        The cold-start scatter (a fresh cohort of receivers meeting the
+        active givers) dominates large-n slots when done row by row;
+        this path computes every row's entry values in one vectorised
+        ``background + add`` (element-wise the identical single rounded
+        add), publishes the kernel pointer tables with one arithmetic
+        sweep, and shares a single sorted index array across the batch
+        (index arrays are never mutated in place, so sharing is safe —
+        each row's *values* get their own slice of the 2D block).
+
+        Callers must guarantee ``nnz[rows] == 0`` for every row.
+        """
+        if not rows.size:
+            return
+        k = rows.size
+        nact = add_idx.size
+        idx = np.ascontiguousarray(add_idx, dtype=np.int64)
+        vals = self.background[rows][:, None] + add_val
+        self.stamps[rows] = self.epoch
+        self.nnz[rows] = nact
+        self.idx_addr[rows] = idx.ctypes.data
+        self.val_addr[rows] = vals.ctypes.data + np.arange(
+            k, dtype=np.int64
+        ) * (nact * 8)
+        _idx, _val = self._idx, self._val
+        if self.evict_age is not None:
+            stamp_block = np.full((k, nact), self.epoch, dtype=np.int64)
+            _ws = self._wstamp
+            for m, i in enumerate(rows.tolist()):
+                _idx[i] = idx
+                _val[i] = vals[m]
+                _ws[i] = stamp_block[m]
+        else:
+            for m, i in enumerate(rows.tolist()):
+                _idx[i] = idx
+                _val[i] = vals[m]
 
     # -- accounting ----------------------------------------------------
 
@@ -222,6 +333,7 @@ class SparseLedgers:
         rows = sum(a.nbytes for a in self._idx.values())
         rows += sum(a.nbytes for a in self._val.values())
         rows += sum(a.nbytes for a in self._dense.values())
+        rows += sum(a.nbytes for a in self._wstamp.values())
         return int(fixed + rows)
 
 

@@ -1,0 +1,15 @@
+"""Planted sim-shared-state violations (line numbers are pinned)."""
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak_segment(n):
+    shm = shared_memory.SharedMemory(create=True, size=n)  # line 7
+    other = SharedMemory(name="repro-sim")  # line 8
+    view = shm.buf  # line 9
+    return other, view
+
+
+def allowed_segment(n):
+    shm = SharedMemory(create=True, size=n)  # repro: allow[sim-shared-state]
+    return shm.buf  # repro: allow[sim-shared-state]

@@ -213,10 +213,15 @@ def test_history_modes_consistent(engine):
 def test_reduced_history_raises_and_roundtrips():
     sim = Simulation(_history_configs(), seed=4)
     none = sim.run(15, history="none")
+    full = Simulation(_history_configs(), seed=4).run(15)
     with pytest.raises(ValueError, match="reduced history"):
         none.smoothed_rates()
-    with pytest.raises(ValueError, match="reduced history"):
-        none.gains_over_isolation()
+    # The streaming summary serves the gains and the final window
+    # bit-for-bit; any *other* window still needs per-slot history.
+    assert (
+        none.gains_over_isolation().tobytes()
+        == full.gains_over_isolation().tobytes()
+    )
     with pytest.raises(ValueError, match="reduced history"):
         none.window_mean_rates(0, 5)
 
@@ -226,6 +231,21 @@ def test_reduced_history_raises_and_roundtrips():
     back = SimulationResult.from_dict(none.to_dict())
     assert back.rates is None
     assert back.summary["rate_sum"].tobytes() == none.summary["rate_sum"].tobytes()
+    assert (
+        back.gains_over_isolation().tobytes()
+        == none.gains_over_isolation().tobytes()
+    )
+
+    # A summary in the pre-streaming format (no gain record) still
+    # raises the reduced-history error rather than mis-reporting.
+    blob = none.to_dict()
+    for key in ("gain_sum", "window_rate_sum", "window_slots", "jain"):
+        blob["summary"].pop(key, None)
+    old = SimulationResult.from_dict(blob)
+    with pytest.raises(ValueError, match="reduced history"):
+        old.gains_over_isolation()
+    with pytest.raises(ValueError, match="reduced history"):
+        old.window_mean_rates(10, 15)
 
     with pytest.raises(ValueError, match="record_allocations"):
         Simulation(_history_configs(), seed=4).run(
@@ -336,3 +356,94 @@ def test_network_engine_plumbing():
 
     net = FileSharingNetwork([256.0, 512.0], seed=1, engine="sparse")
     assert net._sim.backend.startswith("sparse")
+
+
+# -- row eviction under churn (PR 9) ----------------------------------------
+
+
+def test_evict_age_drops_stale_entries_and_counts_them():
+    """Entries unwritten for ``evict_age`` flushes go back to background."""
+    from repro.sim import sparse_population_churn
+
+    kwargs = dict(n=200, cohorts=8, givers_per_phase=4, phases=3,
+                  phase_slots=8, seed=1, engine="sparse")
+    plain = sparse_population_churn(**kwargs)
+    plain.run(24, history="none")
+    evicting = sparse_population_churn(evict_age=4, **kwargs)
+    evicting.run(24, history="none")
+    assert plain._ledgers.evicted == 0
+    assert evicting._ledgers.evicted > 0
+    assert evicting._ledgers.entries < plain._ledgers.entries
+    # Eviction keeps explicit entries bounded by the *live* givers:
+    # fewer than two generations' worth per consumer row on average.
+    consumers = 200 - 3 * 4
+    assert evicting._ledgers.entries < consumers * 2 * 4
+
+
+def test_churn_eviction_is_result_neutral():
+    """Departed givers never request, so sweeping the dead entries they
+    left in consumer rows cannot change any later allocation — the
+    churn scenario buys bounded memory at unchanged output."""
+    from repro.sim import sparse_population_churn
+
+    kwargs = dict(n=60, cohorts=4, givers_per_phase=3, phases=2,
+                  phase_slots=10, seed=2, engine="sparse")
+    plain = sparse_population_churn(**kwargs).run(20, history="none")
+    evicting = sparse_population_churn(evict_age=2, **kwargs).run(
+        20, history="none"
+    )
+    assert (
+        plain.summary["rate_sum"].tobytes()
+        == evicting.summary["rate_sum"].tobytes()
+    )
+
+
+def test_eviction_changes_results_when_a_swept_row_uploads():
+    """Eviction is opt-in because it is *not* neutral in general: a peer
+    that earned entries while downloading, idled past the age, and then
+    uploads weights its requesters by the background again."""
+
+    def configs():
+        return [
+            PeerConfig(capacity=StepCapacity([(0, 0.0), (15, 500.0)]),
+                       demand=ScheduleDemand([(0, 6)])),
+            PeerConfig(capacity=300.0, demand=AlwaysOn()),
+            PeerConfig(capacity=0.0, demand=AlwaysOn()),
+        ]
+
+    plain = Simulation(configs(), seed=0, engine="sparse").run(30)
+    evicting = Simulation(
+        configs(), seed=0, engine="sparse", evict_age=4
+    ).run(30)
+    assert plain.rates.tobytes() != evicting.rates.tobytes()
+
+
+def test_eviction_procs_matches_sparse_bitwise():
+    """Sharded eviction sweeps in the same epochs as the local store."""
+    from repro.sim import sparse_population_churn
+
+    kwargs = dict(n=120, cohorts=6, givers_per_phase=3, phases=2,
+                  phase_slots=8, seed=5, evict_age=3)
+    sparse = sparse_population_churn(engine="sparse", **kwargs).run(
+        16, history="none"
+    )
+    with sparse_population_churn(engine="procs", workers=3, **kwargs) as sim:
+        procs = sim.run(16, history="none")
+    for key in sparse.summary:
+        assert (
+            np.asarray(sparse.summary[key]).tobytes()
+            == np.asarray(procs.summary[key]).tobytes()
+        ), key
+
+
+def test_churn_scenario_validation():
+    from repro.sim import sparse_population_churn
+
+    with pytest.raises(ValueError):
+        sparse_population_churn(n=1)
+    with pytest.raises(ValueError):
+        sparse_population_churn(n=10, phases=3, givers_per_phase=4)
+    with pytest.raises(ValueError):
+        sparse_population_churn(n=10, phase_slots=0)
+    with pytest.raises(ValueError):
+        sparse_population_churn(n=10, cohorts=0)
