@@ -1226,16 +1226,44 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"{'':<{width}}  {rule.rationale}")
         return 0
 
-    paths = args.paths or [p for p in _LINT_DEFAULT_PATHS if os.path.isdir(p)]
-    if not paths:
-        print("repro lint: no paths given and none of "
-              f"{'/'.join(_LINT_DEFAULT_PATHS)} exist here", file=sys.stderr)
-        return 2
+    flow = args.flow
+    if args.explain and not flow:
+        flow = True  # --explain is about flow findings' taint paths
     try:
-        report = run_lint(paths, rule_ids=args.rule or None)
+        if args.changed is not None:
+            from .lint.engine import changed_files
+
+            paths = changed_files(args.changed)
+            if not paths:
+                print("0 findings in 0 file(s) (no python files changed "
+                      f"vs {args.changed})")
+                return 0
+        else:
+            paths = args.paths or [
+                p for p in _LINT_DEFAULT_PATHS if os.path.isdir(p)
+            ]
+            if not paths:
+                print("repro lint: no paths given and none of "
+                      f"{'/'.join(_LINT_DEFAULT_PATHS)} exist here",
+                      file=sys.stderr)
+                return 2
+        report = run_lint(
+            paths,
+            rule_ids=args.rule or None,
+            flow=flow,
+            cache_dir=args.cache_dir,
+        )
     except LintError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+    if args.explain:
+        explained = [f for f in report.findings if f.rule == args.explain]
+        for f in explained:
+            print(f.format_trace())
+        noun = "finding" if len(explained) == 1 else "findings"
+        print(f"{len(explained)} {args.explain} {noun} "
+              f"in {report.files_checked} file(s)")
+        return 1 if explained else 0
     if args.format == "json":
         print(report.to_json())
     else:
@@ -1470,6 +1498,31 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print every rule id, its scope and rationale, then exit",
+    )
+    lint.add_argument(
+        "--flow", action="store_true", default=False,
+        help="also run the whole-project flow rules (taint tracking, "
+        "writer discipline) over the call graph",
+    )
+    lint.add_argument(
+        "--no-flow", dest="flow", action="store_false",
+        help="disable the flow rules (the default; pairs with --flow in "
+        "scripts)",
+    )
+    lint.add_argument(
+        "--explain", metavar="RULE-ID",
+        help="print each finding of RULE-ID with its taint path, "
+        "file:line by file:line (implies --flow)",
+    )
+    lint.add_argument(
+        "--changed", metavar="REF",
+        help="lint only python files changed vs the given git ref "
+        "(the call graph still covers the whole project)",
+    )
+    lint.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="directory for the serialized call-graph cache "
+        "(digest-validated; CI caches it between runs)",
     )
     lint.set_defaults(func=cmd_lint)
 

@@ -1,0 +1,709 @@
+"""Flow-sensitive taint analysis over the project call graph.
+
+The abstract domain is deliberately small: each local name maps to a
+set of *taint labels*, and each label carries the first witness path
+(``file:line`` steps) that produced it — enough for ``repro lint
+--explain`` to print how a wall-clock read ended up in a ledger write.
+
+* **Intraprocedural**: a forward walk over each function body with
+  transfer functions for assignment (plain, augmented, annotated,
+  tuple-unpacking, attribute and subscript targets), branch joins
+  (``if``/``try`` arms are analysed on copies and merged) and a
+  two-pass loop approximation for ``for``/``while``.
+* **Interprocedural**: calls into project functions consult a memoised
+  :class:`Summary` of the callee — which parameters flow to the return
+  value, which labels the body generates internally, and which
+  parameters reach a sink inside the callee.  Summaries are computed
+  on demand with a bounded depth (:data:`MAX_DEPTH`) and a cycle guard
+  (a function currently being summarised contributes the empty
+  summary, which terminates recursion at the cost of precision).
+* Calls that resolve to nothing known conservatively propagate the
+  union of argument (and receiver) taints to their result — ``int(t)``
+  or ``np.asarray(t)`` keep a tainted value tainted.
+
+What a rule wants is described declaratively in a :class:`FlowSpec`
+(sources, sanitisers, sinks); the engine emits :class:`Hit` records
+with the full step-by-step path attached.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .callgraph import CallGraph, FunctionInfo, ModuleInfo, Resolver
+
+__all__ = ["FlowSpec", "Hit", "Matcher", "TaintEngine"]
+
+#: Bound on interprocedural summary recursion.
+MAX_DEPTH = 4
+
+#: Safety valve: stop reporting per function after this many hits.
+MAX_HITS_PER_FUNCTION = 20
+
+#: A taint path step: (file path, line, human note).
+Step = tuple[str, int, str]
+
+#: label -> first witness path.
+Taint = dict[str, tuple[Step, ...]]
+
+#: Synthetic label prefix marking "flows from parameter i".
+_PARAM = "@param:"
+
+
+def _merge(into: Taint, other: Taint) -> None:
+    for label, steps in other.items():
+        into.setdefault(label, steps)
+
+
+def _union(*taints: Taint) -> Taint:
+    out: Taint = {}
+    for t in taints:
+        _merge(out, t)
+    return out
+
+
+class Matcher:
+    """Match a resolved call target.
+
+    ``exact`` matches the canonical dotted name; ``suffix`` matches its
+    tail (``.KeyedStream`` hits any project spelling); ``prefix``
+    matches the head (``random.`` hits every stdlib-random draw);
+    ``attr`` matches the raw trailing attribute when resolution failed.
+    """
+
+    def __init__(
+        self,
+        exact: tuple[str, ...] = (),
+        suffix: tuple[str, ...] = (),
+        prefix: tuple[str, ...] = (),
+        attr: tuple[str, ...] = (),
+    ):
+        self.exact = frozenset(exact)
+        self.suffix = tuple(suffix)
+        self.prefix = tuple(prefix)
+        self.attr = frozenset(attr)
+
+    def matches(self, dotted: str | None, attr: str | None) -> bool:
+        if dotted is not None:
+            if dotted in self.exact:
+                return True
+            if any(dotted.endswith(s) for s in self.suffix):
+                return True
+            if any(dotted.startswith(p) for p in self.prefix):
+                return True
+        if attr is not None and attr in self.attr:
+            return True
+        return False
+
+
+@dataclass
+class FlowSpec:
+    """Everything one taint rule needs to configure the engine."""
+
+    #: Call targets that *produce* taint: (matcher, label, note).
+    call_sources: list[tuple[Matcher, str, str]] = field(default_factory=list)
+    #: Dotted value reads that produce taint (e.g. ``os.environ``).
+    name_sources: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: Parameter-name -> label seeds, keyed by a module-name predicate.
+    param_sources: list[tuple[str, str]] = field(default_factory=list)
+    #: Restrict param_sources to modules whose dotted name passes this.
+    param_source_modules: tuple[str, ...] = ()
+    #: Calls whose result is always clean (PRF boundaries etc.).
+    sanitizer_calls: Matcher | None = None
+    #: Attribute reads that strip every label (``keypair.public``).
+    clear_attrs: frozenset[str] = frozenset()
+    #: Sinks: tainted argument to a matching call.
+    sink_calls: list[tuple[Matcher, str]] = field(default_factory=list)
+    #: Sinks: argument bound to a project parameter with this name.
+    sink_param_names: dict[str, str] = field(default_factory=dict)
+    #: Sinks: store into a target whose name passes the predicate.
+    sink_store: tuple | None = None  #: (predicate(name) -> bool, message)
+    #: Sinks: value returned from a function with this name.
+    sink_return_funcs: dict[str, str] = field(default_factory=dict)
+    #: Labels the sinks care about (others flow but never report).
+    labels: frozenset[str] = frozenset()
+
+    def seed_params(self, func: FunctionInfo) -> dict[str, str]:
+        if self.param_source_modules and not any(
+            func.module.startswith(p) for p in self.param_source_modules
+        ):
+            return {}
+        seeds = {}
+        for pname, label in self.param_sources:
+            if pname in func.params:
+                seeds[pname] = label
+        return seeds
+
+
+@dataclass
+class Summary:
+    """What a callee does with its inputs, from the caller's viewpoint."""
+
+    ret: Taint = field(default_factory=dict)
+    #: Sink hits inside the callee keyed by the parameter that fed them:
+    #: param index -> list of (message, callee-side steps).
+    param_sinks: dict[int, list[tuple[str, tuple[Step, ...]]]] = field(
+        default_factory=dict
+    )
+
+
+@dataclass
+class Hit:
+    """One sink reached by one tainted value."""
+
+    path: str
+    line: int
+    col: int
+    message: str
+    label: str
+    steps: tuple[Step, ...]
+
+    def trace(self) -> tuple[str, ...]:
+        return tuple(f"{p}:{ln}: {note}" for p, ln, note in self.steps)
+
+
+class TaintEngine:
+    """Run one :class:`FlowSpec` over files of one project root."""
+
+    def __init__(self, graph: CallGraph, spec: FlowSpec, max_depth: int = MAX_DEPTH):
+        self.graph = graph
+        self.spec = spec
+        self.max_depth = max_depth
+        self._summaries: dict[str, Summary] = {}
+        self._in_progress: set[str] = set()
+        self._attr_envs: dict[str, dict[str, Taint]] = {}
+
+    # -- public entry points -------------------------------------------
+
+    def run_path(self, path: str | Path) -> list[Hit]:
+        """Analyse every function defined in one file, reporting hits."""
+        mod = self.graph.module_for_path(str(path))
+        if mod is None:
+            return []
+        hits: list[Hit] = []
+        for func in self.graph.functions_in(mod.name):
+            hits.extend(self.run_function(func))
+        return hits
+
+    def run_function(self, func: FunctionInfo) -> list[Hit]:
+        node = self.graph.function_def(func.qualname)
+        if node is None:
+            return []
+        env: dict[str, Taint] = {}
+        for pname, label in self.spec.seed_params(func).items():
+            env[pname] = {
+                label: ((func.path, node.lineno, f"parameter {pname!r} of "
+                         f"{func.name}() carries {label} material"),)
+            }
+        if func.cls is not None and func.name != "__init__":
+            for key, taint in self.attr_env(func.cls).items():
+                env.setdefault(key, dict(taint))
+        frame = _Frame(self, func, node, env, depth=self.max_depth, record=True)
+        frame.run()
+        # The two-pass loop approximation (and If joins) can visit a
+        # sink twice; keep the first witness per distinct report.
+        seen: set[tuple] = set()
+        out: list[Hit] = []
+        for hit in frame.hits:
+            key = (hit.line, hit.col, hit.message, hit.label)
+            if key not in seen:
+                seen.add(key)
+                out.append(hit)
+        return out
+
+    # -- class attribute taints ----------------------------------------
+
+    def attr_env(self, cls_qualname: str) -> dict[str, Taint]:
+        """Taints ``__init__`` leaves on ``self.<attr>`` spellings.
+
+        ``self.key = derive_key(...)`` in a constructor makes
+        ``self.key`` tainted in *every* method of the class; this is
+        the cross-method channel a per-function walk cannot see.
+        Memoised per class; a placeholder entry guards recursion when a
+        constructor calls its own methods.
+        """
+        if cls_qualname in self._attr_envs:
+            return self._attr_envs[cls_qualname]
+        self._attr_envs[cls_qualname] = {}
+        init_q = self.graph.method_on(cls_qualname, "__init__")
+        func = self.graph.functions.get(init_q) if init_q else None
+        node = self.graph.function_def(init_q) if func is not None else None
+        if func is None or node is None:
+            return {}
+        env: dict[str, Taint] = {}
+        for pname, label in self.spec.seed_params(func).items():
+            env[pname] = {
+                label: ((func.path, node.lineno, f"parameter {pname!r} of "
+                         f"{func.name}() carries {label} material"),)
+            }
+        frame = _Frame(self, func, node, env, depth=self.max_depth - 1,
+                       record=False)
+        frame.run()
+        seeds: dict[str, Taint] = {}
+        for key, taint in frame.env.items():
+            if not key.startswith("self."):
+                continue
+            kept = {
+                lab: steps
+                for lab, steps in taint.items()
+                if not lab.startswith(_PARAM) and lab in self.spec.labels
+            }
+            if kept:
+                seeds[key] = kept
+        self._attr_envs[cls_qualname] = seeds
+        return seeds
+
+    # -- summaries -----------------------------------------------------
+
+    def summary(self, qualname: str, depth: int) -> Summary:
+        if qualname in self._summaries:
+            return self._summaries[qualname]
+        if depth <= 0 or qualname in self._in_progress:
+            return Summary()
+        func = self.graph.functions.get(qualname)
+        node = self.graph.function_def(qualname) if func else None
+        if func is None or node is None:
+            return Summary()
+        self._in_progress.add(qualname)
+        try:
+            env: dict[str, Taint] = {}
+            for i, pname in enumerate(func.params):
+                env[pname] = {
+                    f"{_PARAM}{i}": (
+                        (func.path, node.lineno,
+                         f"enters {func.name}() as parameter {pname!r}"),
+                    )
+                }
+            for pname, label in self.spec.seed_params(func).items():
+                env.setdefault(pname, {})[label] = (
+                    (func.path, node.lineno, f"parameter {pname!r} of "
+                     f"{func.name}() carries {label} material"),
+                )
+            if func.cls is not None and func.name != "__init__":
+                for key, taint in self.attr_env(func.cls).items():
+                    env.setdefault(key, dict(taint))
+            frame = _Frame(self, func, node, env, depth=depth - 1, record=False)
+            frame.run()
+            summary = Summary(ret=frame.ret, param_sinks=frame.param_sinks)
+        finally:
+            self._in_progress.discard(qualname)
+        self._summaries[qualname] = summary
+        return summary
+
+
+class _Frame:
+    """One function body being interpreted."""
+
+    def __init__(self, engine, func, node, env, depth: int, record: bool):
+        self.engine = engine
+        self.graph: CallGraph = engine.graph
+        self.spec: FlowSpec = engine.spec
+        self.func: FunctionInfo = func
+        self.node = node
+        self.env: dict[str, Taint] = env
+        self.depth = depth
+        self.record = record
+        self.module: ModuleInfo = self.graph.modules[func.module]
+        self.resolver = Resolver(self.graph, self.module, self_class=func.cls)
+        self.local_types: dict[str, str] = {}
+        self.hits: list[Hit] = []
+        self.ret: Taint = {}
+        self.param_sinks: dict[int, list[tuple[str, tuple[Step, ...]]]] = {}
+
+    def run(self) -> None:
+        self.exec_block(self.node.body)
+
+    # -- sink plumbing -------------------------------------------------
+
+    def _report(self, node: ast.AST, message: str, label: str,
+                steps: tuple[Step, ...]) -> None:
+        if label.startswith(_PARAM):
+            # A parameter fed this sink: surface it to callers via the
+            # summary rather than reporting here.
+            idx = int(label[len(_PARAM):])
+            self.param_sinks.setdefault(idx, []).append((message, steps))
+            return
+        if not self.record or len(self.hits) >= MAX_HITS_PER_FUNCTION:
+            return
+        self.hits.append(
+            Hit(
+                path=self.func.path,
+                line=getattr(node, "lineno", self.node.lineno),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                label=label,
+                steps=steps,
+            )
+        )
+
+    def _check_sink(self, node: ast.AST, taint: Taint, message: str) -> None:
+        for label, steps in taint.items():
+            if label.startswith(_PARAM) or label in self.spec.labels:
+                sink_step: Step = (
+                    self.func.path,
+                    getattr(node, "lineno", self.node.lineno),
+                    message,
+                )
+                self._report(node, message, label, steps + (sink_step,))
+
+    # -- statements ----------------------------------------------------
+
+    def exec_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self.eval(stmt.value)
+            self._infer_type(stmt)
+            for tgt in stmt.targets:
+                self.assign(tgt, taint, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                taint = self.eval(stmt.value)
+                self.assign(stmt.target, taint, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = _union(self.eval(stmt.value), self._read_target(stmt.target))
+            self.assign(stmt.target, taint, stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taint = self.eval(stmt.value)
+                _merge(self.ret, taint)
+                for fname, message in self.spec.sink_return_funcs.items():
+                    if self.func.name == fname:
+                        self._check_sink(stmt, taint, message)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            before = {k: dict(v) for k, v in self.env.items()}
+            self.exec_block(stmt.body)
+            after_body = self.env
+            self.env = before
+            self.exec_block(stmt.orelse)
+            for name, taint in after_body.items():
+                self.env[name] = _union(self.env.get(name, {}), taint)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taint = self.eval(stmt.iter)
+            self.assign(stmt.target, iter_taint, stmt.iter)
+            # Two passes approximate loop-carried taint (a value
+            # tainted at the bottom of iteration 1 is visible at the
+            # top of iteration 2); joins make this monotone.
+            for _ in range(2):
+                self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            for _ in range(2):
+                self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, taint, item.context_expr)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+        elif isinstance(stmt, ast.Delete):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    self.env.pop(tgt.id, None)
+        # Nested defs/classes and imports contribute nothing here;
+        # nested functions are analysed when their own module runs.
+
+    def _infer_type(self, stmt: ast.Assign) -> None:
+        if isinstance(stmt.value, ast.Call):
+            cls = self.resolver.class_of_call(stmt.value, self.local_types)
+            if cls is not None:
+                for tgt in stmt.targets:
+                    if isinstance(tgt, ast.Name):
+                        self.local_types[tgt.id] = cls
+
+    def _read_target(self, tgt: ast.expr) -> Taint:
+        if isinstance(tgt, ast.Name):
+            return self.env.get(tgt.id, {})
+        key = _env_key(tgt)
+        if key is not None:
+            return self.env.get(key, {})
+        return {}
+
+    def assign(self, tgt: ast.expr, taint: Taint, value: ast.expr) -> None:
+        if isinstance(tgt, ast.Name):
+            self.env[tgt.id] = dict(taint)
+            return
+        if isinstance(tgt, (ast.Tuple, ast.List)):
+            for elt in tgt.elts:
+                self.assign(elt, taint, value)
+            return
+        if isinstance(tgt, ast.Starred):
+            self.assign(tgt.value, taint, value)
+            return
+        # Attribute / subscript target: record under a compound key so
+        # later reads of the same spelling see the taint, and check the
+        # store sink on the innermost attribute name.
+        inner = tgt
+        while isinstance(inner, ast.Subscript):
+            inner = inner.value
+        name = None
+        if isinstance(inner, ast.Attribute):
+            name = inner.attr
+        elif isinstance(inner, ast.Name):
+            name = inner.id
+        if name is not None and self.spec.sink_store is not None:
+            predicate, message = self.spec.sink_store
+            if predicate(name):
+                self._check_sink(tgt, taint, message.format(name=name))
+        key = _env_key(tgt)
+        if key is not None:
+            self.env[key] = _union(self.env.get(key, {}), taint)
+
+    # -- expressions ---------------------------------------------------
+
+    def eval(self, node: ast.expr) -> Taint:
+        if isinstance(node, ast.Constant):
+            return {}
+        if isinstance(node, ast.Name):
+            return dict(self.env.get(node.id, {}))
+        if isinstance(node, ast.Attribute):
+            dotted = self._canonical_dotted(node)
+            if dotted is not None and dotted in self.spec.name_sources:
+                label, note = self.spec.name_sources[dotted]
+                return {label: ((self.func.path, node.lineno, note),)}
+            key = _env_key(node)
+            if key is not None and key in self.env:
+                return dict(self.env[key])
+            taint = self.eval(node.value)
+            if node.attr in self.spec.clear_attrs:
+                return {}
+            return taint
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return _union(self.eval(node.left), self.eval(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            return _union(*[self.eval(v) for v in node.values])
+        if isinstance(node, ast.Compare):
+            return _union(self.eval(node.left),
+                          *[self.eval(c) for c in node.comparators])
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return _union(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.Subscript):
+            return _union(self.eval(node.value), self.eval(node.slice))
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return _union(*[self.eval(e) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            parts = [self.eval(k) for k in node.keys if k is not None]
+            parts += [self.eval(v) for v in node.values]
+            return _union(*parts)
+        if isinstance(node, ast.JoinedStr):
+            return _union(*[self.eval(v) for v in node.values])
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.eval(node.value)
+        if isinstance(node, ast.Yield):
+            return self.eval(node.value) if node.value else {}
+        if isinstance(node, ast.NamedExpr):
+            taint = self.eval(node.value)
+            self.assign(node.target, taint, node.value)
+            return taint
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node.generators, [node.elt])
+        if isinstance(node, ast.DictComp):
+            return self._eval_comprehension(
+                node.generators, [node.key, node.value]
+            )
+        if isinstance(node, ast.Slice):
+            parts = [self.eval(p) for p in (node.lower, node.upper, node.step) if p]
+            return _union(*parts)
+        if isinstance(node, ast.Lambda):
+            return {}
+        return {}
+
+    def _eval_comprehension(self, generators, elements) -> Taint:
+        for gen in generators:
+            taint = self.eval(gen.iter)
+            self.assign(gen.target, taint, gen.iter)
+            for cond in gen.ifs:
+                self.eval(cond)
+        return _union(*[self.eval(e) for e in elements])
+
+    def _canonical_dotted(self, node: ast.expr) -> str | None:
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        parts.append(cur.id)
+        dotted = ".".join(reversed(parts))
+        return self.resolver.canonical(dotted) or dotted
+
+    # -- calls ---------------------------------------------------------
+
+    def eval_call(self, node: ast.Call) -> Taint:
+        arg_taints: list[Taint] = [self.eval(a) for a in node.args]
+        kw_taints: dict[str, Taint] = {}
+        star_taint: Taint = {}
+        for kw in node.keywords:
+            t = self.eval(kw.value)
+            if kw.arg is None:
+                _merge(star_taint, t)
+            else:
+                kw_taints[kw.arg] = t
+        receiver: Taint = {}
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.eval(node.func.value)
+
+        dotted, project, attr = self.resolver.call_target(
+            node, self.local_types
+        )
+
+        # Sources first: a call that mints taint defines the result.
+        for matcher, label, note in self.spec.call_sources:
+            if matcher.matches(dotted, attr):
+                return {label: ((self.func.path, node.lineno, note),)}
+
+        # Sink: tainted argument to a matching callee.
+        all_args = _union(*arg_taints, *kw_taints.values(), star_taint)
+        for matcher, message in self.spec.sink_calls:
+            if matcher.matches(dotted, attr):
+                shown = dotted or attr or "call"
+                self._check_sink(node, all_args, message.format(callee=shown))
+
+        # Sink: argument bound to a watched parameter name.
+        if self.spec.sink_param_names:
+            self._check_param_name_sinks(
+                node, dotted, project, arg_taints, kw_taints
+            )
+
+        if self.spec.sanitizer_calls is not None and self.spec.sanitizer_calls.matches(
+            dotted, attr
+        ):
+            return {}
+
+        if project is not None:
+            return self._through_project_call(
+                node, dotted, project, arg_taints, kw_taints, receiver
+            )
+
+        # Unknown callee: conservatively pass taint through.
+        return _union(all_args, receiver)
+
+    def _bind_args(
+        self, callee: FunctionInfo, arg_taints, kw_taints
+    ) -> dict[int, Taint]:
+        bound: dict[int, Taint] = {}
+        for i, taint in enumerate(arg_taints):
+            if i < len(callee.params) and taint:
+                bound[i] = taint
+        for name, taint in kw_taints.items():
+            if taint and name in callee.params:
+                bound[callee.params.index(name)] = _union(
+                    bound.get(callee.params.index(name), {}), taint
+                )
+        return bound
+
+    def _check_param_name_sinks(
+        self, node, dotted, project, arg_taints, kw_taints
+    ) -> None:
+        watched = self.spec.sink_param_names
+        # Keyword spelling works with or without resolution.
+        for kw in node.keywords:
+            if kw.arg in watched:
+                taint = kw_taints.get(kw.arg, {})
+                self._check_sink(
+                    node, taint,
+                    watched[kw.arg].format(param=kw.arg, callee=dotted or "call"),
+                )
+        if project is None:
+            return
+        callee = self.graph.functions.get(project)
+        if callee is None:
+            return
+        for i, taint in enumerate(arg_taints):
+            if i < len(callee.params) and callee.params[i] in watched and taint:
+                pname = callee.params[i]
+                self._check_sink(
+                    node, taint,
+                    watched[pname].format(param=pname, callee=dotted or project),
+                )
+
+    def _through_project_call(
+        self, node, dotted, project, arg_taints, kw_taints, receiver
+    ) -> Taint:
+        callee = self.graph.functions.get(project)
+        if callee is None:
+            return _union(*arg_taints, *kw_taints.values(), receiver)
+        summary = self.engine.summary(project, self.depth)
+        bound = self._bind_args(callee, arg_taints, kw_taints)
+        call_step: Step = (
+            self.func.path, node.lineno,
+            f"passed into {callee.name}()",
+        )
+        # Parameter-fed sinks inside the callee become reports here,
+        # where the tainted value enters the call chain.
+        for idx, sinks in summary.param_sinks.items():
+            taint = bound.get(idx)
+            if not taint:
+                continue
+            for message, callee_steps in sinks:
+                for label, steps in taint.items():
+                    if label.startswith(_PARAM):
+                        self._report(
+                            node, message, label,
+                            steps + (call_step,) + callee_steps,
+                        )
+                    elif label in self.spec.labels:
+                        self._report(
+                            node, message, label,
+                            steps + (call_step,) + callee_steps,
+                        )
+        # Return taint: labels minted inside, plus arguments that flow
+        # through to the return value.
+        out: Taint = {}
+        ret_step: Step = (
+            self.func.path, node.lineno, f"returned from {callee.name}()"
+        )
+        for label, steps in summary.ret.items():
+            if label.startswith(_PARAM):
+                idx = int(label[len(_PARAM):])
+                for alabel, asteps in bound.get(idx, {}).items():
+                    out.setdefault(alabel, asteps + (ret_step,))
+            else:
+                out.setdefault(label, steps + (ret_step,))
+        # The receiver's taint survives method calls on it.
+        _merge(out, receiver)
+        return out
+
+
+def _env_key(node: ast.expr) -> str | None:
+    """Stable key for attribute/subscript spellings (``self.x`` etc.)."""
+    if isinstance(node, ast.Subscript):
+        return _env_key(node.value)
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None

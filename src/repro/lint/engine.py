@@ -33,10 +33,12 @@ from .registry import RULES, Rule, register_meta
 
 __all__ = [
     "FileContext",
+    "FlowContext",
     "LintError",
     "LintReport",
     "ProjectContext",
     "collect_files",
+    "resolve_invocation_root",
     "run_lint",
 ]
 
@@ -164,16 +166,58 @@ class FileContext:
         )
 
 
+@dataclass
+class FlowContext:
+    """What a whole-project flow rule gets to look at.
+
+    ``graph`` covers every module under ``<root>/src``; ``targets`` is
+    the set of absolute file paths this invocation was asked to lint —
+    the engine drops flow findings outside it, so rules may analyse
+    broadly and report freely.
+    """
+
+    root: Path
+    graph: object  #: :class:`repro.lint.callgraph.CallGraph`
+    targets: frozenset[str]
+
+
 # ---------------------------------------------------------------------------
 # file collection and root detection
 # ---------------------------------------------------------------------------
 
 
-def _find_root(path: Path) -> Path:
-    """Nearest ``fixtures`` ancestor, else nearest ``pyproject.toml``."""
+def resolve_invocation_root(files: list[Path]) -> Path | None:
+    """The single project root for one engine invocation.
+
+    The nearest ancestor of the inputs' common path that holds a
+    ``pyproject.toml`` — so ``repro lint`` run from ``src/repro/sim``
+    scopes rules exactly as a run from the repo root does.  Fixture
+    trees opt out per file in :func:`_find_root` (a directory literally
+    named ``fixtures`` stays its own miniature project).
+    """
+    candidates = [p for p in files if "fixtures" not in (q.name for q in p.parents)]
+    if not candidates:
+        return None
+    try:
+        common = Path(os.path.commonpath([str(p) for p in candidates]))
+    except ValueError:  # pragma: no cover - inputs on different drives
+        return None
+    if common.is_file():
+        common = common.parent
+    for parent in (common, *common.parents):
+        if (parent / "pyproject.toml").is_file():
+            return parent
+    return None
+
+
+def _find_root(path: Path, invocation_root: Path | None = None) -> Path:
+    """Nearest ``fixtures`` ancestor, else the invocation root, else the
+    nearest ``pyproject.toml`` walking up from the file itself."""
     for parent in path.parents:
         if parent.name == "fixtures":
             return parent
+    if invocation_root is not None and invocation_root in path.parents:
+        return invocation_root
     for parent in path.parents:
         if (parent / "pyproject.toml").is_file():
             return parent
@@ -252,6 +296,41 @@ def _select_rules(rule_ids: list[str] | None) -> list[Rule]:
     return selected
 
 
+def changed_files(ref: str, repo_root: Path | None = None) -> list[str]:
+    """Python files changed vs ``ref`` (``repro lint --changed``).
+
+    Includes files with uncommitted modifications; deleted files drop
+    out because :func:`collect_files` requires existence.
+    """
+    import subprocess
+
+    cwd = Path(repo_root) if repo_root is not None else Path.cwd()
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", "--diff-filter=ACMR", ref, "--", "*.py"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        raise LintError(f"cannot resolve --changed {ref!r}: {detail.strip()}") from exc
+    out = []
+    for line in proc.stdout.splitlines():
+        candidate = Path(top) / line.strip()
+        if candidate.is_file():
+            out.append(str(candidate))
+    return out
+
+
 @dataclass
 class LintReport:
     """The outcome of one engine run, serialisable both ways."""
@@ -304,10 +383,13 @@ class LintReport:
 
 
 def lint_file(
-    path: Path, rules: list[Rule], project: ProjectContext | None = None
+    path: Path,
+    rules: list[Rule],
+    project: ProjectContext | None = None,
+    invocation_root: Path | None = None,
 ) -> list[Finding]:
     """Lint one file; explicit paths are linted even inside fixtures."""
-    root = _find_root(path)
+    root = _find_root(path, invocation_root)
     if project is None or project.root != root:
         project = ProjectContext.load(root)
     try:
@@ -369,22 +451,90 @@ def lint_file(
 
 
 def run_lint(
-    paths: list[str | os.PathLike], rule_ids: list[str] | None = None
+    paths: list[str | os.PathLike],
+    rule_ids: list[str] | None = None,
+    *,
+    flow: bool = False,
+    cache_dir: str | os.PathLike | None = None,
 ) -> LintReport:
-    """Lint ``paths`` (files or directories) with the selected rules."""
+    """Lint ``paths`` (files or directories) with the selected rules.
+
+    With ``flow=True`` the whole-project flow rules also run, once per
+    project root covering the inputs; ``cache_dir`` persists the
+    serialized call graph between invocations (CI caches it).
+    """
     rules = _select_rules(rule_ids)
     files = collect_files(paths)
+    invocation_root = resolve_invocation_root(files)
     findings: list[Finding] = []
     projects: dict[Path, ProjectContext] = {}
     for path in files:
-        root = _find_root(path)
+        root = _find_root(path, invocation_root)
         project = projects.get(root)
         if project is None:
             project = projects[root] = ProjectContext.load(root)
-        findings.extend(lint_file(path, rules, project))
+        findings.extend(lint_file(path, rules, project, invocation_root))
+    flow_rules = [r for r in rules if r.is_flow]
+    if flow and flow_rules:
+        findings.extend(
+            _run_flow(files, flow_rules, invocation_root, cache_dir)
+        )
     findings.sort()
+    rules_run = [r.id for r in rules if flow or not r.is_flow]
     return LintReport(
         findings=findings,
         files_checked=len(files),
-        rules_run=[r.id for r in rules],
+        rules_run=rules_run,
     )
+
+
+def _run_flow(
+    files: list[Path],
+    flow_rules: list[Rule],
+    invocation_root: Path | None,
+    cache_dir: str | os.PathLike | None,
+) -> list[Finding]:
+    """Run the flow rules once per project root covering ``files``."""
+    from .callgraph import CallGraph
+
+    by_root: dict[Path, list[Path]] = {}
+    for path in files:
+        by_root.setdefault(_find_root(path, invocation_root), []).append(path)
+    out: list[Finding] = []
+    allows_cache: dict[str, dict[int, list[str]]] = {}
+    for root, group in sorted(by_root.items()):
+        if not (root / "src").is_dir():
+            continue
+        graph = CallGraph.load_or_build(root, cache_dir)
+        targets = frozenset(str(p) for p in group)
+        ctx = FlowContext(root=root, graph=graph, targets=targets)
+        for r in flow_rules:
+            for f in r.flow_check(ctx):
+                if f.path not in targets:
+                    continue
+                try:
+                    relpath = Path(f.path).relative_to(root).as_posix()
+                except ValueError:  # pragma: no cover - foreign path
+                    relpath = Path(f.path).name
+                if not r.applies_to(relpath):
+                    continue
+                allows = allows_cache.get(f.path)
+                if allows is None:
+                    try:
+                        source = Path(f.path).read_text(encoding="utf-8")
+                    except OSError:  # pragma: no cover - racing deletion
+                        source = ""
+                    allows = allows_cache[f.path] = _parse_suppressions(source)
+                if f.rule in allows.get(f.line, ()):
+                    continue
+                out.append(
+                    Finding(
+                        path=_display_path(Path(f.path)),
+                        line=f.line,
+                        col=f.col,
+                        rule=f.rule,
+                        message=f.message,
+                        trace=f.trace,
+                    )
+                )
+    return out

@@ -2,6 +2,24 @@
 
 from __future__ import annotations
 
-from . import api, density, determinism, floatsafety, sharedstate, tracing
+from . import (
+    api,
+    density,
+    determinism,
+    floatsafety,
+    procs,
+    sharedstate,
+    taint,
+    tracing,
+)
 
-__all__ = ["api", "density", "determinism", "floatsafety", "sharedstate", "tracing"]
+__all__ = [
+    "api",
+    "density",
+    "determinism",
+    "floatsafety",
+    "procs",
+    "sharedstate",
+    "taint",
+    "tracing",
+]

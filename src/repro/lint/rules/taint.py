@@ -1,0 +1,236 @@
+"""Flow-sensitive taint rules: determinism and entropy boundaries.
+
+The syntactic ``det-*`` rules catch a forbidden call *at the call
+site*; these rules catch the forbidden **flow** — a wall-clock read
+laundered through two helpers into a ledger update, or key material
+formatted into a trace event.  Each rule is a :class:`FlowSpec` fed to
+the shared :class:`~repro.lint.dataflow.TaintEngine`:
+
+``det-taint-ledger``
+    wall-clock / stdlib-``random`` / OS-entropy / environment values
+    must never reach ledger or credit state (the paper's Equation (2)
+    fairness state must be replayable from the run seed alone).
+
+``det-taint-seed``
+    the same labels must never seed an RNG or key a
+    :class:`~repro.security.prng.KeyedStream` — a time-seeded stream
+    breaks both replayability and the coefficient-secrecy argument.
+
+``sec-key-taint``
+    secret key material (``derive_key``/``generate_keypair`` outputs,
+    ``key``-like parameters inside ``repro.security``) must not flow
+    into trace events, metrics observations, ``to_dict`` payloads or
+    wire frames.  Hash/HMAC outputs are publishable (PRF boundary), and
+    the public half of a keypair is clean by definition.
+"""
+
+from __future__ import annotations
+
+from ..dataflow import FlowSpec, Matcher, TaintEngine
+from ..findings import Finding
+from ..registry import DET_SCOPE, SRC_SCOPE, flow_rule
+
+__all__ = ["DET_SOURCES", "det_ledger_spec", "det_seed_spec", "sec_key_spec"]
+
+#: The nondeterminism sources both det-taint rules share:
+#: (matcher, label, path-step note).
+DET_SOURCES = [
+    (
+        Matcher(
+            exact=(
+                "time.time",
+                "time.time_ns",
+                "time.monotonic",
+                "time.monotonic_ns",
+                "time.perf_counter",
+                "time.perf_counter_ns",
+                "time.process_time",
+                "time.clock_gettime",
+            ),
+            prefix=("datetime.datetime.now", "datetime.datetime.utcnow"),
+        ),
+        "wallclock",
+        "wall-clock read",
+    ),
+    (
+        Matcher(prefix=("random.",)),
+        "stdlib-random",
+        "stdlib random draw (process-global, unseedable per-run)",
+    ),
+    (
+        Matcher(
+            exact=("os.urandom", "uuid.uuid4"),
+            prefix=("secrets.",),
+        ),
+        "os-entropy",
+        "OS entropy read",
+    ),
+    (
+        Matcher(exact=("os.getenv", "os.environ.get")),
+        "env",
+        "environment variable read",
+    ),
+]
+
+_DET_LABELS = frozenset({"wallclock", "stdlib-random", "os-entropy", "env"})
+
+#: Environment mapping read as a value (``os.environ[...]``).
+_DET_NAME_SOURCES = {"os.environ": ("env", "environment variable read")}
+
+
+def det_ledger_spec() -> FlowSpec:
+    return FlowSpec(
+        call_sources=list(DET_SOURCES),
+        name_sources=dict(_DET_NAME_SOURCES),
+        sink_calls=[
+            (
+                Matcher(
+                    suffix=(
+                        ".record_received",
+                        ".record_from",
+                        ".add_compact",
+                        ".bulk_insert",
+                    ),
+                    attr=(
+                        "record_received",
+                        "record_from",
+                        "add_compact",
+                        "bulk_insert",
+                    ),
+                ),
+                "nondeterministic value reaches ledger state via {callee}",
+            ),
+        ],
+        sink_store=(
+            lambda name: "credit" in name or "ledger" in name,
+            "nondeterministic value stored into credit state '{name}'",
+        ),
+        labels=_DET_LABELS,
+    )
+
+
+def det_seed_spec() -> FlowSpec:
+    return FlowSpec(
+        call_sources=list(DET_SOURCES),
+        name_sources=dict(_DET_NAME_SOURCES),
+        sink_calls=[
+            (
+                Matcher(
+                    exact=(
+                        "numpy.random.default_rng",
+                        "numpy.random.seed",
+                        "numpy.random.RandomState",
+                        "random.seed",
+                        "random.Random",
+                    ),
+                    suffix=(".KeyedStream",),
+                    attr=("KeyedStream",),
+                ),
+                "nondeterministic value seeds an RNG/keyed stream via {callee}",
+            ),
+        ],
+        sink_param_names={
+            "seed": "nondeterministic value bound to the '{param}' parameter "
+            "of {callee}",
+        },
+        labels=_DET_LABELS,
+    )
+
+
+def sec_key_spec() -> FlowSpec:
+    return FlowSpec(
+        call_sources=[
+            (
+                Matcher(
+                    suffix=(".derive_key", ".generate_keypair", ".KeyedStream"),
+                    attr=("derive_key", "generate_keypair"),
+                ),
+                "secret",
+                "secret key material derived here",
+            ),
+        ],
+        param_sources=[
+            ("key", "secret"),
+            ("secret", "secret"),
+            ("master", "secret"),
+            ("private_key", "secret"),
+        ],
+        param_source_modules=("repro.security",),
+        # Hash/HMAC digests of a key are PRF outputs: publishing them
+        # does not reveal the key (the stream cipher depends on it).
+        sanitizer_calls=Matcher(prefix=("hashlib.", "hmac.")),
+        clear_attrs=frozenset({"public", "fingerprint", "n", "e"}),
+        sink_calls=[
+            (
+                Matcher(attr=("emit",)),
+                "secret key material flows into a trace event via {callee}",
+            ),
+            (
+                Matcher(attr=("observe",)),
+                "secret key material flows into a metrics observation "
+                "via {callee}",
+            ),
+            (
+                Matcher(
+                    suffix=(".encode_frame",),
+                    attr=("encode_frame",),
+                ),
+                "secret key material flows into a wire frame via {callee}",
+            ),
+        ],
+        sink_return_funcs={
+            "to_dict": "secret key material returned in a to_dict payload",
+        },
+        labels=frozenset({"secret"}),
+    )
+
+
+def _run(ctx, rule_id: str, spec: FlowSpec):
+    engine = TaintEngine(ctx.graph, spec)
+    for path in sorted(ctx.targets):
+        for hit in engine.run_path(path):
+            yield Finding(
+                path=hit.path,
+                line=hit.line,
+                col=hit.col,
+                rule=rule_id,
+                message=hit.message,
+                trace=hit.trace(),
+            )
+
+
+@flow_rule(
+    "det-taint-ledger",
+    rationale="Equation (2) fairness state must be a pure function of the "
+    "run seed; a wall-clock, stdlib-random, OS-entropy or environment "
+    "value flowing into a ledger breaks bit-identical replay across the "
+    "four slot engines even when no forbidden call sits at the write site",
+    scope=DET_SCOPE,
+)
+def check_det_taint_ledger(ctx):
+    yield from _run(ctx, "det-taint-ledger", det_ledger_spec())
+
+
+@flow_rule(
+    "det-taint-seed",
+    rationale="every RNG stream and KeyedStream must be keyed from the run "
+    "seed or the shared secret; seeding one from time/entropy/environment "
+    "makes runs unreproducible and voids the coefficient-agreement "
+    "argument between sender and receiver",
+    scope=DET_SCOPE,
+)
+def check_det_taint_seed(ctx):
+    yield from _run(ctx, "det-taint-seed", det_seed_spec())
+
+
+@flow_rule(
+    "sec-key-taint",
+    rationale="the coefficient key doubles as the decryption key "
+    "(Section 5 of the paper): key material leaking into traces, "
+    "metrics, to_dict payloads or wire frames hands eavesdroppers the "
+    "content-confidentiality guarantee; only PRF outputs and the public "
+    "keypair half may cross that boundary",
+    scope=SRC_SCOPE,
+)
+def check_sec_key_taint(ctx):
+    yield from _run(ctx, "sec-key-taint", sec_key_spec())

@@ -1,0 +1,23 @@
+"""Fixture: a wall-clock value laundered through helpers into a ledger.
+
+``det-taint-ledger`` must follow time.time_ns() -> jitter() -> scale()
+-> record_from() across two modules; no single expression here matches
+any syntactic det-* pattern.
+"""
+
+from .flow_helpers import jitter, scale
+
+
+class MiniLedger:
+    def __init__(self, n):
+        self._credits = [0.0] * n
+
+    def record_from(self, peer, amount):
+        self._credits[peer] += amount
+
+
+def update(n):
+    ledger = MiniLedger(n)
+    amount = scale(jitter())
+    ledger.record_from(0, amount)
+    return ledger

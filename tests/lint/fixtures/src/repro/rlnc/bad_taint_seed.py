@@ -1,0 +1,19 @@
+"""Fixture: environment and wall-clock values keying RNG streams.
+
+``det-taint-seed`` must catch both shapes: an env read keying a
+KeyedStream, and a wall-clock value seeding a numpy Generator.
+"""
+
+import numpy as np
+
+from ..core.flow_helpers import env_knob, jitter
+from ..security.prng import KeyedStream
+
+
+def stream_from_env():
+    key = env_knob("REPRO_KEY").encode()
+    return KeyedStream(key)
+
+
+def rng_from_time():
+    return np.random.default_rng(jitter())

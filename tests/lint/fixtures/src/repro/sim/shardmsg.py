@@ -1,0 +1,25 @@
+"""Fixture message layer: SlotVectors views plus a leaked ``.buf``.
+
+Mirrors the real ``repro.sim.shardmsg`` closely enough for the
+``procs-writer-discipline`` field discovery, and plants one violation:
+``raw_view`` returns the raw shared-memory view instead of keeping it
+behind an ndarray.
+"""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+class SlotVectors:
+    def __init__(self, n):
+        self.n = n
+        self._shm = shared_memory.SharedMemory(create=True, size=25 * n)
+        buf = self._shm.buf
+        self.capacities = np.ndarray((n,), dtype=np.float64, buffer=buf)
+        self.declared = np.ndarray((n,), dtype=np.float64, buffer=buf, offset=8 * n)
+        self.rates = np.ndarray((n,), dtype=np.float64, buffer=buf, offset=16 * n)
+        self.requesting = np.ndarray((n,), dtype=bool, buffer=buf, offset=24 * n)
+
+    def raw_view(self):
+        return self._shm.buf

@@ -1,0 +1,27 @@
+"""Fixture: key material crossing the entropy boundary.
+
+``sec-key-taint`` must see ``self.key`` (set from ``derive_key`` in the
+constructor) leak into a trace event and a ``to_dict`` payload from
+*other* methods — the cross-method attribute channel.
+"""
+
+from ..security.prng import derive_key
+
+
+class _Tracer:
+    def emit(self, name, **fields):
+        pass
+
+
+_TRACER = _Tracer()
+
+
+class Handshake:
+    def __init__(self, secret):
+        self.key = derive_key(secret, "handshake")
+
+    def announce(self):
+        _TRACER.emit("fix.bare", key=self.key.hex())
+
+    def to_dict(self):
+        return {"key": self.key}
